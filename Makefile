@@ -1,0 +1,38 @@
+# Convenience targets for the FaultHound reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-quick figures examples clean
+
+install:
+	pip install -e .[test]
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+test-log:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-log:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+bench-quick:
+	REPRO_SCALE=quick $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PYTHON) -m repro.cli figure table1
+	$(PYTHON) -m repro.cli figure table2
+	$(PYTHON) -m repro.cli figure fig6
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/value_locality_explorer.py
+	$(PYTHON) examples/fault_injection_campaign.py astar 30
+	$(PYTHON) examples/pipeline_visualizer.py
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,72 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+One :class:`ExperimentContext` is shared across the whole benchmark
+session so the expensive artefacts (programs, fault-free runs, injection
+campaigns) are computed once and reused by every figure.
+
+Scale is controlled by the ``REPRO_SCALE`` environment variable:
+
+- ``quick``   — a 4-benchmark smoke subset, minutes of wall clock;
+- ``default`` — all 14 benchmarks at laptop scale (the shipped results);
+- ``full``    — larger fault counts and longer runs (closer to the paper;
+  expect a long wall-clock).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.harness import ExperimentConfig, ExperimentContext
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_SCALES = {
+    "quick": ExperimentConfig(
+        benchmarks=("bzip2", "mcf", "gamess", "apache"),
+        dynamic_target=5_000, num_faults=24,
+        warmup_commits=300, window_commits=120),
+    "default": ExperimentConfig(
+        dynamic_target=20_000, num_faults=120,
+        warmup_commits=400, window_commits=150),
+    "full": ExperimentConfig(
+        dynamic_target=40_000, num_faults=250,
+        warmup_commits=1_000, window_commits=300),
+}
+
+
+def _scale() -> ExperimentConfig:
+    name = os.environ.get("REPRO_SCALE", "default")
+    try:
+        return _SCALES[name]
+    except KeyError:
+        raise RuntimeError(
+            f"REPRO_SCALE={name!r}; choose from {sorted(_SCALES)}") from None
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return ExperimentContext(_scale())
+
+
+@pytest.fixture(scope="session")
+def record_figure():
+    """Persist a figure's rendered text (and, when given, its structured
+    payload as JSON) under benchmarks/results/, echoing the text so
+    ``pytest -s`` shows the series inline."""
+    from repro.harness.store import ResultStore
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    store = ResultStore(RESULTS_DIR)
+
+    def _record(name: str, text: str, payload=None) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        if payload is not None:
+            slim = {k: v for k, v in payload.items()
+                    if k not in ("text", "fractions")}
+            store.save(name, slim, config=_scale())
+        print(f"\n{text}\n")
+
+    return _record

@@ -1,0 +1,32 @@
+"""Figure 10: energy overhead over the no-fault-tolerance baseline
+(paper Section 5.4).
+
+Paper shape: FaultHound-backend ~10%, full FaultHound ~25% (rename-fault
+rollbacks cost energy even when their latency hides), SRT-iso ~56%
+(redundant instructions cannot hide their energy the way they hide their
+time).
+"""
+
+from repro.harness import figures
+
+
+def test_fig10_energy_overhead(benchmark, ctx, record_figure):
+    result = benchmark.pedantic(figures.fig10, args=(ctx,),
+                                rounds=1, iterations=1)
+    record_figure("fig10", result["text"], result)
+
+    mean = result["rows"]["MEAN"]
+    # ordering: backend-only < full FaultHound < SRT-iso
+    assert mean["fh-backend"] < mean["faulthound"], \
+        "rename-fault rollbacks must show up as energy"
+    assert mean["faulthound"] < mean["srt-iso"], \
+        "partial screening must beat outright redundancy on energy"
+    # magnitudes in the paper's bands (generous)
+    assert 0.0 < mean["fh-backend"] < 0.25
+    assert mean["faulthound"] < 0.45
+    assert mean["srt-iso"] > 0.20
+
+    # energy, unlike time, cannot hide: every benchmark pays SRT something
+    for name, row in result["rows"].items():
+        if name != "MEAN":
+            assert row["srt-iso"] > 0.0, f"{name}: SRT energy must be paid"

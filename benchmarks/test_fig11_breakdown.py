@@ -1,0 +1,27 @@
+"""Figure 11: breakdown of SDC faults under FaultHound (paper Section 5.5).
+
+Paper shape: the covered slice dominates; second-level masking costs
+little; completed/committed-register faults are a modest slice (bypass
+consumption masks most register-file faults); uncovered rename faults and
+non-triggering faults (~10%) make up most of the remainder.
+"""
+
+import pytest
+
+from repro.harness import figures
+
+
+def test_fig11_sdc_breakdown(benchmark, ctx, record_figure):
+    result = benchmark.pedantic(figures.fig11, args=(ctx,),
+                                rounds=1, iterations=1)
+    record_figure("fig11", result["text"], result)
+
+    mean = result["rows"]["MEAN"]
+    assert sum(mean.values()) == pytest.approx(1.0, abs=1e-6)
+    # the covered slice dominates the breakdown
+    assert mean["covered"] == max(mean.values())
+    # the second-level filter must not eat much coverage
+    assert mean["second_level_masked"] < 0.25
+    # every bin is a valid fraction
+    for name, value in mean.items():
+        assert 0.0 <= value <= 1.0, name

@@ -1,0 +1,37 @@
+"""Figure 12: isolating FaultHound's back-end mechanisms (paper Section 5.6).
+
+Three ablations, overall means only (as in the paper):
+
+- left:   clustering and the second-level filter each cut the FP rate;
+- middle: predecessor replay dramatically beats full rollback on
+  performance (6-8 re-executed instructions vs 100-200);
+- right:  the commit-time LSQ check buys a significant slice of coverage.
+"""
+
+from repro.harness import figures
+
+
+def test_fig12_mechanism_isolation(benchmark, ctx, record_figure):
+    result = benchmark.pedantic(figures.fig12, args=(ctx,),
+                                rounds=1, iterations=1)
+    record_figure("fig12", result["text"], result)
+
+    left, middle, right = result["left"], result["middle"], result["right"]
+
+    # left: each mechanism lowers the false-positive rate
+    no_cluster = left["FH-BE-nocluster-no2level"]["fp_rate"]
+    no_second = left["FH-BE-no2level"]["fp_rate"]
+    full = left["FH-BE"]["fp_rate"]
+    assert no_cluster > full, "clustering+2nd-level must reduce FP rate"
+    assert no_second >= full, "the second-level filter must not raise FP"
+    assert no_cluster > no_second * 0.8  # clustering contributes too
+
+    # middle: replay beats full rollback
+    rollback = middle["FH-BE-full-rollback"]["perf_overhead"]
+    replay = middle["FH-BE"]["perf_overhead"]
+    assert rollback > replay, "replay must be cheaper than full rollback"
+
+    # right: covering the LSQ raises coverage
+    no_lsq = right["FH-BE-noLSQ"]["coverage"]
+    with_lsq = right["FH-BE"]["coverage"]
+    assert with_lsq >= no_lsq, "the LSQ check must not lose coverage"

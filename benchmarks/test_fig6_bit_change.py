@@ -1,0 +1,30 @@
+"""Figure 6: percent change per bit position for the three checked value
+streams, aggregated over all benchmarks (paper Section 5.1).
+
+Paper shape: most bit positions change in fewer than 1% of values; a few
+low-order positions change much more; ~3 bits change per 64-bit write on
+average.
+"""
+
+from repro.harness import figures
+
+
+def test_fig6_bit_position_change(benchmark, ctx, record_figure):
+    result = benchmark.pedantic(figures.fig6, args=(ctx,),
+                                rounds=1, iterations=1)
+    record_figure("fig6", result["text"], result)
+
+    for kind in ("load_addr", "store_addr", "store_value"):
+        fractions = result["fractions"][kind]
+        assert len(fractions) == 64
+        # most positions change in <1% of values (high value locality)
+        below_1pct = sum(1 for f in fractions if f < 0.01)
+        assert below_1pct >= 40, f"{kind}: only {below_1pct} quiet positions"
+        # the changing positions concentrate at the low-order end
+        busiest = max(range(64), key=fractions.__getitem__)
+        assert busiest < 32, f"{kind}: busiest bit {busiest} is high-order"
+
+    # the paper reports ~3 bits changed per 64-bit write on average;
+    # accept a generous band around it
+    mean_changed = result["rows"]["store_value"]["mean_bits_changed"]
+    assert 0.5 <= mean_changed <= 12.0

@@ -1,0 +1,27 @@
+"""Figure 7: masked / noisy / SDC fault fractions (paper Section 5.1).
+
+Paper shape: ~85% masked, ~5% noisy, ~10% SDC across benchmarks.
+"""
+
+import pytest
+
+from repro.harness import figures
+
+
+def test_fig7_fault_characterization(benchmark, ctx, record_figure):
+    result = benchmark.pedantic(figures.fig7, args=(ctx,),
+                                rounds=1, iterations=1)
+    record_figure("fig7", result["text"], result)
+
+    mean = result["rows"]["MEAN"]
+    assert mean["masked"] + mean["noisy"] + mean["sdc"] == pytest.approx(1.0)
+    # the paper's headline: a large majority of faults are masked
+    assert mean["masked"] > 0.70
+    # and SDC is the small-but-dangerous remainder
+    assert 0.0 < mean["sdc"] < 0.25
+    assert mean["noisy"] < 0.20
+
+    for name, row in result["rows"].items():
+        if name == "MEAN":
+            continue
+        assert row["masked"] > 0.5, f"{name}: implausibly low masking"

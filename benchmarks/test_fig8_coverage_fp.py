@@ -1,0 +1,33 @@
+"""Figure 8: SDC coverage (a) and false-positive rates (b) for PBFS,
+PBFS-biased, FaultHound-backend and FaultHound (paper Section 5.2).
+
+Paper shape: PBFS ~30% coverage at near-zero FP; PBFS-biased reaches
+FaultHound-class coverage but at ~8% FP; FaultHound keeps the coverage
+(~75%) at ~3% FP — clustering plus the second-level filter buy roughly a
+2-3x FP reduction over PBFS-biased.
+"""
+
+from repro.harness import figures
+
+
+def test_fig8_coverage_and_fp(benchmark, ctx, record_figure):
+    result = benchmark.pedantic(figures.fig8, args=(ctx,),
+                                rounds=1, iterations=1)
+    record_figure("fig8", result["text"], result)
+
+    coverage = result["coverage"]["MEAN"]
+    fp = result["fp_rate"]["MEAN"]
+
+    # -- false-positive ordering (the paper's central tension) --
+    assert fp["pbfs"] < 0.01, "sticky PBFS must be near-zero FP"
+    assert fp["pbfs-biased"] > 3 * fp["faulthound"] / 2, \
+        "clustering+second-level must cut the biased FP rate substantially"
+    assert fp["faulthound"] < 0.08
+
+    # -- coverage ordering --
+    assert coverage["faulthound"] > coverage["pbfs"], \
+        "FaultHound must out-cover sticky PBFS"
+    assert coverage["faulthound"] >= coverage["fh-backend"] - 0.08, \
+        "rename-fault squash handling should not reduce coverage"
+    assert coverage["faulthound"] > 0.35
+    assert coverage["pbfs-biased"] > coverage["pbfs"]

@@ -1,0 +1,54 @@
+"""Core-provisioning sensitivity (paper Section 2.2's observation).
+
+The paper notes that false-positive overhead hides under a *higher*
+baseline CPI ("the performance overhead would be lower if the baseline CPI
+were higher") and criticises partial-redundancy schemes that only work on
+aggressively-provisioned cores. This bench measures FaultHound's relative
+overhead on a small, the default, and an aggressive core.
+"""
+
+from repro.analysis.metrics import arithmetic_mean, perf_overhead
+from repro.analysis.tables import format_table
+from repro.config import HardwareConfig
+from repro.core import FaultHoundUnit
+from repro.pipeline import PipelineCore
+
+
+def _overhead(ctx, hw, benchmark):
+    programs = ctx.programs(benchmark)
+    base = PipelineCore(programs, hw=hw)
+    base.run(max_cycles=20_000_000)
+    fh = PipelineCore(programs, hw=hw, screening=FaultHoundUnit())
+    fh.run(max_cycles=20_000_000)
+    return (perf_overhead(fh.stats.cycles, base.stats.cycles),
+            base.stats.ipc)
+
+
+def test_core_size_sensitivity(benchmark, ctx, record_figure):
+    cores = {
+        "small (2-wide)": HardwareConfig.small_core(),
+        "default (4-wide)": HardwareConfig(),
+        "aggressive (6-wide)": HardwareConfig.aggressive_core(),
+    }
+
+    def sweep():
+        rows = {}
+        names = list(ctx.cfg.benchmarks)[:4]
+        for label, hw in cores.items():
+            results = [_overhead(ctx, hw, b) for b in names]
+            rows[label] = {
+                "fh_overhead": arithmetic_mean(r[0] for r in results),
+                "baseline_ipc": arithmetic_mean(r[1] for r in results),
+            }
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_figure("sensitivity_core_size", format_table(
+        "Sensitivity: core provisioning vs FaultHound overhead", rows))
+
+    for label, row in rows.items():
+        # FaultHound must stay a moderate-overhead scheme on every core
+        assert row["fh_overhead"] < 0.5, label
+    # wider cores commit faster at the same recovery cost
+    assert rows["aggressive (6-wide)"]["baseline_ipc"] \
+        >= rows["small (2-wide)"]["baseline_ipc"]

@@ -1,0 +1,47 @@
+"""Simulator-throughput microbenchmarks (regression guards for the hot
+loop — these are the only benches here that time real wall-clock work the
+conventional pytest-benchmark way)."""
+
+from repro.core import FaultHoundUnit, TCAM
+from repro.pipeline import PipelineCore
+from repro.workloads import PROFILES, build_smt_programs
+
+
+def test_pipeline_cycles_per_second(benchmark, ctx):
+    programs = ctx.programs(list(ctx.cfg.benchmarks)[0])
+
+    def run_5k_cycles():
+        core = PipelineCore(programs)
+        for _ in range(5_000):
+            core.step()
+        return core.stats.committed
+
+    committed = benchmark(run_5k_cycles)
+    assert committed > 100
+
+
+def test_pipeline_with_faulthound_throughput(benchmark, ctx):
+    programs = ctx.programs(list(ctx.cfg.benchmarks)[0])
+
+    def run_5k_cycles():
+        core = PipelineCore(programs, screening=FaultHoundUnit())
+        for _ in range(5_000):
+            core.step()
+        return core.stats.committed
+
+    committed = benchmark(run_5k_cycles)
+    assert committed > 100
+
+
+def test_tcam_lookup_throughput(benchmark):
+    tcam = TCAM(entries=32)
+    values = [0x1000 + 8 * (i % 128) for i in range(4096)]
+    for v in values[:256]:
+        tcam.lookup(v)          # warm
+
+    def lookups():
+        for v in values:
+            tcam.lookup(v)
+        return tcam.lookups
+
+    assert benchmark(lookups) > 0

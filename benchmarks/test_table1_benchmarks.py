@@ -1,0 +1,17 @@
+"""Table 1: the benchmark roster (paper Section 4, Table 1)."""
+
+from repro.harness import figures
+from repro.workloads import PROFILES, build_program
+
+
+def test_table1_roster(benchmark, record_figure):
+    result = benchmark.pedantic(figures.table1, rounds=1, iterations=1)
+    record_figure("table1", result["text"], result)
+    assert len(result["rows"]) == 14
+
+
+def test_benchmark_build_throughput(benchmark):
+    """Time building one mid-sized workload program (the unit of work the
+    whole harness leans on)."""
+    program = benchmark(build_program, PROFILES["astar"], 8_000)
+    assert len(program) > 10

@@ -1,0 +1,19 @@
+"""Table 2: hardware parameters (paper Section 4, Table 2)."""
+
+from repro.config import FaultHoundConfig, HardwareConfig
+from repro.harness import figures
+
+
+def test_table2_parameters(benchmark, record_figure):
+    result = benchmark.pedantic(figures.table2, rounds=1, iterations=1)
+    record_figure("table2", result["text"], result)
+    rows = result["rows"]
+    assert rows["Issue Queue size"]["value"] == "40"
+    assert rows["Re-order Buffer"]["value"] == "250"
+    assert rows["Delay buffer"]["value"] == "7 instructions"
+    assert "32-entry" in rows["FaultHound filters"]["value"]
+
+
+def test_config_construction_cost(benchmark):
+    cfg = benchmark(lambda: (HardwareConfig(), FaultHoundConfig()))
+    assert cfg[0].lsq_size == 64

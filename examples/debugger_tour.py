@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""A guided tour of the pipeline debugger.
+
+Sets breakpoints on commits and screening events, inspects architectural
+and micro-architectural state, and watches FaultHound react to an
+injected fault — all through the same API you would use from a REPL.
+
+Run:  python examples/debugger_tour.py
+"""
+
+from repro.core import FaultHoundUnit
+from repro.isa import assemble
+from repro.pipeline import PipelineCore
+from repro.pipeline.debugger import PipelineDebugger
+from repro.pipeline.uops import OpState
+
+SOURCE = """
+    movi r1, 120
+    movi r2, 0x1000
+    movi r5, 3
+loop:
+    ld   r4, 0(r2)
+    add  r5, r5, r4
+    andi r5, r5, 2047
+    st   r5, 0(r2)
+    addi r2, r2, 8
+    andi r2, r2, 0x3FF8
+    ori  r2, r2, 0x1000
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    halt
+"""
+
+
+def main():
+    core = PipelineCore([assemble(SOURCE)], screening=FaultHoundUnit())
+    dbg = PipelineDebugger(core)
+
+    print("=== break when the loop's store first commits ===")
+    dbg.break_at_pc(6)                       # the st
+    hit = dbg.cont()
+    print(f"stopped on: {hit.description if hit else dbg.last_stop}")
+    print(dbg.where())
+    print("\narchitectural registers:")
+    print(dbg.registers(count=8))
+
+    print("\n=== what is in flight right now? ===")
+    print(dbg.in_flight(limit=10))
+
+    print("\n=== run 100 committed instructions, check the filters ===")
+    dbg.clear_breakpoints()
+    dbg.break_when("100 more commits",
+                   lambda c: c.stats.committed >= 100)
+    dbg.cont()
+    print(dbg.screening_state())
+
+    print("\n=== inject a fault and break on the replay it causes ===")
+    victim = next((op for op in core.threads[0].rob
+                   if op.state is OpState.COMPLETED
+                   and op.phys_dest is not None), None)
+    if victim is None:
+        print("(no completed in-flight op right now; skipping)")
+        return
+    core.inject_prf_bit(victim.phys_dest, bit=40)
+    print(f"flipped bit 40 of p{victim.phys_dest} ({victim.inst})")
+    dbg.clear_breakpoints()
+    replay_bp = dbg.break_on_event("replay")
+    rollback_bp = dbg.break_on_event("rollback")
+    hit = dbg.cont(max_cycles=20_000)
+    print(f"stopped on: {hit.description if hit else dbg.last_stop}")
+    print(dbg.where())
+
+    print("\n=== run to completion ===")
+    dbg.clear_breakpoints()
+    dbg.cont()
+    stats = dbg.stats()
+    print(f"finished: {stats['committed']} instructions in "
+          f"{stats['cycles']} cycles; "
+          f"{stats['replay_events']} replays, "
+          f"{stats['rollback_events']} rollbacks")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Quickstart: assemble a program, run it on the out-of-order core with
+FaultHound attached, inject a soft fault, and watch it get repaired.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import FaultHoundUnit
+from repro.isa import assemble
+from repro.pipeline import PipelineCore
+from repro.pipeline.uops import OpState
+
+SOURCE = """
+    # Sum an array of 64 elements into r5 and store running sums.
+    movi r1, 64          # loop counter
+    movi r2, 0x1000      # input base
+    movi r3, 0x2000      # output base
+    movi r5, 0
+loop:
+    ld   r4, 0(r2)
+    add  r5, r5, r4
+    st   r5, 0(r3)
+    addi r2, r2, 8
+    addi r3, r3, 8
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    halt
+"""
+
+
+def build_program():
+    program = assemble(SOURCE, name="quickstart")
+    for i in range(64):
+        program.initial_memory[0x1000 + 8 * i] = i + 1
+    return program
+
+
+def run(label, inject=False):
+    core = PipelineCore([build_program()], screening=FaultHoundUnit())
+    if inject:
+        # Let the loop get going, then flip a bit of an *in-flight* value:
+        # a completed-but-uncommitted result that consumers are about to
+        # read — exactly the population predecessor replay covers.
+        core.run_until_commits(120)
+        victim = next(op for op in core.threads[0].rob
+                      if op.state is OpState.COMPLETED
+                      and op.phys_dest is not None)
+        core.inject_prf_bit(victim.phys_dest, bit=9)
+        print(f"[{label}] flipped bit 9 of p{victim.phys_dest}, the "
+              f"in-flight result of '{victim.inst}' (uid {victim.uid})")
+    core.run(max_cycles=200_000)
+    thread = core.threads[0]
+    stats = core.stats
+    print(f"[{label}] finished in {stats.cycles} cycles, "
+          f"{stats.committed} instructions committed (IPC {stats.ipc:.2f})")
+    print(f"[{label}] screening: {stats.replay_events} replays, "
+          f"{stats.rollback_events} rollbacks, "
+          f"{stats.singleton_reexecs} singleton re-executes")
+    total = thread.arch_reg_value(5, core.prf)
+    print(f"[{label}] final sum r5 = {total} "
+          f"(expected {sum(range(1, 65))})")
+    return total
+
+
+def main():
+    print("=== fault-free run ===")
+    clean = run("clean")
+
+    print("\n=== fault-injected run ===")
+    faulty = run("faulty", inject=True)
+
+    print()
+    if faulty == clean:
+        print("FaultHound repaired or masked the injected fault: "
+              "architectural results match.")
+    else:
+        print("The injected fault escaped (silent data corruption) — "
+              "try a different bit/time; coverage is probabilistic.")
+
+
+if __name__ == "__main__":
+    main()

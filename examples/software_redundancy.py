@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Hardware screening vs software redundancy (SWIFT-style).
+
+The paper's related work covers software schemes (SWIFT [22]) that
+duplicate computation in spare instruction slots and compare before
+stores: no hardware, but "the performance and power overheads remain".
+This example builds the same workload twice — plain (run under FaultHound)
+and SWIFT-ified (run on the plain core) — and compares their costs, then
+injects the same fault into both to show both catch it.
+
+Run:  python examples/software_redundancy.py [benchmark]
+"""
+
+import sys
+
+from repro.core import FaultHoundUnit
+from repro.energy import EnergyModel
+from repro.pipeline import PipelineCore
+from repro.workloads import PROFILES, build_program
+from repro.workloads.generator import HEAP_BASE, MAX_CHASE_WORDS
+
+
+def sentinel(profile):
+    return HEAP_BASE + 8 * min(profile.working_set_words, MAX_CHASE_WORDS)
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "dealII"
+    profile = PROFILES[name]
+    plain = build_program(profile, 6000)
+    swift = build_program(profile, 6000, swift=True)
+    model = EnergyModel()
+
+    baseline = PipelineCore([plain])
+    baseline.run(max_cycles=5_000_000)
+    base_energy = model.compute(baseline)
+
+    # the generator holds *dynamic length* constant, so the SWIFT build
+    # runs fewer loop trips — compare per loop iteration to be fair
+    def per_iter(core, program, energy):
+        trips = program.initial_regs[1]
+        return (core.stats.cycles / trips, energy.total_pj / trips,
+                core.stats.committed / trips)
+
+    base_cyc, base_pj, base_insts = per_iter(baseline, plain, base_energy)
+
+    print(f"benchmark: {name}  (costs per loop iteration)\n")
+    print(f"{'approach':22s} {'insts':>7s} {'cycles':>8s} "
+          f"{'perf ovh':>9s} {'energy ovh':>11s}")
+    print(f"{'baseline':22s} {base_insts:7.1f} {base_cyc:8.1f} "
+          f"{'-':>9s} {'-':>11s}")
+    rows = {
+        "FaultHound (hw)": (PipelineCore([plain],
+                                         screening=FaultHoundUnit()), plain),
+        "SWIFT-lite (sw)": (PipelineCore([swift]), swift),
+    }
+    for label, (core, program) in rows.items():
+        core.run(max_cycles=5_000_000)
+        cyc, pj, insts = per_iter(core, program, model.compute(core))
+        print(f"{label:22s} {insts:7.1f} {cyc:8.1f} "
+              f"{100 * (cyc / base_cyc - 1):8.1f}% "
+              f"{100 * (pj / base_pj - 1):10.1f}%")
+
+    print("\n--- inject the same value-register fault into both ---")
+    for label, program, screening in (
+            ("FaultHound", plain, FaultHoundUnit()),
+            ("SWIFT-lite", swift, None)):
+        core = PipelineCore([program], screening=screening)
+        core.run_until_commits(800)
+        victim = core.threads[0].committed_rat.get(4)
+        core.inject_prf_bit(victim, bit=12)
+        core.run(max_cycles=5_000_000)
+        thread = core.threads[0]
+        if label == "SWIFT-lite":
+            caught = thread.memory.read(sentinel(profile)) == 0xDEAD
+            verdict = "handler fired" if caught else "masked or escaped"
+        else:
+            events = (core.stats.replay_events
+                      + core.stats.rollback_events
+                      + len(core.declared_faults))
+            verdict = (f"{core.stats.replay_events} replays, "
+                       f"{core.stats.rollback_events} rollbacks")
+        print(f"  {label:12s} -> {verdict}")
+
+    print("\nThe hardware scheme pays only when hints fire and covers every "
+          "checked stream; the software scheme pays its duplication on the "
+          "protected dataflow forever — and this SWIFT-lite only shadows "
+          "the store-value chain (full SWIFT duplicates far more, the "
+          "paper's 'overheads remain' point).")
+
+
+if __name__ == "__main__":
+    main()

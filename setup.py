@@ -1,0 +1,11 @@
+"""Compatibility shim for environments without the ``wheel`` package.
+
+``pip install -e .`` requires PEP 660 wheel builds; fully-offline
+environments can instead run ``python setup.py develop`` (setuptools-only)
+or drop ``src/`` onto a ``.pth`` file. All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

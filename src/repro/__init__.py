@@ -1,0 +1,49 @@
+"""FaultHound reproduction: value-locality-based soft-fault tolerance.
+
+A complete Python implementation of the ISCA 2015 paper *FaultHound:
+Value-Locality-Based Soft-Fault Tolerance* (Nitin, Pomeranz, Vijaykumar)
+together with every substrate its evaluation needs — an out-of-order SMT
+pipeline, a fault-injection methodology, PBFS/SRT baselines, an energy
+model and synthetic workload generators. See README.md for a tour and
+DESIGN.md for the paper-to-module map.
+
+The most commonly used entry points are re-exported here::
+
+    from repro import (FaultHoundConfig, FaultHoundUnit, HardwareConfig,
+                       PipelineCore, assemble)
+
+    core = PipelineCore([assemble("movi r1, 1\\nhalt")],
+                        screening=FaultHoundUnit())
+    core.run()
+"""
+
+from .config import (FaultHoundConfig, HardwareConfig, PBFSConfig,
+                     VALUE_BITS, VALUE_MASK)
+from .core import (CheckAction, CheckKind, FaultHoundUnit,
+                   NullScreeningUnit, PBFSUnit, TCAM)
+from .isa import Instruction, Interpreter, Opcode, Program, assemble
+from .pipeline import PipelineCore, PipelineStats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "VALUE_BITS",
+    "VALUE_MASK",
+    "FaultHoundConfig",
+    "HardwareConfig",
+    "PBFSConfig",
+    "CheckAction",
+    "CheckKind",
+    "FaultHoundUnit",
+    "NullScreeningUnit",
+    "PBFSUnit",
+    "TCAM",
+    "Instruction",
+    "Interpreter",
+    "Opcode",
+    "Program",
+    "assemble",
+    "PipelineCore",
+    "PipelineStats",
+]

@@ -1,0 +1,16 @@
+"""Analysis utilities: locality characterisation, metrics, reporting."""
+
+from .locality import bit_change_fractions, collect_mem_streams
+from .metrics import fp_rate, perf_overhead, arithmetic_mean, geo_mean
+from .tables import format_table, format_series
+
+__all__ = [
+    "bit_change_fractions",
+    "collect_mem_streams",
+    "fp_rate",
+    "perf_overhead",
+    "arithmetic_mean",
+    "geo_mean",
+    "format_table",
+    "format_series",
+]

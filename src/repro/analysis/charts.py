@@ -1,0 +1,109 @@
+"""ASCII bar charts: the paper's figures, rendered in a terminal.
+
+The evaluation figures are grouped bar charts (several schemes per
+benchmark), two of them on a log Y axis. These renderers produce aligned
+text charts good enough to eyeball the shapes EXPERIMENTS.md discusses,
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def _bar(fraction: float, width: int) -> str:
+    """Render *fraction* of *width* columns as a block bar."""
+    fraction = max(0.0, min(1.0, fraction))
+    cells = fraction * width
+    whole = int(cells)
+    text = _BAR * whole
+    if cells - whole >= 0.5 and whole < width:
+        text += _HALF
+    return text
+
+
+def bar_chart(title: str, rows: Mapping[str, float],
+              width: int = 40, percent: bool = True,
+              log_scale: bool = False,
+              log_floor: float = 1e-4) -> str:
+    """One bar per row label.
+
+    ``log_scale`` maps values onto log10 between *log_floor* and the
+    maximum — how the paper plots Figures 6 and 9.
+    """
+    if not rows:
+        return f"{title}\n(no data)"
+    label_width = max(len(label) for label in rows) + 2
+    peak = max(max(rows.values()), log_floor)
+    lines = [title]
+
+    def scale(value: float) -> float:
+        if log_scale:
+            if value <= log_floor:
+                return 0.0
+            span = math.log10(peak / log_floor)
+            if span <= 0:
+                return 1.0
+            return math.log10(value / log_floor) / span
+        return value / peak if peak else 0.0
+
+    for label, value in rows.items():
+        shown = f"{100 * value:7.2f}%" if percent else f"{value:9.3f}"
+        lines.append(f"  {label.ljust(label_width)}{shown}  "
+                     f"{_bar(scale(value), width)}")
+    if log_scale:
+        lines.append(f"  (log scale, floor {100 * log_floor:.2f}%)"
+                     if percent else f"  (log scale, floor {log_floor})")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(title: str,
+                      rows: Mapping[str, Mapping[str, float]],
+                      width: int = 36, percent: bool = True,
+                      log_scale: bool = False) -> str:
+    """Paper-style grouped chart: for each x label (benchmark), one bar
+    per series (scheme)."""
+    if not rows:
+        return f"{title}\n(no data)"
+    blocks = [title]
+    flat = [value for cells in rows.values() for value in cells.values()]
+    peak = max(flat) if flat else 1.0
+    for x_label, cells in rows.items():
+        blocks.append(f"{x_label}:")
+        sub = bar_chart("", cells, width=width, percent=percent,
+                        log_scale=log_scale)
+        blocks.append("\n".join(sub.splitlines()[1:]))
+    return "\n".join(blocks)
+
+
+def sparkline(values: Sequence[float], buckets: str = " ▁▂▃▄▅▆▇█") -> str:
+    """Compact one-line profile (used for the Figure 6 per-bit curves)."""
+    if not values:
+        return ""
+    peak = max(values)
+    if peak <= 0:
+        return buckets[0] * len(values)
+    steps = len(buckets) - 1
+    return "".join(
+        buckets[min(steps, int(round(steps * value / peak)))]
+        for value in values)
+
+
+def log_sparkline(values: Sequence[float], floor: float = 1e-4) -> str:
+    """Sparkline on a log scale — Figure 6's log-Y per-bit profile."""
+    scaled = []
+    peak = max(max(values, default=floor), floor)
+    span = math.log10(peak / floor) or 1.0
+    for value in values:
+        if value <= floor:
+            scaled.append(0.0)
+        else:
+            scaled.append(math.log10(value / floor) / span)
+    return sparkline(scaled)
+
+
+__all__ = ["bar_chart", "grouped_bar_chart", "sparkline", "log_sparkline"]

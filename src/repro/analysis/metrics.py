@@ -1,0 +1,44 @@
+"""Scalar metrics for the evaluation figures."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from ..core.actions import CheckAction
+from ..core.screening import ScreeningUnit
+
+
+def perf_overhead(scheme_cycles: int, baseline_cycles: int) -> float:
+    """Fractional performance degradation (0.10 == 10% slower)."""
+    if baseline_cycles <= 0:
+        return 0.0
+    return scheme_cycles / baseline_cycles - 1.0
+
+
+def fp_rate(unit: ScreeningUnit, committed: int) -> float:
+    """False-positive rate as a fraction of all committed instructions
+    (the paper's denominator): the rate of recovery-triggering actions in
+    a fault-free run."""
+    if committed <= 0:
+        return 0.0
+    actions = (unit.count(CheckAction.REPLAY)
+               + unit.count(CheckAction.SQUASH)
+               + unit.count(CheckAction.SINGLETON))
+    return actions / committed
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def geo_mean(values: Sequence[float]) -> float:
+    """Geometric mean of (1 + x) ratios minus 1; standard for overheads."""
+    if not values:
+        return 0.0
+    log_sum = sum(math.log(max(1e-9, 1.0 + v)) for v in values)
+    return math.exp(log_sum / len(values)) - 1.0
+
+
+__all__ = ["perf_overhead", "fp_rate", "arithmetic_mean", "geo_mean"]

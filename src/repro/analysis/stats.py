@@ -1,0 +1,88 @@
+"""Statistical helpers for campaign estimates.
+
+The laptop-scale campaigns classify tens of faults per benchmark where
+the paper injected 15,000, so every coverage or SDC-fraction estimate
+carries real sampling error. EXPERIMENTS.md reports Wilson score
+intervals; these helpers compute them without any SciPy dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+#: Two-sided z for 95% confidence.
+Z_95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class Proportion:
+    """A binomial proportion estimate with its confidence interval."""
+
+    successes: int
+    trials: int
+    low: float
+    high: float
+
+    @property
+    def point(self) -> float:
+        return self.successes / self.trials if self.trials else 0.0
+
+    @property
+    def half_width(self) -> float:
+        return (self.high - self.low) / 2.0
+
+    def __str__(self) -> str:
+        return (f"{100 * self.point:.1f}% "
+                f"[{100 * self.low:.1f}, {100 * self.high:.1f}]")
+
+
+def wilson_interval(successes: int, trials: int,
+                    z: float = Z_95) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Well-behaved at the extremes (0/n and n/n) and for the small samples
+    the campaigns produce, unlike the normal approximation.
+    """
+    if trials < 0 or not 0 <= successes <= trials:
+        raise ValueError("need 0 <= successes <= trials")
+    if trials == 0:
+        return 0.0, 1.0
+    p = successes / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    centre = (p + z2 / (2 * trials)) / denom
+    margin = (z * math.sqrt(p * (1 - p) / trials
+                            + z2 / (4 * trials * trials))) / denom
+    low = 0.0 if successes == 0 else max(0.0, centre - margin)
+    high = 1.0 if successes == trials else min(1.0, centre + margin)
+    return low, high
+
+
+def proportion(successes: int, trials: int, z: float = Z_95) -> Proportion:
+    """Bundle a proportion with its Wilson interval."""
+    low, high = wilson_interval(successes, trials, z)
+    return Proportion(successes, trials, low, high)
+
+
+def mean_and_stderr(values: Sequence[float]) -> Tuple[float, float]:
+    """Sample mean and standard error (0.0 stderr for n < 2)."""
+    n = len(values)
+    if n == 0:
+        return 0.0, 0.0
+    mean = sum(values) / n
+    if n < 2:
+        return mean, 0.0
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return mean, math.sqrt(var / n)
+
+
+def intervals_overlap(a: Proportion, b: Proportion) -> bool:
+    """True when two proportions' intervals overlap (a cheap, conservative
+    "not clearly different" check for the shape assertions)."""
+    return a.low <= b.high and b.low <= a.high
+
+
+__all__ = ["Z_95", "Proportion", "wilson_interval", "proportion",
+           "mean_and_stderr", "intervals_overlap"]

@@ -1,0 +1,229 @@
+"""Command-line interface: ``repro <subcommand>``.
+
+Subcommands
+-----------
+``repro list``
+    Show the available benchmarks, schemes and figures.
+``repro run PROGRAM.asm [--scheme S] [--max-cycles N]``
+    Assemble and execute a program on the out-of-order core.
+``repro bench NAME [--scheme S] [--instructions N]``
+    Run one synthetic benchmark fault-free; print timing and energy.
+``repro campaign NAME [--faults N] [--scheme S]``
+    Fault-injection campaign: characterisation plus scheme coverage.
+``repro figure {table1,table2,fig6..fig12} [--scale SCALE]``
+    Regenerate one paper table/figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.metrics import fp_rate
+from .config import HardwareConfig
+from .energy import EnergyModel
+from .errors import ReproError
+from .faults import Campaign, FaultClass
+from .harness import ExperimentConfig, ExperimentContext, SCHEMES, figures
+from .harness.experiment import scheme_unit
+from .isa import assemble
+from .pipeline import PipelineCore
+from .workloads import PROFILES, build_smt_programs
+
+_FIGURES = {
+    "table1": lambda ctx: figures.table1(),
+    "table2": lambda ctx: figures.table2(),
+    "fig6": figures.fig6,
+    "fig7": figures.fig7,
+    "fig8": figures.fig8,
+    "fig9": figures.fig9,
+    "fig10": figures.fig10,
+    "fig11": figures.fig11,
+    "fig12": figures.fig12,
+}
+
+_SCALES = {
+    "quick": ExperimentConfig(benchmarks=("bzip2", "mcf", "gamess", "apache"),
+                              dynamic_target=5_000, num_faults=24,
+                              warmup_commits=300, window_commits=120),
+    "default": ExperimentConfig(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FaultHound (ISCA 2015) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks, schemes and figures")
+
+    run = sub.add_parser("run", help="assemble and run a program")
+    run.add_argument("program", help="assembly source file")
+    run.add_argument("--scheme", default="faulthound", choices=sorted(SCHEMES))
+    run.add_argument("--max-cycles", type=int, default=1_000_000)
+
+    bench = sub.add_parser("bench", help="run one benchmark fault-free")
+    bench.add_argument("name", choices=sorted(PROFILES))
+    bench.add_argument("--scheme", default="faulthound",
+                       choices=sorted(SCHEMES))
+    bench.add_argument("--instructions", type=int, default=8_000,
+                       help="dynamic target per SMT thread")
+
+    campaign = sub.add_parser("campaign", help="fault-injection campaign")
+    campaign.add_argument("name", choices=sorted(PROFILES))
+    campaign.add_argument("--scheme", default="faulthound",
+                          choices=sorted(SCHEMES))
+    campaign.add_argument("--faults", type=int, default=60)
+    campaign.add_argument("--seed", type=int, default=3)
+
+    figure = sub.add_parser("figure", help="regenerate a paper table/figure")
+    figure.add_argument("which", choices=sorted(_FIGURES))
+    figure.add_argument("--scale", default="quick", choices=sorted(_SCALES))
+
+    report = sub.add_parser(
+        "report", help="rebuild EXPERIMENTS.md from benchmarks/results/")
+    report.add_argument("--results", default="benchmarks/results")
+    report.add_argument("--output", default="EXPERIMENTS.md")
+
+    validate = sub.add_parser(
+        "validate", help="measure a workload profile's achieved character")
+    validate.add_argument("name", choices=sorted(PROFILES))
+    validate.add_argument("--instructions", type=int, default=5_000)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _cmd_list(_args) -> int:
+    print("benchmarks:")
+    for name, profile in sorted(PROFILES.items()):
+        print(f"  {name:16s} ({profile.suite}, {profile.value_model} values)")
+    print("\nschemes:")
+    for name in sorted(SCHEMES):
+        print(f"  {name}")
+    print("\nfigures:")
+    print("  " + "  ".join(sorted(_FIGURES)))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    with open(args.program) as handle:
+        source = handle.read()
+    program = assemble(source, name=args.program)
+    core = PipelineCore([program], screening=scheme_unit(args.scheme))
+    core.run(max_cycles=args.max_cycles)
+    if not core.all_halted:
+        print(f"warning: hit --max-cycles before HALT", file=sys.stderr)
+    for key, value in core.stats.summary().items():
+        print(f"{key:24s} {value}")
+    thread = core.threads[0]
+    regs = [thread.arch_reg_value(r, core.prf) for r in range(8)]
+    print("r0-r7:", " ".join(f"{v:#x}" for v in regs))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    hw = HardwareConfig()
+    programs = build_smt_programs(PROFILES[args.name], args.instructions)
+    baseline = PipelineCore(programs, hw=hw)
+    baseline.run(max_cycles=20_000_000)
+    core = PipelineCore(programs, hw=hw, screening=scheme_unit(args.scheme))
+    core.run(max_cycles=20_000_000)
+    model = EnergyModel()
+    base_energy = model.compute(baseline)
+    energy = model.compute(core)
+    print(f"benchmark            {args.name} ({PROFILES[args.name].suite})")
+    print(f"scheme               {args.scheme}")
+    print(f"cycles               {core.stats.cycles} "
+          f"(baseline {baseline.stats.cycles})")
+    print(f"perf degradation     "
+          f"{100 * (core.stats.cycles / baseline.stats.cycles - 1):.1f}%")
+    print(f"IPC                  {core.stats.ipc:.3f}")
+    print(f"false-positive rate  "
+          f"{100 * fp_rate(core.screening, core.stats.committed):.2f}%")
+    print(f"energy overhead      "
+          f"{100 * energy.overhead_vs(base_energy):.1f}%")
+    print(f"replays/rollbacks    {core.stats.replay_events}/"
+          f"{core.stats.rollback_events}")
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    hw = HardwareConfig()
+    window = 150
+    dynamic = 400 + (args.faults + 2) * window
+    programs = build_smt_programs(PROFILES[args.name], dynamic)
+    campaign = Campaign(
+        args.name, lambda: PipelineCore(programs, hw=hw),
+        num_phys_regs=hw.phys_regs, num_threads=len(programs),
+        num_faults=args.faults, seed=args.seed,
+        warmup_commits=400, window_commits=window)
+    characterization = campaign.characterize()
+    print(f"{characterization.applied_count()} faults applied:")
+    for fault_class in FaultClass:
+        print(f"  {fault_class.value:8s} "
+              f"{100 * characterization.class_fraction(fault_class):5.1f}%")
+    coverage = campaign.run_coverage(
+        args.scheme,
+        lambda: PipelineCore(programs, hw=hw,
+                             screening=scheme_unit(args.scheme)),
+        characterization)
+    print(f"\n{args.scheme} vs {coverage.sdc_count} SDC faults: "
+          f"coverage {100 * coverage.coverage:.1f}%")
+    for bin_name, fraction in coverage.breakdown().items():
+        print(f"  {bin_name:24s} {100 * fraction:5.1f}%")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    ctx = ExperimentContext(_SCALES[args.scale])
+    result = _FIGURES[args.which](ctx)
+    print(result["text"])
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .analysis.report import build_experiments_md
+    text = build_experiments_md(args.results)
+    with open(args.output, "w") as handle:
+        handle.write(text)
+    print(f"wrote {args.output} from {args.results}/")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from .workloads.validation import validate_profile
+    report = validate_profile(PROFILES[args.name], args.instructions)
+    print(f"profile: {args.name}")
+    for key, value in report.as_dict().items():
+        print(f"  {key:32s} {value}")
+    return 0
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "bench": _cmd_bench,
+    "campaign": _cmd_campaign,
+    "figure": _cmd_figure,
+    "report": _cmd_report,
+    "validate": _cmd_validate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

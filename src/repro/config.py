@@ -1,0 +1,254 @@
+"""Hardware and FaultHound configuration (paper Table 2).
+
+:class:`HardwareConfig` mirrors the paper's Table 2 ("Hardware parameters")
+and adds the handful of timing knobs the paper leaves implicit (bypass depth,
+memory latency, rollback penalties). :class:`FaultHoundConfig` collects the
+filter parameters from Sections 3.1-3.5. Both are plain frozen dataclasses;
+experiments construct variants with :func:`dataclasses.replace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from .errors import ConfigurationError
+
+#: Width of every data value, address and filter in the system (bits).
+VALUE_BITS = 64
+
+#: Mask for 64-bit wrap-around arithmetic.
+VALUE_MASK = (1 << VALUE_BITS) - 1
+
+
+@dataclass(frozen=True)
+class FaultHoundConfig:
+    """Parameters of the FaultHound unit (paper Sections 3.1-3.5, Table 2).
+
+    The defaults are the paper's evaluated configuration: two 32-entry
+    64-bit TCAMs (addresses and values), a loosen threshold of 4 mismatching
+    bits, an 8-state second-level filter per TCAM requiring 7 consecutive
+    no-alarms, and an 8-state squash machine per TCAM entry requiring 7
+    consecutive no-triggers.
+    """
+
+    tcam_entries: int = 32
+    value_bits: int = VALUE_BITS
+    #: Maximum mismatching-bit count for loosening the closest filter
+    #: instead of replacing one (Section 3.1; "e.g., 4").
+    loosen_threshold: int = 4
+    #: Number of "changing" states in the first-level biased machine
+    #: (Fig 2b uses 2: two consecutive no-changes to re-enter "unchanging").
+    first_level_changing_states: int = 2
+    #: States in the per-bit second-level filter machine (Section 3.2).
+    second_level_states: int = 8
+    #: States in the per-entry squash machine (Section 3.4).
+    squash_states: int = 8
+    #: Enable the inverted (value-indexed TCAM) organisation. Disabling
+    #: degenerates to one filter per lookup hash bucket, used by ablations.
+    clustering: bool = True
+    #: Enable the second-level delinquent-bit filter.
+    second_level: bool = True
+    #: Enable the squash (rename-fault) machinery.
+    squash_detection: bool = True
+    #: Enable the commit-time LSQ check + singleton re-execute.
+    lsq_check: bool = True
+    #: Replace predecessor replay with a full rollback (Fig 12 middle).
+    full_rollback_on_trigger: bool = False
+
+    def __post_init__(self) -> None:
+        if self.tcam_entries <= 0:
+            raise ConfigurationError("tcam_entries must be positive")
+        if not 0 <= self.loosen_threshold <= self.value_bits:
+            raise ConfigurationError("loosen_threshold out of range")
+        if self.first_level_changing_states < 1:
+            raise ConfigurationError("need at least one changing state")
+        if self.second_level_states < 2 or self.squash_states < 2:
+            raise ConfigurationError("biased machines need >= 2 states")
+
+
+@dataclass(frozen=True)
+class PBFSConfig:
+    """Parameters of the PBFS baseline (paper Section 2.1).
+
+    The paper evaluates PBFS with one-bit sticky counters and 2K-entry
+    PC-indexed filter tables, flash-cleared periodically. ``biased=True``
+    selects the PBFS-biased variant which swaps the sticky counters for the
+    Fig 2b biased state machine.
+    """
+
+    table_entries: int = 2048
+    value_bits: int = VALUE_BITS
+    #: Shorthand for ``counter="biased"`` (the PBFS-biased variant).
+    biased: bool = False
+    #: Per-bit counter flavour: "sticky" (the original PBFS one-bit
+    #: counter), "standard" (the conventional Fig 2a counter — Section
+    #: 2.2's strawman whose coverage rises but whose false positives
+    #: explode), or "biased" (Fig 2b). Empty string resolves from
+    #: ``biased``.
+    counter: str = ""
+    #: Number of changing states for non-sticky counters (2 == Fig 2b).
+    changing_states: int = 2
+    #: Flash-clear period for sticky counters, in checks per table.
+    clear_interval: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.table_entries <= 0:
+            raise ConfigurationError("table_entries must be positive")
+        if self.clear_interval <= 0:
+            raise ConfigurationError("clear_interval must be positive")
+        resolved = self.counter or ("biased" if self.biased else "sticky")
+        if resolved not in ("sticky", "standard", "biased"):
+            raise ConfigurationError(f"unknown counter kind {resolved!r}")
+        if self.biased and self.counter not in ("", "biased"):
+            raise ConfigurationError("biased=True conflicts with counter=")
+        object.__setattr__(self, "counter", resolved)
+        object.__setattr__(self, "biased", resolved == "biased")
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    """Core and cache parameters (paper Table 2) plus implicit timing knobs.
+
+    The paper simulates 8 cores; fault injection and the FaultHound
+    mechanisms are per-core, so the reproduction models one core with
+    ``smt_contexts`` hardware threads and scales workloads accordingly.
+    """
+
+    # --- Table 2, processor ---
+    smt_contexts: int = 2
+    fetch_width: int = 4
+    decode_width: int = 4
+    issue_width: int = 4
+    commit_width: int = 4
+    num_alus: int = 4
+    num_muls: int = 2
+    num_fpus: int = 2
+    issue_queue_size: int = 40
+    rob_size: int = 250
+    int_arch_regs: int = 32          # logical registers visible to the ISA
+    #: Unified physical register file. The paper provisions 160 INT + 64
+    #: FP; our ISA has one 64-bit file, so it gets the sum — otherwise the
+    #: free list, not the ROB, becomes the scheduling window bound.
+    phys_regs: int = 224
+    lsq_size: int = 64
+    delay_buffer_size: int = 7       # Section 3.3 / Table 2
+
+    # --- Table 2, caches ---
+    l1d_size_kb: int = 32
+    l1d_assoc: int = 2
+    l1d_latency: int = 3
+    l2_size_kb: int = 2048
+    l2_assoc: int = 4
+    l2_latency: int = 20
+    line_bytes: int = 64
+
+    # --- implicit timing knobs (not in Table 2, standard values) ---
+    memory_latency: int = 200
+    #: Stride-prefetch degree for the data hierarchy; 0 disables (the
+    #: paper's Table 2 machine has no prefetcher — this knob exists for
+    #: sensitivity studies only).
+    prefetch_degree: int = 0
+    branch_mispredict_penalty: int = 12
+    #: Cycles after completion during which a value is available on the
+    #: bypass network; older values must be read from the register file.
+    bypass_depth: int = 2
+    #: Cycles to restart the front end after a full pipeline rollback.
+    rollback_redirect_penalty: int = 12
+    #: Cycles of issue suspension for a singleton re-execute (Section 3.5;
+    #: "a cycle or two").
+    singleton_reexec_cycles: int = 2
+
+    @classmethod
+    def small_core(cls) -> "HardwareConfig":
+        """A 2-wide embedded-class core for sensitivity studies."""
+        return cls(fetch_width=2, decode_width=2, issue_width=2,
+                   commit_width=2, num_alus=2, num_muls=1, num_fpus=1,
+                   issue_queue_size=20, rob_size=96, lsq_size=24,
+                   l2_size_kb=512)
+
+    @classmethod
+    def aggressive_core(cls) -> "HardwareConfig":
+        """A 6-wide, deeply provisioned core (the partial-redundancy
+        papers' "aggressively-provisioned configurations")."""
+        return cls(fetch_width=6, decode_width=6, issue_width=6,
+                   commit_width=6, num_alus=6, num_muls=3, num_fpus=3,
+                   issue_queue_size=72, rob_size=384, lsq_size=96,
+                   phys_regs=384)
+
+    def __post_init__(self) -> None:
+        if self.phys_regs <= self.int_arch_regs * self.smt_contexts:
+            raise ConfigurationError(
+                "need more physical registers than architectural registers "
+                f"({self.phys_regs} <= {self.int_arch_regs} x {self.smt_contexts})"
+            )
+        for name in ("fetch_width", "issue_width", "commit_width",
+                     "issue_queue_size", "rob_size", "lsq_size",
+                     "delay_buffer_size", "smt_contexts"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if self.bypass_depth < 0:
+            raise ConfigurationError("bypass_depth must be >= 0")
+
+
+def config_to_dict(config) -> Dict[str, object]:
+    """Serialise any of the configuration dataclasses to a plain dict."""
+    from dataclasses import asdict, is_dataclass
+    if not is_dataclass(config):
+        raise ConfigurationError(f"{config!r} is not a configuration")
+    return asdict(config)
+
+
+def config_from_dict(cls, data: Dict[str, object]):
+    """Rebuild a configuration dataclass, rejecting unknown keys."""
+    from dataclasses import fields, is_dataclass
+    if not (isinstance(cls, type) and is_dataclass(cls)):
+        raise ConfigurationError(f"{cls!r} is not a configuration class")
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ConfigurationError(
+            f"unknown {cls.__name__} keys: {sorted(unknown)}")
+    return cls(**data)
+
+
+def table2_rows(hw: HardwareConfig | None = None,
+                fh: FaultHoundConfig | None = None) -> Dict[str, str]:
+    """Render the configuration as paper-Table-2-style rows.
+
+    Returns an ordered mapping of parameter name to formatted value; the
+    Table 2 bench prints these rows verbatim.
+    """
+    hw = hw or HardwareConfig()
+    fh = fh or FaultHoundConfig()
+    return {
+        "Cores": f"1 modelled (paper: 8), {hw.smt_contexts}-way SMT",
+        "Fetch, Decode, Issue, Commit": f"{hw.fetch_width} wide",
+        "ALU, Mul, FPU per core": f"{hw.num_alus}, {hw.num_muls}, {hw.num_fpus}",
+        "Issue Queue size": str(hw.issue_queue_size),
+        "Re-order Buffer": str(hw.rob_size),
+        "INT arch register file": str(hw.int_arch_regs),
+        "Physical registers": str(hw.phys_regs),
+        "LSQ size": str(hw.lsq_size),
+        "Delay buffer": f"{hw.delay_buffer_size} instructions",
+        "FaultHound filters": (
+            f"2 {fh.tcam_entries}-entry, {fh.value_bits}-bit TCAMs; "
+            f"{fh.second_level_states}-state/bit second-level filter per TCAM; "
+            f"{fh.squash_states}-state/TCAM-entry squash state machine"
+        ),
+        "Private L1 D": f"{hw.l1d_size_kb}KB, {hw.l1d_assoc}-way, {hw.l1d_latency} cycles",
+        "Private L2": f"{hw.l2_size_kb // 1024}MB, {hw.l2_assoc}-way, {hw.l2_latency} cycles",
+    }
+
+
+__all__ = [
+    "VALUE_BITS",
+    "VALUE_MASK",
+    "FaultHoundConfig",
+    "PBFSConfig",
+    "HardwareConfig",
+    "config_to_dict",
+    "config_from_dict",
+    "table2_rows",
+    "replace",
+]

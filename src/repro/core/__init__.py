@@ -1,0 +1,47 @@
+"""FaultHound — the paper's primary contribution.
+
+The package implements, mechanism by mechanism:
+
+- Section 2.1: PBFS and PBFS-biased baselines (:mod:`.pbfs`)
+- Figure 2:    sticky / standard / biased state machines (:mod:`.state_machines`)
+- Section 3.1: clustering via inverted (value-indexed) counting TCAMs
+  (:mod:`.bitmask_filter`, :mod:`.tcam`)
+- Section 3.2: the per-bit second-level delinquent filter (:mod:`.second_level`)
+- Section 3.4: per-entry squash state machines (:mod:`.squash_machine`)
+- Sections 3.3/3.5: action arbitration — suppress / replay / squash /
+  singleton re-execute (:mod:`.faulthound`)
+"""
+
+from .actions import CheckAction, CheckKind, CheckResult
+from .state_machines import (BiasedMachine, StandardCounter, StickyCounter)
+from .filter_bank import (ArrayBank, BitParallelBiasedBank,
+                          BitParallelStickyBank, make_bank)
+from .bitmask_filter import BitmaskFilter
+from .tcam import LookupResult, TCAM
+from .second_level import SecondLevelFilter
+from .squash_machine import SquashMachineBank
+from .faulthound import FaultHoundUnit
+from .pbfs import PBFSUnit
+from .screening import NullScreeningUnit, ScreeningUnit
+
+__all__ = [
+    "CheckAction",
+    "CheckKind",
+    "CheckResult",
+    "BiasedMachine",
+    "StandardCounter",
+    "StickyCounter",
+    "ArrayBank",
+    "BitParallelBiasedBank",
+    "BitParallelStickyBank",
+    "make_bank",
+    "BitmaskFilter",
+    "LookupResult",
+    "TCAM",
+    "SecondLevelFilter",
+    "SquashMachineBank",
+    "FaultHoundUnit",
+    "PBFSUnit",
+    "ScreeningUnit",
+    "NullScreeningUnit",
+]

@@ -1,0 +1,155 @@
+"""Banks of 64 per-bit-position state machines.
+
+A bit-mask filter needs one machine per bit of a 64-bit value. Because a
+TCAM lookup updates exactly one filter per check and checks happen for a
+quarter of all instructions, the bank update is the hottest loop in the
+whole reproduction — so the default machines are implemented *bit-parallel*
+as 64-bit bitplanes (pure Python int bitwise ops), with scalar reference
+banks kept for arbitrary state counts and for the equivalence property
+tests.
+
+Bank interface (duck-typed):
+
+- ``changing_mask`` — bit i set when machine i is in a changing state
+  (wildcard for the match, Figure 1);
+- ``observe(change_mask) -> alarm_mask`` — advance every machine with its
+  per-bit change/no-change input; returns the bits that alarmed (changed
+  while "unchanging");
+- ``reset()`` — all machines back to U (a fresh, fully "unchanging" filter).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from ..config import VALUE_MASK
+from .state_machines import BiasedMachine, StandardCounter, StickyCounter
+
+
+class BitParallelBiasedBank:
+    """64 Figure-2(b) biased machines (2 changing states) as two bitplanes.
+
+    State encoding per bit: U=00, C1=01, C2=10 (planes ``b1 b0``). The
+    transition function vectorises to::
+
+        alarm   = change & ~b1 & ~b0     # change while in U
+        next_b1 = change                 # any change jumps to C2
+        next_b0 = ~change & b1           # C2 decays to C1 on no-change
+    """
+
+    __slots__ = ("b1", "b0")
+
+    def __init__(self) -> None:
+        self.b1 = 0
+        self.b0 = 0
+
+    @property
+    def changing_mask(self) -> int:
+        return self.b1 | self.b0
+
+    def observe(self, change_mask: int) -> int:
+        change_mask &= VALUE_MASK
+        alarm = change_mask & ~(self.b1 | self.b0) & VALUE_MASK
+        self.b0 = ~change_mask & self.b1 & VALUE_MASK
+        self.b1 = change_mask
+        return alarm
+
+    def reset(self) -> None:
+        self.b1 = self.b0 = 0
+
+    def flash_clear(self) -> None:
+        """Periodic clear: every machine back to "unchanging" (only
+        meaningful for PBFS-style operation, but harmless here)."""
+        self.reset()
+
+
+class BitParallelStickyBank:
+    """64 PBFS sticky one-bit counters as a single "changing" bitplane."""
+
+    __slots__ = ("changing",)
+
+    def __init__(self) -> None:
+        self.changing = 0
+
+    @property
+    def changing_mask(self) -> int:
+        return self.changing
+
+    def observe(self, change_mask: int) -> int:
+        change_mask &= VALUE_MASK
+        alarm = change_mask & ~self.changing & VALUE_MASK
+        self.changing |= change_mask
+        return alarm
+
+    def reset(self) -> None:
+        self.changing = 0
+
+    def flash_clear(self) -> None:
+        """PBFS's periodic clear: every counter back to "unchanging"."""
+        self.changing = 0
+
+
+class ArrayBank:
+    """Reference bank: 64 explicit machine objects of any class.
+
+    Used for non-default state counts (e.g. the 3-bit-machine coverage
+    ablation quoted in Section 3) and as the oracle in the bit-parallel
+    equivalence property tests.
+    """
+
+    __slots__ = ("machines",)
+
+    def __init__(self, machine_factory: Callable[[], object],
+                 n_bits: int = 64) -> None:
+        self.machines: List = [machine_factory() for _ in range(n_bits)]
+
+    @property
+    def changing_mask(self) -> int:
+        mask = 0
+        for bit, machine in enumerate(self.machines):
+            if machine.is_changing:
+                mask |= 1 << bit
+        return mask
+
+    def observe(self, change_mask: int) -> int:
+        alarm = 0
+        for bit, machine in enumerate(self.machines):
+            if machine.observe(bool((change_mask >> bit) & 1)):
+                alarm |= 1 << bit
+        return alarm
+
+    def reset(self) -> None:
+        for machine in self.machines:
+            if isinstance(machine, StickyCounter):
+                machine.flash_clear()
+            else:
+                machine.state = 0
+
+    def flash_clear(self) -> None:
+        self.reset()
+
+
+def make_bank(kind: str = "biased", changing_states: int = 2):
+    """Factory for the filter banks the experiments use.
+
+    ``kind`` is one of ``"biased"`` (Fig 2b), ``"sticky"`` (PBFS) or
+    ``"standard"`` (Fig 2a). The bit-parallel fast paths cover the default
+    configurations; other state counts fall back to :class:`ArrayBank`.
+    """
+    if kind == "biased":
+        if changing_states == 2:
+            return BitParallelBiasedBank()
+        return ArrayBank(lambda: BiasedMachine(changing_states))
+    if kind == "sticky":
+        return BitParallelStickyBank()
+    if kind == "standard":
+        return ArrayBank(lambda: StandardCounter(changing_states))
+    raise ValueError(f"unknown bank kind {kind!r}")
+
+
+__all__ = [
+    "BitParallelBiasedBank",
+    "BitParallelStickyBank",
+    "ArrayBank",
+    "make_bank",
+]

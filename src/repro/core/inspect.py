@@ -1,0 +1,87 @@
+"""Human-readable views of a screening unit's internal state.
+
+Renders the learned filters as ternary words (Figure 1's notation), the
+second-level filter's delinquent positions, and the squash machines'
+armed/suppressed status — the views you want when asking "why did this
+trigger fire (or not fire)?".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .faulthound import FaultHoundUnit, _Domain
+from .pbfs import PBFSUnit
+from .tcam import TCAM
+
+
+def render_tcam(tcam: TCAM, tail_bits: int = 24,
+                limit: Optional[int] = None) -> str:
+    """One line per valid filter: ternary word tail, wildcard count, and
+    the previous value."""
+    lines = []
+    shown = 0
+    for index, entry in enumerate(tcam.entries):
+        if not entry.valid:
+            continue
+        if limit is not None and shown >= limit:
+            lines.append(f"  ... ({tcam.valid_entries - shown} more)")
+            break
+        shown += 1
+        word = entry.ternary_repr()[-tail_bits:]
+        lines.append(
+            f"  [{index:2d}] ...{word}  wildcards={entry.subspace_size_log2():2d}"
+            f"  prev={entry.previous:#x}")
+    if not lines:
+        return "  (no valid filters)"
+    return "\n".join(lines)
+
+
+def render_domain(domain: _Domain, label: str) -> str:
+    """Render one screening domain (first level + second level + squash)."""
+    lines = [f"{label}:"]
+    if domain.tcam is not None:
+        lines.append(f"  first level: {domain.tcam.valid_entries}"
+                     f"/{len(domain.tcam)} filters, "
+                     f"{domain.tcam.triggers} triggers "
+                     f"/ {domain.tcam.lookups} lookups")
+        lines.append(render_tcam(domain.tcam, limit=8))
+    elif domain.table is not None:
+        lines.append(f"  first level: PC-indexed table, "
+                     f"{domain.table.triggers} triggers "
+                     f"/ {domain.table.lookups} lookups")
+    if domain.second is not None:
+        delinquent = [bit for bit in range(64)
+                      if domain.second.delinquent_mask >> bit & 1]
+        lines.append(f"  second level: delinquent bits {delinquent} "
+                     f"(suppressed {domain.second.suppressed_triggers}"
+                     f"/{domain.second.observed_triggers} triggers)")
+    if domain.squash is not None:
+        armed = [i for i in range(len(domain.squash))
+                 if domain.squash.state_of(i) == 0]
+        lines.append(f"  squash machines: {len(armed)} armed "
+                     f"(allowed {domain.squash.squashes_allowed}, "
+                     f"suppressed {domain.squash.squashes_suppressed})")
+    return "\n".join(lines)
+
+
+def render_unit(unit) -> str:
+    """Full dump of a screening unit's learned state."""
+    header = (f"scheme: {unit.name}  checks={unit.checks} "
+              f"triggers={unit.trigger_count}")
+    if isinstance(unit, FaultHoundUnit):
+        return "\n".join([
+            header,
+            render_domain(unit.addresses, "address domain"),
+            render_domain(unit.values, "value domain"),
+        ])
+    if isinstance(unit, PBFSUnit):
+        lines = [header]
+        for kind, table in unit.tables.items():
+            lines.append(f"  {kind.value}: {table.triggers} triggers "
+                         f"/ {table.lookups} lookups")
+        return "\n".join(lines)
+    return header
+
+
+__all__ = ["render_tcam", "render_domain", "render_unit"]

@@ -1,0 +1,113 @@
+"""PBFS and PBFS-biased baselines (Section 2.1), plus the PC-indexed filter
+table shared with FaultHound's no-clustering ablation.
+
+PBFS keeps one PC-indexed table of bit-mask filters per check kind. A
+mismatch in an unchanging bit position triggers an immediate full pipeline
+squash (PBFS has no replay, no second-level filter, no LSQ scheme). The
+original PBFS uses one-bit sticky counters flash-cleared periodically;
+PBFS-biased swaps in the Figure 2(b) biased machine, which is how the paper
+isolates the contribution of FaultHound's other mechanisms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..config import PBFSConfig, VALUE_MASK
+from .actions import CheckAction, CheckKind, CheckResult
+from .bitmask_filter import BitmaskFilter
+from .screening import ScreeningUnit
+
+
+class PCIndexedFilterTable:
+    """Direct-mapped, PC-indexed table of bit-mask filters.
+
+    This is PBFS's organisation: nearby instructions with similar values
+    land in *different* entries purely because their PCs differ — the
+    spreading that FaultHound's clustering removes.
+    """
+
+    def __init__(self, entries: int, bank_kind: str, changing_states: int = 2):
+        self.entries: List[BitmaskFilter] = [
+            BitmaskFilter(bank_kind, changing_states) for _ in range(entries)]
+        self.bank_kind = bank_kind
+        self.lookups = 0
+        self.triggers = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def check(self, pc: int, value: int) -> tuple:
+        """Look up by *pc*, screen *value*; returns (triggered, mismatch_mask).
+
+        The entry is updated (and its previous value replaced) as part of
+        the check, mirroring the TCAM's lookup-with-update.
+        """
+        self.lookups += 1
+        value &= VALUE_MASK
+        entry = self.entries[pc % len(self.entries)]
+        if not entry.valid:
+            entry.install(value)
+            return False, 0
+        mismatch = entry.mismatch_mask(value)
+        entry.update(value)
+        if mismatch:
+            self.triggers += 1
+            return True, mismatch
+        return False, 0
+
+    def flash_clear(self) -> None:
+        """Periodic clear of the sticky counters (Section 2.1)."""
+        for entry in self.entries:
+            if entry.valid:
+                entry.flash_clear()
+
+
+class PBFSUnit(ScreeningUnit):
+    """The PBFS baseline: PC-indexed tables, squash on every trigger."""
+
+    def __init__(self, config: PBFSConfig | None = None):
+        super().__init__()
+        self.config = config or PBFSConfig()
+        bank_kind = self.config.counter
+        self.name = "pbfs" if bank_kind == "sticky" else f"pbfs-{bank_kind}"
+        self.tables: Dict[CheckKind, PCIndexedFilterTable] = {
+            kind: PCIndexedFilterTable(self.config.table_entries, bank_kind,
+                                       self.config.changing_states)
+            for kind in CheckKind
+        }
+        self._checks_since_clear = 0
+
+    def _maybe_flash_clear(self) -> None:
+        if self.config.counter != "sticky":
+            return  # non-sticky counters decay on their own; no clear
+        self._checks_since_clear += 1
+        if self._checks_since_clear >= self.config.clear_interval:
+            self._checks_since_clear = 0
+            for table in self.tables.values():
+                table.flash_clear()
+
+    def check_at_complete(self, kind: CheckKind, value: int,
+                          pc: int) -> CheckResult:
+        table = self.tables[kind]
+        triggered, _mismatch = table.check(pc, value)
+        self._maybe_flash_clear()
+        if triggered and not self.replaying:
+            # PBFS squashes the pipeline immediately upon detection, hoping
+            # the originating instruction has not yet committed.
+            return self._record(CheckResult(CheckAction.SQUASH, kind,
+                                            triggered=True))
+        return self._record(CheckResult(CheckAction.NONE, kind,
+                                        triggered=triggered))
+
+    def check_at_commit(self, kind: CheckKind, value: int,
+                        pc: int) -> CheckResult:
+        # PBFS has no LSQ/commit-time scheme.
+        return CheckResult.none(kind)
+
+    @property
+    def total_table_lookups(self) -> int:
+        return sum(table.lookups for table in self.tables.values())
+
+
+__all__ = ["PCIndexedFilterTable", "PBFSUnit"]

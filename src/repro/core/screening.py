@@ -1,0 +1,75 @@
+"""Base interface every fault-screening unit implements.
+
+The pipeline is scheme-agnostic: it calls ``check_at_complete`` when a load
+or store finishes executing and ``check_at_commit`` when one reaches the
+head of the ROB, then obeys the returned :class:`CheckAction`. FaultHound,
+PBFS and the do-nothing baseline all implement this interface.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from .actions import CheckAction, CheckKind, CheckResult
+
+
+class ScreeningUnit:
+    """Abstract screening unit with shared bookkeeping."""
+
+    name = "abstract"
+    #: Whether the pipeline should operate the completed-instruction delay
+    #: buffer (FaultHound hardware; PBFS and the baseline do without).
+    wants_delay_buffer = False
+    #: Whether loads/stores must be re-checked at commit (the LSQ scheme).
+    wants_commit_checks = False
+
+    def __init__(self) -> None:
+        self.checks = 0
+        self.action_counts: Counter = Counter()
+        #: True while the pipeline is re-executing instructions due to a
+        #: screening-initiated replay/rollback: filters keep learning but
+        #: triggers must not fire again (Section 3.3: "any triggers during
+        #: replay are ignored").
+        self.replaying = False
+
+    # -- interface -------------------------------------------------------
+    def check_at_complete(self, kind: CheckKind, value: int,
+                          pc: int) -> CheckResult:
+        """Screen *value* when its load/store completes execution."""
+        raise NotImplementedError
+
+    def check_at_commit(self, kind: CheckKind, value: int,
+                        pc: int) -> CheckResult:
+        """Screen *value* when its load/store reaches commit (LSQ check)."""
+        raise NotImplementedError
+
+    # -- shared helpers --------------------------------------------------
+    def _record(self, result: CheckResult) -> CheckResult:
+        self.checks += 1
+        self.action_counts[result.action] += 1
+        return result
+
+    def count(self, action: CheckAction) -> int:
+        return self.action_counts[action]
+
+    @property
+    def trigger_count(self) -> int:
+        return sum(count for action, count in self.action_counts.items()
+                   if action is not CheckAction.NONE)
+
+
+class NullScreeningUnit(ScreeningUnit):
+    """The no-fault-tolerance baseline: every check is a no-op."""
+
+    name = "baseline"
+
+    def check_at_complete(self, kind: CheckKind, value: int,
+                          pc: int) -> CheckResult:
+        return self._record(CheckResult.none(kind))
+
+    def check_at_commit(self, kind: CheckKind, value: int,
+                        pc: int) -> CheckResult:
+        return self._record(CheckResult.none(kind))
+
+
+__all__ = ["ScreeningUnit", "NullScreeningUnit"]

@@ -1,0 +1,74 @@
+"""Second-level filter: masking delinquent bit positions (Section 3.2).
+
+One instance exists per TCAM. For each of the 64 bit positions it keeps an
+8-state biased machine that remembers whether *any* first-level filter
+reported a non-match in that position during any of the last several replay
+triggers. A newly-alarming position (7 consecutive trigger events without
+that position alarming) is allowed through — likely a fault; a recently
+delinquent position is suppressed — likely a false positive.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..config import VALUE_MASK
+from .state_machines import BiasedMachine
+
+
+class SecondLevelFilter:
+    """64 per-bit-position biased machines, advanced on every trigger."""
+
+    def __init__(self, num_states: int = 8, value_bits: int = 64):
+        if num_states < 2:
+            raise ValueError("second-level filter needs >= 2 states")
+        self._machines: List[BiasedMachine] = [
+            BiasedMachine(num_states - 1) for _ in range(value_bits)]
+        self.observed_triggers = 0
+        self.suppressed_triggers = 0
+
+    def observe_trigger(self, mismatch_mask: int) -> int:
+        """Process one replay trigger whose non-matching positions are
+        *mismatch_mask*; return the subset of positions allowed to alarm.
+
+        Every machine advances: alarming positions record the non-match
+        (even when suppressed — "though the state machine transitions to
+        record the non-match"), quiet positions count a no-alarm toward
+        re-arming.
+        """
+        mismatch_mask &= VALUE_MASK
+        allowed = 0
+        bit = 0
+        mask = mismatch_mask
+        for machine in self._machines:
+            if machine.observe(bool(mask & 1)):
+                allowed |= 1 << bit
+            mask >>= 1
+            bit += 1
+        self.observed_triggers += 1
+        if mismatch_mask and not allowed:
+            self.suppressed_triggers += 1
+        return allowed
+
+    def allows(self, mismatch_mask: int) -> bool:
+        """Side-effect-free: would any position in *mismatch_mask* alarm?"""
+        mismatch_mask &= VALUE_MASK
+        bit = 0
+        while mismatch_mask:
+            if mismatch_mask & 1 and self._machines[bit].state == 0:
+                return True
+            mismatch_mask >>= 1
+            bit += 1
+        return False
+
+    @property
+    def delinquent_mask(self) -> int:
+        """Positions currently suppressed (machine not in the allow state)."""
+        mask = 0
+        for bit, machine in enumerate(self._machines):
+            if machine.state:
+                mask |= 1 << bit
+        return mask
+
+
+__all__ = ["SecondLevelFilter"]

@@ -1,0 +1,59 @@
+"""Squash state machines: distinguishing rename faults (Section 3.4).
+
+A rename fault does not change a value — it makes computation consume an
+unintended (but unchanged) value, which both disrupts value locality *and*
+changes the identity of the closest-matching filter. One 8-state biased
+machine per TCAM entry tracks whether that entry was the closest-matching
+filter in any of the last several replay triggers; a trigger closest to an
+entry that has been quiet for 7 consecutive triggers signals a likely
+rename fault and licenses a full pipeline squash.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .state_machines import BiasedMachine
+
+
+class SquashMachineBank:
+    """One biased machine per first-level TCAM entry."""
+
+    def __init__(self, entries: int, num_states: int = 8):
+        if num_states < 2:
+            raise ValueError("squash machines need >= 2 states")
+        self._machines: List[BiasedMachine] = [
+            BiasedMachine(num_states - 1) for _ in range(entries)]
+        self.squashes_allowed = 0
+        self.squashes_suppressed = 0
+
+    def __len__(self) -> int:
+        return len(self._machines)
+
+    def observe_trigger(self, closest_index: int) -> bool:
+        """Process one replay trigger whose closest-matching filter is
+        *closest_index*; return True when a squash is licensed.
+
+        Every machine advances: the closest entry records a trigger, all
+        other entries count a no-trigger toward re-arming.
+        """
+        allow = False
+        for index, machine in enumerate(self._machines):
+            if machine.observe(index == closest_index):
+                allow = True
+        if allow:
+            self.squashes_allowed += 1
+        else:
+            self.squashes_suppressed += 1
+        return allow
+
+    def entry_replaced(self, index: int) -> None:
+        """A TCAM entry was replaced: its identity history is void, so
+        saturate its machine (a fresh entry must re-earn squash rights)."""
+        self._machines[index].saturate()
+
+    def state_of(self, index: int) -> int:
+        return self._machines[index].state
+
+
+__all__ = ["SquashMachineBank"]

@@ -1,0 +1,117 @@
+"""Per-bit state machines (paper Figure 2 and Sections 3.2/3.4).
+
+Three machine shapes appear in the paper:
+
+- :class:`StickyCounter` — PBFS's one-bit counter: saturates at "changing"
+  on the first change and stays there until a periodic flash clear.
+- :class:`StandardCounter` — Figure 2(a): a conventional saturating counter
+  with direct to-and-fro transitions between "unchanging" (U) and the first
+  changing state (C1).
+- :class:`BiasedMachine` — Figure 2(b): a change jumps straight to the
+  deepest changing state; reaching U requires ``num_changing_states``
+  consecutive no-changes. The same shape, with 7 changing states, is reused
+  by the second-level filter ("7 consecutive no-alarms before allowing an
+  alarm") and the squash machines ("7 consecutive no-triggers").
+
+All machines share one convention: ``observe(event)`` advances the machine
+and returns True exactly when the event arrived while the machine was in
+the U state — a change out of "unchanging" (first level), an alarm out of
+"quiet" (second level), a trigger out of "stable identity" (squash).
+"""
+
+from __future__ import annotations
+
+
+class StickyCounter:
+    """PBFS's one-bit sticky counter (Section 2.1)."""
+
+    __slots__ = ("changing",)
+
+    def __init__(self) -> None:
+        self.changing = False
+
+    def observe(self, changed: bool) -> bool:
+        """Advance on one value observation; return True on an alarm."""
+        if not changed:
+            return False
+        alarm = not self.changing
+        self.changing = True
+        return alarm
+
+    def flash_clear(self) -> None:
+        """Periodic clear back to "unchanging" (the only way out)."""
+        self.changing = False
+
+    @property
+    def is_changing(self) -> bool:
+        return self.changing
+
+    @property
+    def state(self) -> int:
+        return 1 if self.changing else 0
+
+
+class StandardCounter:
+    """Figure 2(a): symmetric saturating counter, U <-> C1 <-> ... <-> Cn."""
+
+    __slots__ = ("state", "num_changing_states")
+
+    def __init__(self, num_changing_states: int = 3) -> None:
+        if num_changing_states < 1:
+            raise ValueError("need at least one changing state")
+        self.num_changing_states = num_changing_states
+        self.state = 0  # 0 == U; 1..n == C1..Cn
+
+    def observe(self, changed: bool) -> bool:
+        if changed:
+            alarm = self.state == 0
+            if self.state < self.num_changing_states:
+                self.state += 1
+            return alarm
+        if self.state:
+            self.state -= 1
+        return False
+
+    @property
+    def is_changing(self) -> bool:
+        return self.state != 0
+
+
+class BiasedMachine:
+    """Figure 2(b): biased machine that re-enters U slowly.
+
+    A change (event) jumps to the deepest changing state; each no-change
+    decrements toward U. With ``num_changing_states=2`` this is exactly
+    Figure 2(b): two consecutive no-changes after a change to reach U, a
+    single change to leave it. With ``num_changing_states=7`` (8 states) it
+    is the second-level / squash machine of Sections 3.2 and 3.4.
+    """
+
+    __slots__ = ("state", "num_changing_states")
+
+    def __init__(self, num_changing_states: int = 2) -> None:
+        if num_changing_states < 1:
+            raise ValueError("need at least one changing state")
+        self.num_changing_states = num_changing_states
+        self.state = 0
+
+    def observe(self, changed: bool) -> bool:
+        if changed:
+            alarm = self.state == 0
+            self.state = self.num_changing_states
+            return alarm
+        if self.state:
+            self.state -= 1
+        return False
+
+    def saturate(self) -> None:
+        """Force the deepest changing state (used when a squash machine's
+        TCAM entry is replaced: the new filter's identity is unproven)."""
+        self.state = self.num_changing_states
+
+    @property
+    def is_changing(self) -> bool:
+        return self.state != 0
+
+
+__all__ = ["StickyCounter", "StandardCounter", "BiasedMachine"]

@@ -1,0 +1,139 @@
+"""Counting TCAM with inverted (value-indexed) organisation (Section 3.1).
+
+Lookups search every filter for the nearest neighbour of the incoming
+value, counting mismatches only in "unchanging" bit positions. A full match
+updates the matching filter in place; a near miss (at most
+``loosen_threshold`` mismatching bits) *loosens* the closest filter; a far
+miss *replaces* the LRU filter with a fresh one. The paper points out this
+is not a standard TCAM — it needs mismatch bit counts — and cites counting
+TCAMs for nearest-neighbour search [25].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..config import VALUE_MASK
+from ..errors import ConfigurationError
+from .bitmask_filter import BitmaskFilter
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of one TCAM lookup-and-update."""
+
+    #: True when no filter fully matched — a new neighbourhood or a fault.
+    triggered: bool
+    #: Index of the closest-matching filter (the squash machines key on its
+    #: identity). For a cold install this is the installed entry.
+    closest_index: int
+    #: Mismatching unchanging bit positions of the closest filter, before
+    #: the update. Zero on a full match or cold install.
+    mismatch_mask: int
+    #: popcount of ``mismatch_mask``.
+    mismatch_count: int
+    #: Index of the entry that was replaced by a fresh filter, when the
+    #: mismatch exceeded the loosen threshold; ``None`` otherwise.
+    replaced_index: Optional[int] = None
+    #: True when the value was installed into a never-used entry (cold
+    #: start; not counted as a trigger).
+    cold_install: bool = False
+
+
+class TCAM:
+    """A bank of :class:`BitmaskFilter` entries with LRU replacement."""
+
+    def __init__(self, entries: int = 32, loosen_threshold: int = 4,
+                 bank_kind: str = "biased", changing_states: int = 2):
+        if entries <= 0:
+            raise ConfigurationError("TCAM needs at least one entry")
+        self.entries: List[BitmaskFilter] = [
+            BitmaskFilter(bank_kind, changing_states) for _ in range(entries)]
+        self.loosen_threshold = loosen_threshold
+        # LRU order of entry indices; front == most recently used.
+        self._lru: List[int] = list(range(entries))
+        self.lookups = 0
+        self.triggers = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def _touch(self, index: int) -> None:
+        self._lru.remove(index)
+        self._lru.insert(0, index)
+
+    def lookup(self, value: int) -> LookupResult:
+        """Search, then update/loosen/replace as a side effect (the paper
+        folds the update into the lookup)."""
+        value &= VALUE_MASK
+        self.lookups += 1
+
+        closest = -1
+        best_mask = 0
+        best_count = 65
+        for index, entry in enumerate(self.entries):
+            if not entry.valid:
+                continue
+            mask = entry.mismatch_mask(value)
+            count = mask.bit_count()
+            if count < best_count:
+                closest, best_mask, best_count = index, mask, count
+                if count == 0:
+                    break
+
+        if closest >= 0 and best_count == 0:
+            # Full match: value is inside its neighbourhood.
+            self.entries[closest].update(value)
+            self._touch(closest)
+            return LookupResult(False, closest, 0, 0)
+
+        if closest < 0:
+            # Cold table: install without triggering.
+            index = self._lru[-1]
+            self.entries[index].install(value)
+            self._touch(index)
+            return LookupResult(False, index, 0, 0, cold_install=True)
+
+        self.triggers += 1
+        if best_count <= self.loosen_threshold:
+            # Loosen the closest filter to admit the new value (Figure 3b).
+            self.entries[closest].update(value)
+            self._touch(closest)
+            return LookupResult(True, closest, best_mask, best_count)
+
+        # Too far from every filter: replace the LRU entry. Prefer a
+        # never-used entry if one remains.
+        victim = next((i for i in reversed(self._lru)
+                       if not self.entries[i].valid), self._lru[-1])
+        self.entries[victim].install(value)
+        self._touch(victim)
+        return LookupResult(True, closest, best_mask, best_count,
+                            replaced_index=victim)
+
+    def probe(self, value: int) -> int:
+        """Side-effect-free nearest mismatch count (65 when table empty)."""
+        value &= VALUE_MASK
+        best = 65
+        for entry in self.entries:
+            if entry.valid:
+                best = min(best, entry.mismatch_count(value))
+                if best == 0:
+                    break
+        return best
+
+    @property
+    def valid_entries(self) -> int:
+        return sum(1 for e in self.entries if e.valid)
+
+    @property
+    def trigger_rate(self) -> float:
+        return self.triggers / self.lookups if self.lookups else 0.0
+
+    def flash_clear(self) -> None:
+        for entry in self.entries:
+            if entry.valid:
+                entry.flash_clear()
+
+
+__all__ = ["LookupResult", "TCAM"]

@@ -1,0 +1,22 @@
+"""Event-based energy accounting (McPAT/CACTI substitute).
+
+The paper reports *relative* energy overheads (Figure 10), which an
+event-count × per-event-energy model captures: every fetched, renamed,
+issued, executed, replayed or squashed instruction, every cache and
+register-file access, and every filter-table lookup contributes its
+32 nm-inspired per-event energy. The TCAM access energy comes from a small
+analytic model in the spirit of CACTI (:mod:`.cacti`).
+"""
+
+from .constants import EnergyConstants, DEFAULT_CONSTANTS
+from .cacti import tcam_access_energy, sram_access_energy
+from .accounting import EnergyBreakdown, EnergyModel
+
+__all__ = [
+    "EnergyConstants",
+    "DEFAULT_CONSTANTS",
+    "tcam_access_energy",
+    "sram_access_energy",
+    "EnergyBreakdown",
+    "EnergyModel",
+]

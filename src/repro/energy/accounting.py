@@ -1,0 +1,100 @@
+"""Turn pipeline event counts into joules (Figure 10 machinery)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..core.faulthound import FaultHoundUnit
+from ..core.pbfs import PBFSUnit
+from ..pipeline.core import PipelineCore
+from .cacti import sram_access_energy, tcam_access_energy
+from .constants import DEFAULT_CONSTANTS, EnergyConstants
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy by component, in picojoules."""
+
+    pipeline_pj: float = 0.0
+    regfile_pj: float = 0.0
+    cache_pj: float = 0.0
+    dram_pj: float = 0.0
+    screening_pj: float = 0.0
+    leakage_pj: float = 0.0
+
+    @property
+    def total_pj(self) -> float:
+        return (self.pipeline_pj + self.regfile_pj + self.cache_pj
+                + self.dram_pj + self.screening_pj + self.leakage_pj)
+
+    def overhead_vs(self, baseline: "EnergyBreakdown") -> float:
+        """Fractional energy overhead relative to *baseline* (0.25 = +25%)."""
+        if baseline.total_pj <= 0:
+            return 0.0
+        return self.total_pj / baseline.total_pj - 1.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "pipeline_pj": self.pipeline_pj,
+            "regfile_pj": self.regfile_pj,
+            "cache_pj": self.cache_pj,
+            "dram_pj": self.dram_pj,
+            "screening_pj": self.screening_pj,
+            "leakage_pj": self.leakage_pj,
+            "total_pj": self.total_pj,
+        }
+
+
+class EnergyModel:
+    """Computes a run's energy from its event counts.
+
+    Replays, rollbacks and redundant SRT threads need no special terms:
+    their re-executed instructions already show up in the fetch/issue/
+    commit counters, which is how the overheads emerge naturally.
+    """
+
+    def __init__(self, constants: EnergyConstants | None = None):
+        self.k = constants or DEFAULT_CONSTANTS
+
+    def compute(self, core: PipelineCore) -> EnergyBreakdown:
+        k = self.k
+        stats = core.stats
+        out = EnergyBreakdown()
+        out.pipeline_pj = (
+            stats.fetched * k.fetch_decode_pj
+            + stats.dispatched * k.rename_pj
+            + stats.issued * (k.issue_pj + k.execute_pj)
+            + stats.committed * k.commit_pj
+            + (stats.committed_loads + stats.committed_stores) * k.lsq_pj
+        )
+        out.regfile_pj = (stats.regfile_reads * k.regfile_read_pj
+                          + stats.regfile_writes * k.regfile_write_pj)
+        l1 = core.hierarchy.l1.stats.accesses \
+            + core._ideal_hierarchy.l1.stats.accesses
+        l2 = core.hierarchy.l2.stats.accesses
+        dram = core.hierarchy.l2.stats.misses
+        out.cache_pj = l1 * k.l1_access_pj + l2 * k.l2_access_pj
+        out.dram_pj = dram * k.dram_access_pj
+        out.screening_pj = self._screening_energy(core)
+        out.leakage_pj = stats.cycles * k.leakage_per_cycle_pj
+        return out
+
+    def _screening_energy(self, core: PipelineCore) -> float:
+        unit = core.screening
+        if isinstance(unit, FaultHoundUnit):
+            if unit.config.clustering:
+                per_lookup = tcam_access_energy(unit.config.tcam_entries,
+                                                2 * unit.config.value_bits)
+            else:
+                per_lookup = sram_access_energy(2048,
+                                                2 * unit.config.value_bits)
+            return (unit.total_table_lookups * per_lookup
+                    + unit.trigger_count * self.k.screening_trigger_pj)
+        if isinstance(unit, PBFSUnit):
+            per_lookup = sram_access_energy(unit.config.table_entries, 128)
+            return unit.total_table_lookups * per_lookup
+        return 0.0
+
+
+__all__ = ["EnergyBreakdown", "EnergyModel"]

@@ -1,0 +1,39 @@
+"""Per-event dynamic energies and leakage (32 nm-inspired, picojoules).
+
+Absolute values matter only through their ratios; they are anchored to
+published McPAT-era figures: a few pJ per ALU op, tens of pJ per L1
+access, nanojoule-scale DRAM accesses, and a leakage floor that makes
+longer runs cost more energy even when stalls hide the latency (the
+paper's point that SRT's energy cannot be hidden the way its time can).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyConstants:
+    """All per-event energies in picojoules (pJ)."""
+
+    fetch_decode_pj: float = 22.0   # I-cache read + decode, per instruction
+    rename_pj: float = 12.0         # rename + dispatch bookkeeping
+    issue_pj: float = 14.0          # select/wakeup per issued instruction
+    execute_pj: float = 12.0        # blended FU energy per executed op
+    regfile_read_pj: float = 4.0
+    regfile_write_pj: float = 5.0
+    lsq_pj: float = 6.0             # LSQ insert/search per memory op
+    commit_pj: float = 7.0
+    l1_access_pj: float = 25.0
+    l2_access_pj: float = 90.0
+    dram_access_pj: float = 1200.0
+    #: Core leakage + clock per cycle (kept modest so the dynamic,
+    #: instruction-proportional share dominates, as in McPAT-era cores).
+    leakage_per_cycle_pj: float = 22.0
+    #: Second-level filter / squash machine update per trigger (tiny).
+    screening_trigger_pj: float = 2.0
+
+
+DEFAULT_CONSTANTS = EnergyConstants()
+
+__all__ = ["EnergyConstants", "DEFAULT_CONSTANTS"]

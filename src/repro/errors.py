@@ -1,0 +1,50 @@
+"""Exception hierarchy for the FaultHound reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by :mod:`repro`."""
+
+
+class AssemblyError(ReproError):
+    """Raised by the assembler on malformed source text."""
+
+    def __init__(self, message: str, line_number: int | None = None):
+        self.line_number = line_number
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+
+
+class SimulationError(ReproError):
+    """Raised when the pipeline or interpreter reaches an inconsistent state.
+
+    This always indicates a bug in the simulator (or deliberately injected
+    state corruption escaping containment), never a property of the simulated
+    program.
+    """
+
+
+class MemoryFault(ReproError):
+    """Architectural memory exception (e.g. access outside the valid segment).
+
+    The fault classifier treats a :class:`MemoryFault` that occurs in the
+    fault-injected run but not the golden run as a *noisy* fault.
+    """
+
+    def __init__(self, address: int, message: str = ""):
+        self.address = address
+        super().__init__(message or f"memory fault at address {address:#x}")
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid hardware or experiment configuration values."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload profile or generator is misconfigured."""

@@ -1,0 +1,30 @@
+"""Fault-injection methodology (paper Section 4).
+
+Single-bit faults are injected into the physical register file (which also
+emulates back-end control/datapath faults, per the paper), the load-store
+queue, and the rename table, in McPAT-derived area proportions (front-end
+20%, back-end 80% of which the LSQ is 8%). Classification runs a golden
+and a fault-injected pipeline in tandem and compares architectural state
+after a run-window of committed instructions; differing exception streams
+mean a *noisy* fault, equal state means *masked*, the rest is *SDC*.
+"""
+
+from .model import (FaultSite, FaultRecord, FaultClass, CoverageOutcome,
+                    RegStatus, SITE_PROPORTIONS)
+from .injector import FaultInjector
+from .classifier import TandemClassifier, WindowResult
+from .campaign import Campaign, CampaignResult
+
+__all__ = [
+    "FaultSite",
+    "FaultRecord",
+    "FaultClass",
+    "CoverageOutcome",
+    "RegStatus",
+    "SITE_PROPORTIONS",
+    "FaultInjector",
+    "TandemClassifier",
+    "WindowResult",
+    "Campaign",
+    "CampaignResult",
+]

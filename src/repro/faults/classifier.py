@@ -1,0 +1,199 @@
+"""Tandem golden/faulty classification (paper Section 4).
+
+One fault-free *golden* core advances through the workload. For each
+planned fault the classifier forks a deep copy, injects the fault, runs
+both copies to the same per-thread committed-instruction boundary (the
+paper's run-window), and compares:
+
+- extra exceptions in the faulty run  →  **noisy**
+- identical architectural state       →  **masked**
+- anything else                       →  **SDC**
+
+The golden core is then re-used for the next fault (the paper's trick of
+serving all injections from one benchmark run).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..pipeline.core import PipelineCore
+from .injector import FaultInjector
+from .model import FaultClass, FaultRecord, FaultSite
+
+
+@dataclass
+class WindowResult:
+    """Everything observed about one injected fault's run-window."""
+
+    record: FaultRecord
+    fault_class: Optional[FaultClass] = None
+    applied: bool = True
+    state_equal: bool = False
+    extra_exceptions: int = 0
+    hung: bool = False
+    #: Scheme events observed between injection and the window end.
+    replays: int = 0
+    rollbacks: int = 0
+    singletons: int = 0
+    declared: int = 0
+    suppressions: int = 0
+    triggers: int = 0
+
+
+@dataclass
+class _EventBaseline:
+    replays: int
+    rollbacks: int
+    singletons: int
+    declared: int
+    suppressions: int
+    triggers: int
+
+    @staticmethod
+    def of(core: PipelineCore) -> "_EventBaseline":
+        unit = core.screening
+        suppressions = getattr(unit, "second_level_suppressions", 0)
+        return _EventBaseline(
+            replays=core.stats.replay_events,
+            rollbacks=core.stats.rollback_events,
+            singletons=core.stats.singleton_reexecs,
+            declared=len(core.declared_faults),
+            suppressions=suppressions,
+            triggers=unit.trigger_count,
+        )
+
+
+class TandemClassifier:
+    """Runs an injection list against one workload + scheme combination."""
+
+    def __init__(self, core_factory: Callable[[], PipelineCore],
+                 injector: FaultInjector,
+                 window_commits: int = 300,
+                 max_window_cycles: int = 60_000,
+                 lsq_wait_cycles: int = 200):
+        self.core_factory = core_factory
+        self.injector = injector
+        self.window_commits = window_commits
+        self.max_window_cycles = max_window_cycles
+        self.lsq_wait_cycles = lsq_wait_cycles
+
+    # ------------------------------------------------------------------
+    def run(self, records: List[FaultRecord]) -> List[WindowResult]:
+        """Classify every fault in *records* (must be sorted by
+        ``inject_at_commit``; plan() guarantees it)."""
+        golden = self.core_factory()
+        results = []
+        for record in records:
+            result = self._classify_one(golden, record)
+            results.append(result)
+        return results
+
+    def _advance_to(self, core: PipelineCore, total_commits: int) -> bool:
+        """Advance *core* until its total committed count reaches
+        *total_commits*; False when it halted first."""
+        for _ in range(self.max_window_cycles * 4):
+            if core.stats.committed >= total_commits:
+                return True
+            if core.all_halted:
+                return False
+            core.step()
+        return False
+
+    def _classify_one(self, golden: PipelineCore,
+                      record: FaultRecord) -> WindowResult:
+        result = WindowResult(record=record)
+        if not self._advance_to(golden, record.inject_at_commit):
+            result.applied = False
+            record.applied = False
+            return result
+
+        faulty = copy.deepcopy(golden)
+        if not self._apply_with_retry(faulty, record):
+            result.applied = False
+            return result
+        before = _EventBaseline.of(faulty)
+
+        # Arm both cores to capture each thread's state one run-window of
+        # commits past the injection point.
+        targets = {t.thread_id: t.committed_count + self.window_commits
+                   for t in golden.threads}
+        golden.set_snapshot_targets(targets)
+        faulty.set_snapshot_targets(targets)
+        self._run_to_capture(golden)
+        self._run_to_capture(faulty)
+
+        if not faulty.all_snapshots_captured and not faulty.all_halted:
+            result.hung = True
+
+        golden_exc = [tuple(t.exceptions) for t in golden.threads]
+        faulty_exc = [tuple(t.exceptions) for t in faulty.threads]
+        result.extra_exceptions = sum(
+            max(0, len(f) - len(g)) for g, f in zip(golden_exc, faulty_exc))
+
+        result.state_equal = (
+            faulty.all_snapshots_captured
+            and golden.captured_snapshots == faulty.captured_snapshots)
+
+        after = _EventBaseline.of(faulty)
+        golden_after = _EventBaseline.of(golden)
+        golden_before_delta = _Delta(before, golden_after)
+        # events attributable to the fault = faulty delta minus the
+        # false-positive background the golden run shows in the same window
+        delta = _Delta(before, after)
+        result.replays = max(0, delta.replays - golden_before_delta.replays)
+        result.rollbacks = max(0, delta.rollbacks - golden_before_delta.rollbacks)
+        result.singletons = max(0, delta.singletons - golden_before_delta.singletons)
+        result.declared = delta.declared
+        result.suppressions = max(
+            0, delta.suppressions - golden_before_delta.suppressions)
+        result.triggers = max(0, delta.triggers - golden_before_delta.triggers)
+
+        if result.extra_exceptions or (faulty.all_halted
+                                       and not golden.all_halted):
+            result.fault_class = FaultClass.NOISY
+        elif result.state_equal:
+            result.fault_class = FaultClass.MASKED
+        else:
+            result.fault_class = FaultClass.SDC
+        record.fault_class = result.fault_class
+        return result
+
+    def _apply_with_retry(self, faulty: PipelineCore,
+                          record: FaultRecord) -> bool:
+        """Inject; LSQ faults wait (a bounded number of cycles) for an
+        executed entry to exist."""
+        if self.injector.apply(faulty, record):
+            return True
+        if record.site is not FaultSite.LSQ:
+            return False
+        for _ in range(self.lsq_wait_cycles):
+            if faulty.all_halted:
+                return False
+            faulty.step()
+            if self.injector.apply(faulty, record):
+                return True
+        return False
+
+    def _run_to_capture(self, core: PipelineCore) -> None:
+        for _ in range(self.max_window_cycles):
+            if core.all_snapshots_captured or core.all_halted:
+                return
+            core.step()
+
+
+class _Delta:
+    """Difference between two event baselines."""
+
+    def __init__(self, before: _EventBaseline, after: _EventBaseline):
+        self.replays = after.replays - before.replays
+        self.rollbacks = after.rollbacks - before.rollbacks
+        self.singletons = after.singletons - before.singletons
+        self.declared = after.declared - before.declared
+        self.suppressions = after.suppressions - before.suppressions
+        self.triggers = after.triggers - before.triggers
+
+
+__all__ = ["TandemClassifier", "WindowResult"]

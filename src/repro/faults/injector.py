@@ -1,0 +1,101 @@
+"""Planning and applying single-bit fault injections."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..pipeline.core import PipelineCore
+from ..pipeline.uops import OpState
+from .model import (FaultRecord, FaultSite, RegStatus, SITE_PROPORTIONS)
+
+
+class FaultInjector:
+    """Plans a campaign's fault list and applies faults to a live core.
+
+    Sites are drawn with the paper's area proportions; bits uniformly over
+    the field width. Injection *time* is expressed in total committed
+    instructions, which is comparable across schemes (unlike cycles, which
+    shift with replays and rollbacks).
+    """
+
+    def __init__(self, seed: int, num_phys_regs: int, num_threads: int):
+        self.rng = random.Random(seed)
+        self.num_phys_regs = num_phys_regs
+        self.num_threads = num_threads
+        self._rename_bits = max(1, (num_phys_regs - 1).bit_length())
+
+    def plan(self, count: int, start_commit: int,
+             span_commits: int) -> List[FaultRecord]:
+        """Plan *count* faults at commit-points uniformly inside
+        ``[start_commit, start_commit + span_commits)``, sorted by time."""
+        records = []
+        for index in range(count):
+            site = self._draw_site()
+            when = start_commit + self.rng.randrange(max(1, span_commits))
+            record = FaultRecord(index=index, site=site,
+                                 inject_at_commit=when,
+                                 bit=self._draw_bit(site))
+            if site is FaultSite.REGFILE:
+                record.reg = self.rng.randrange(self.num_phys_regs)
+            elif site is FaultSite.RENAME:
+                record.thread_id = self.rng.randrange(self.num_threads)
+                record.logical = self.rng.randrange(1, 32)
+            else:
+                record.thread_id = self.rng.randrange(self.num_threads)
+                record.lsq_slot = self.rng.randrange(1 << 16)
+                record.lsq_field = self.rng.choice(["addr", "value"])
+            records.append(record)
+        records.sort(key=lambda r: r.inject_at_commit)
+        for new_index, record in enumerate(records):
+            record.index = new_index
+        return records
+
+    def _draw_site(self) -> FaultSite:
+        roll = self.rng.random()
+        cumulative = 0.0
+        for site, weight in SITE_PROPORTIONS.items():
+            cumulative += weight
+            if roll < cumulative:
+                return site
+        return FaultSite.REGFILE
+
+    def _draw_bit(self, site: FaultSite) -> int:
+        if site is FaultSite.RENAME:
+            return self.rng.randrange(self._rename_bits)
+        return self.rng.randrange(64)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def reg_status(core: PipelineCore, reg: int) -> RegStatus:
+        """Lifecycle status of physical register *reg* right now."""
+        for thread in core.threads:
+            for logical in range(32):
+                if thread.committed_rat.get(logical) == reg:
+                    return RegStatus.COMMITTED
+        for thread in core.threads:
+            for op in thread.rob:
+                if op.phys_dest == reg:
+                    if op.state is OpState.COMPLETED:
+                        return RegStatus.COMPLETED
+                    return RegStatus.PENDING
+        return RegStatus.FREE
+
+    def apply(self, core: PipelineCore, record: FaultRecord) -> bool:
+        """Inject *record* into *core*; returns False if it could not land
+        (e.g. the LSQ held no executed entry)."""
+        if record.site is FaultSite.REGFILE:
+            record.reg_status = self.reg_status(core, record.reg)
+            core.inject_prf_bit(record.reg, record.bit)
+            record.applied = True
+        elif record.site is FaultSite.RENAME:
+            core.inject_rat_bit(record.thread_id, record.logical, record.bit)
+            record.applied = True
+        else:
+            record.applied = core.inject_lsq_bit(
+                record.thread_id, record.lsq_slot, record.lsq_field,
+                record.bit)
+        return record.applied
+
+
+__all__ = ["FaultInjector"]

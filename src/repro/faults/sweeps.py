@@ -1,0 +1,109 @@
+"""Parameter-sweep utilities over screening configurations.
+
+The ablation benches and design-space studies all share one shape: vary a
+single knob of :class:`~repro.config.FaultHoundConfig` (or the hardware),
+re-run workloads, and collect false-positive rate / coverage / overhead
+per setting. This module gives that shape a first-class API::
+
+    sweep = ConfigSweep(programs)
+    rows = sweep.fp_rate("tcam_entries", [8, 16, 32, 64])
+    rows = sweep.coverage("loosen_threshold", [2, 4, 8], campaign=c)
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..analysis.metrics import fp_rate, perf_overhead
+from ..config import FaultHoundConfig, HardwareConfig
+from ..core import FaultHoundUnit
+from ..pipeline.core import PipelineCore
+from .campaign import Campaign, CampaignResult
+
+
+class ConfigSweep:
+    """Sweeps one FaultHoundConfig field across values on fixed programs."""
+
+    def __init__(self, programs: Sequence,
+                 hw: Optional[HardwareConfig] = None,
+                 base_config: Optional[FaultHoundConfig] = None,
+                 max_cycles: int = 20_000_000):
+        self.programs = list(programs)
+        self.hw = hw or HardwareConfig()
+        self.base_config = base_config or FaultHoundConfig()
+        self.max_cycles = max_cycles
+        self._baseline_cycles: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def _config_with(self, field: str, value) -> FaultHoundConfig:
+        return replace(self.base_config, **{field: value})
+
+    def _core(self, config: FaultHoundConfig) -> PipelineCore:
+        return PipelineCore(self.programs, hw=self.hw,
+                            screening=FaultHoundUnit(config))
+
+    def _run(self, config: FaultHoundConfig) -> PipelineCore:
+        core = self._core(config)
+        core.run(max_cycles=self.max_cycles)
+        return core
+
+    @property
+    def baseline_cycles(self) -> int:
+        if self._baseline_cycles is None:
+            core = PipelineCore(self.programs, hw=self.hw)
+            core.run(max_cycles=self.max_cycles)
+            self._baseline_cycles = core.stats.cycles
+        return self._baseline_cycles
+
+    # ------------------------------------------------------------------
+    def fp_rate(self, field: str,
+                values: Sequence) -> Dict[str, Dict[str, float]]:
+        """Fault-free false-positive rate per setting."""
+        rows = {}
+        for value in values:
+            core = self._run(self._config_with(field, value))
+            rows[f"{field}={value}"] = {
+                "fp_rate": fp_rate(core.screening, core.stats.committed)}
+        return rows
+
+    def perf(self, field: str,
+             values: Sequence) -> Dict[str, Dict[str, float]]:
+        """Fault-free performance overhead per setting."""
+        rows = {}
+        for value in values:
+            core = self._run(self._config_with(field, value))
+            rows[f"{field}={value}"] = {
+                "perf_overhead": perf_overhead(core.stats.cycles,
+                                               self.baseline_cycles)}
+        return rows
+
+    def coverage(self, field: str, values: Sequence,
+                 campaign: Campaign,
+                 characterization: CampaignResult
+                 ) -> Dict[str, Dict[str, float]]:
+        """Coverage per setting, reusing one characterisation campaign."""
+        rows = {}
+        for value in values:
+            config = self._config_with(field, value)
+            result = campaign.run_coverage(
+                f"{field}={value}",
+                lambda: self._core(config),
+                characterization)
+            rows[f"{field}={value}"] = {
+                "coverage": result.coverage,
+                "sdc_faults": float(result.sdc_count)}
+        return rows
+
+    def custom(self, field: str, values: Sequence,
+               metric: Callable[[PipelineCore], float],
+               metric_name: str = "value") -> Dict[str, Dict[str, float]]:
+        """Arbitrary scalar metric per setting."""
+        rows = {}
+        for value in values:
+            core = self._run(self._config_with(field, value))
+            rows[f"{field}={value}"] = {metric_name: metric(core)}
+        return rows
+
+
+__all__ = ["ConfigSweep"]

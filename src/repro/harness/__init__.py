@@ -1,0 +1,14 @@
+"""Experiment harness: one entry point per paper table/figure."""
+
+from .experiment import (ExperimentConfig, ExperimentContext, FaultFreeRun,
+                         SCHEMES, scheme_unit)
+from . import figures
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentContext",
+    "FaultFreeRun",
+    "SCHEMES",
+    "scheme_unit",
+    "figures",
+]

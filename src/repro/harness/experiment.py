@@ -1,0 +1,236 @@
+"""Experiment configuration, scheme registry and cached runners.
+
+Every figure regeneration flows through an :class:`ExperimentContext`,
+which caches the expensive artefacts — generated programs, fault-free
+timing/energy runs, and fault-injection campaigns — so the benches for
+Figures 8, 9, 10, 11 and 12 can share work.
+
+The default scale is laptop-sized (thousands of instructions, tens of
+faults per benchmark); the paper's scale (50M-instruction SimPoints,
+15,000 faults) is reachable by raising the config numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..config import FaultHoundConfig, HardwareConfig, PBFSConfig
+from ..core import FaultHoundUnit, NullScreeningUnit, PBFSUnit
+from ..core.screening import ScreeningUnit
+from ..energy import EnergyBreakdown, EnergyModel
+from ..faults import Campaign, CampaignResult
+from ..analysis.metrics import fp_rate
+from ..pipeline import PipelineCore
+from ..redundancy import dynamic_length, srt_iso_core
+from ..workloads import PROFILES, build_smt_programs
+
+# ----------------------------------------------------------------------
+# scheme registry
+# ----------------------------------------------------------------------
+_BE = dict(squash_detection=False)
+
+SCHEMES: Dict[str, Callable[[], ScreeningUnit]] = {
+    "baseline": NullScreeningUnit,
+    "pbfs": lambda: PBFSUnit(PBFSConfig()),
+    "pbfs-biased": lambda: PBFSUnit(PBFSConfig(biased=True)),
+    # Section 2.2's strawman: swapping sticky counters for conventional
+    # two-bit counters raises coverage but explodes the FP rate.
+    "pbfs-standard": lambda: PBFSUnit(PBFSConfig(counter="standard",
+                                                 changing_states=3)),
+    "faulthound": lambda: FaultHoundUnit(FaultHoundConfig()),
+    "fh-backend": lambda: FaultHoundUnit(FaultHoundConfig(**_BE)),
+    # Figure 12 ablations (back-end only, like the paper)
+    "fh-be-no2level": lambda: FaultHoundUnit(
+        FaultHoundConfig(second_level=False, **_BE)),
+    "fh-be-nocluster-no2level": lambda: FaultHoundUnit(
+        FaultHoundConfig(clustering=False, second_level=False, **_BE)),
+    "fh-be-full-rollback": lambda: FaultHoundUnit(
+        FaultHoundConfig(full_rollback_on_trigger=True, **_BE)),
+    "fh-be-nolsq": lambda: FaultHoundUnit(
+        FaultHoundConfig(lsq_check=False, **_BE)),
+}
+
+
+def scheme_unit(name: str) -> ScreeningUnit:
+    """Instantiate a fresh screening unit by registry name."""
+    try:
+        return SCHEMES[name]()
+    except KeyError:
+        raise KeyError(f"unknown scheme {name!r}; "
+                       f"known: {sorted(SCHEMES)}") from None
+
+
+# ----------------------------------------------------------------------
+# configuration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Scale and scope knobs shared by every experiment."""
+
+    benchmarks: Tuple[str, ...] = tuple(PROFILES)
+    #: Committed instructions per thread in fault-free runs.
+    dynamic_target: int = 20_000
+    smt_copies: int = 2
+    #: Faults per benchmark in the characterisation campaign (paper:
+    #: 15,000; the laptop default trades sample size for wall-clock).
+    num_faults: int = 120
+    warmup_commits: int = 400
+    window_commits: int = 150
+    max_window_cycles: int = 40_000
+    seed: int = 7
+    #: "fixed" uses ``srt_fixed_coverage`` for SRT-iso's thinning;
+    #: "measured" uses each benchmark's measured FaultHound coverage
+    #: (requires campaigns, so it is slower).
+    srt_coverage_mode: str = "fixed"
+    srt_fixed_coverage: float = 0.75
+
+    def quick(self) -> "ExperimentConfig":
+        """A smaller copy for smoke tests."""
+        return replace(self, dynamic_target=3_000, num_faults=12,
+                       warmup_commits=200, window_commits=100)
+
+
+# ----------------------------------------------------------------------
+# run records
+# ----------------------------------------------------------------------
+@dataclass
+class FaultFreeRun:
+    """Derived results of one fault-free (timing/energy) run."""
+
+    benchmark: str
+    scheme: str
+    cycles: int
+    committed: int
+    fp_rate: float
+    energy: EnergyBreakdown
+    replay_events: int
+    rollback_events: int
+    singleton_reexecs: int
+    branch_mispredicts: int
+    ipc: float
+
+
+class ExperimentContext:
+    """Caches programs, runs and campaigns across figure regenerations."""
+
+    def __init__(self, cfg: ExperimentConfig | None = None,
+                 hw: HardwareConfig | None = None):
+        self.cfg = cfg or ExperimentConfig()
+        self.hw = hw or HardwareConfig()
+        self._programs: Dict[str, List] = {}
+        self._lengths: Dict[str, List[int]] = {}
+        self._fault_free: Dict[Tuple[str, str], FaultFreeRun] = {}
+        self._srt: Dict[Tuple[str, float], FaultFreeRun] = {}
+        self._campaigns: Dict[str, Tuple[Campaign, CampaignResult]] = {}
+        self._coverage: Dict[Tuple[str, str], CampaignResult] = {}
+        self._energy_model = EnergyModel()
+
+    # -- workloads ------------------------------------------------------
+    def programs(self, benchmark: str) -> List:
+        if benchmark not in self._programs:
+            profile = PROFILES[benchmark]
+            self._programs[benchmark] = build_smt_programs(
+                profile, self.cfg.dynamic_target, copies=self.cfg.smt_copies)
+        return self._programs[benchmark]
+
+    def lengths(self, benchmark: str) -> List[int]:
+        if benchmark not in self._lengths:
+            self._lengths[benchmark] = [
+                dynamic_length(p) for p in self.programs(benchmark)]
+        return self._lengths[benchmark]
+
+    def make_core(self, benchmark: str, scheme: str) -> PipelineCore:
+        return PipelineCore(self.programs(benchmark), hw=self.hw,
+                            screening=scheme_unit(scheme))
+
+    # -- fault-free timing/energy runs -----------------------------------
+    def fault_free(self, benchmark: str, scheme: str) -> FaultFreeRun:
+        key = (benchmark, scheme)
+        if key not in self._fault_free:
+            self._fault_free[key] = self._run_fault_free(benchmark, scheme)
+        return self._fault_free[key]
+
+    def _run_fault_free(self, benchmark: str, scheme: str) -> FaultFreeRun:
+        core = self.make_core(benchmark, scheme)
+        # Warm caches, predictors and filters, then measure the
+        # false-positive rate over the steady-state region only.
+        warm_total = self.cfg.warmup_commits * len(core.threads)
+        core.run_until_commits(warm_total)
+        unit = core.screening
+        checks_before = dict(unit.action_counts)
+        committed_before = core.stats.committed
+        core.run(max_cycles=8_000_000)
+        steady_committed = core.stats.committed - committed_before
+        from ..core.actions import CheckAction
+        steady_actions = sum(
+            unit.action_counts[a] - checks_before.get(a, 0)
+            for a in (CheckAction.REPLAY, CheckAction.SQUASH,
+                      CheckAction.SINGLETON))
+        rate = (steady_actions / steady_committed
+                if steady_committed else 0.0)
+        return FaultFreeRun(
+            benchmark=benchmark, scheme=scheme,
+            cycles=core.stats.cycles, committed=core.stats.committed,
+            fp_rate=rate, energy=self._energy_model.compute(core),
+            replay_events=core.stats.replay_events,
+            rollback_events=core.stats.rollback_events,
+            singleton_reexecs=core.stats.singleton_reexecs,
+            branch_mispredicts=core.stats.branch_mispredicts,
+            ipc=core.stats.ipc)
+
+    # -- SRT-iso ----------------------------------------------------------
+    def srt_run(self, benchmark: str,
+                coverage: Optional[float] = None) -> FaultFreeRun:
+        if coverage is None:
+            coverage = self.srt_coverage(benchmark)
+        coverage = round(coverage, 3)
+        key = (benchmark, coverage)
+        if key not in self._srt:
+            core = srt_iso_core(self.programs(benchmark), hw=self.hw,
+                                coverage=coverage,
+                                lengths=self.lengths(benchmark))
+            core.run(max_cycles=8_000_000)
+            self._srt[key] = FaultFreeRun(
+                benchmark=benchmark, scheme=f"srt-iso@{coverage}",
+                cycles=core.stats.cycles, committed=core.stats.committed,
+                fp_rate=0.0, energy=self._energy_model.compute(core),
+                replay_events=0, rollback_events=0, singleton_reexecs=0,
+                branch_mispredicts=core.stats.branch_mispredicts,
+                ipc=core.stats.ipc)
+        return self._srt[key]
+
+    def srt_coverage(self, benchmark: str) -> float:
+        if self.cfg.srt_coverage_mode == "measured":
+            return self.coverage(benchmark, "faulthound").coverage
+        return self.cfg.srt_fixed_coverage
+
+    # -- campaigns --------------------------------------------------------
+    def campaign(self, benchmark: str) -> Tuple[Campaign, CampaignResult]:
+        if benchmark not in self._campaigns:
+            cfg = self.cfg
+            campaign = Campaign(
+                benchmark,
+                lambda: self.make_core(benchmark, "baseline"),
+                num_phys_regs=self.hw.phys_regs,
+                num_threads=self.cfg.smt_copies,
+                num_faults=cfg.num_faults, seed=cfg.seed,
+                warmup_commits=cfg.warmup_commits,
+                window_commits=cfg.window_commits,
+                max_window_cycles=cfg.max_window_cycles)
+            characterization = campaign.characterize()
+            self._campaigns[benchmark] = (campaign, characterization)
+        return self._campaigns[benchmark]
+
+    def coverage(self, benchmark: str, scheme: str) -> CampaignResult:
+        key = (benchmark, scheme)
+        if key not in self._coverage:
+            campaign, characterization = self.campaign(benchmark)
+            self._coverage[key] = campaign.run_coverage(
+                scheme, lambda: self.make_core(benchmark, scheme),
+                characterization)
+        return self._coverage[key]
+
+
+__all__ = ["ExperimentConfig", "ExperimentContext", "FaultFreeRun",
+           "SCHEMES", "scheme_unit"]

@@ -1,0 +1,73 @@
+"""Persistence for experiment results.
+
+Regenerating every figure takes real wall-clock, so the harness can
+persist each figure's structured rows (plus the config that produced
+them) as JSON and reload them later — EXPERIMENTS.md is written from
+these artefacts, and reruns can diff against them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import time
+from typing import Any, Dict, List, Optional
+
+from .experiment import ExperimentConfig
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert figure payloads to JSON-compatible values."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(dataclasses.asdict(value))
+    if hasattr(value, "value"):         # enums
+        return value.value
+    return str(value)
+
+
+class ResultStore:
+    """A directory of ``<name>.json`` result documents."""
+
+    def __init__(self, directory: str | pathlib.Path):
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, name: str) -> pathlib.Path:
+        if "/" in name or name.startswith("."):
+            raise ValueError(f"bad result name {name!r}")
+        return self.directory / f"{name}.json"
+
+    def save(self, name: str, payload: Dict[str, Any],
+             config: Optional[ExperimentConfig] = None) -> pathlib.Path:
+        """Persist *payload* (a figure result; its ``text`` key is kept)."""
+        document = {
+            "name": name,
+            "saved_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "config": _jsonable(config) if config else None,
+            "payload": _jsonable(payload),
+        }
+        path = self._path(name)
+        path.write_text(json.dumps(document, indent=2, sort_keys=True))
+        return path
+
+    def load(self, name: str) -> Dict[str, Any]:
+        return json.loads(self._path(name).read_text())
+
+    def exists(self, name: str) -> bool:
+        return self._path(name).exists()
+
+    def names(self) -> List[str]:
+        return sorted(p.stem for p in self.directory.glob("*.json"))
+
+    def delete(self, name: str) -> None:
+        self._path(name).unlink(missing_ok=True)
+
+
+__all__ = ["ResultStore"]

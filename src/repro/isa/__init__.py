@@ -1,0 +1,33 @@
+"""A small 64-bit RISC ISA: the substrate the pipeline executes.
+
+The paper simulates SPARC; we substitute a deliberately minimal RISC ISA
+(DESIGN.md Section 1) with the properties FaultHound's mechanisms depend on:
+register-register dataflow, explicit loads/stores with base+offset
+addressing, conditional branches, and 64-bit values throughout.
+
+Public surface:
+
+- :class:`~repro.isa.opcodes.Opcode` and per-opcode metadata
+- :class:`~repro.isa.instruction.Instruction`
+- :class:`~repro.isa.program.Program`
+- :func:`~repro.isa.assembler.assemble`
+- :class:`~repro.isa.interpreter.Interpreter` (in-order golden model)
+"""
+
+from .opcodes import Opcode, OpClass, op_class, op_latency
+from .instruction import Instruction
+from .program import Program
+from .assembler import assemble
+from .interpreter import ArchState, Interpreter
+
+__all__ = [
+    "Opcode",
+    "OpClass",
+    "op_class",
+    "op_latency",
+    "Instruction",
+    "Program",
+    "assemble",
+    "ArchState",
+    "Interpreter",
+]

@@ -1,0 +1,195 @@
+"""A two-pass text assembler for the ISA.
+
+Syntax (one instruction per line; ``#`` starts a comment)::
+
+    loop:                       # label
+        movi r1, 100
+        ld   r2, 8(r3)          # rd, offset(base)
+        st   r2, 0(r4)
+        add  r5, r5, r2
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+
+Directives::
+
+    .word <addr> <value>        # seed initial memory
+    .reg  <reg>  <value>        # seed an initial register
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from ..errors import AssemblyError
+from .instruction import Instruction
+from .opcodes import Opcode
+from .program import Program
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.]*):$")
+_REG_RE = re.compile(r"^r(\d+)$")
+_MEM_RE = re.compile(r"^(-?\w+)\((r\d+)\)$")
+
+_REG_IMM_OPS = {Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI,
+                Opcode.SLLI, Opcode.SRLI}
+_REG_REG_OPS = {Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+                Opcode.SLL, Opcode.SRL, Opcode.SLT, Opcode.MUL,
+                Opcode.FADD, Opcode.FMUL}
+_COND_BRANCHES = {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE}
+
+
+def _parse_reg(token: str, line_no: int) -> int:
+    match = _REG_RE.match(token)
+    if not match:
+        raise AssemblyError(f"expected register, got {token!r}", line_no)
+    reg = int(match.group(1))
+    if reg >= 32:
+        raise AssemblyError(f"register r{reg} out of range", line_no)
+    return reg
+
+
+def _parse_int(token: str, line_no: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(f"expected integer, got {token!r}", line_no) from None
+
+
+def _split_operands(rest: str) -> List[str]:
+    return [tok.strip() for tok in rest.split(",") if tok.strip()]
+
+
+def _tokenize(text: str) -> List[Tuple[int, str]]:
+    """Strip comments/blank lines; return (line_number, content) pairs."""
+    out = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            out.append((line_no, line))
+    return out
+
+
+def assemble(text: str, name: str = "program") -> Program:
+    """Assemble *text* into a :class:`~repro.isa.program.Program`.
+
+    Raises :class:`~repro.errors.AssemblyError` with the offending line
+    number on any syntax or range error.
+    """
+    lines = _tokenize(text)
+
+    # Pass 1: label resolution and directive collection.
+    labels: Dict[str, int] = {}
+    initial_memory: Dict[int, int] = {}
+    initial_regs: Dict[int, int] = {}
+    body: List[Tuple[int, str]] = []
+    pc = 0
+    for line_no, line in lines:
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            label = label_match.group(1)
+            if label in labels:
+                raise AssemblyError(f"duplicate label {label!r}", line_no)
+            labels[label] = pc
+            continue
+        if line.startswith(".word"):
+            parts = line.split()
+            if len(parts) != 3:
+                raise AssemblyError(".word needs <addr> <value>", line_no)
+            addr = _parse_int(parts[1], line_no)
+            if addr % 8:
+                raise AssemblyError(f"unaligned .word address {addr:#x}", line_no)
+            initial_memory[addr] = _parse_int(parts[2], line_no) & ((1 << 64) - 1)
+            continue
+        if line.startswith(".reg"):
+            parts = line.split()
+            if len(parts) != 3:
+                raise AssemblyError(".reg needs <reg> <value>", line_no)
+            reg = _parse_reg(parts[1], line_no)
+            initial_regs[reg] = _parse_int(parts[2], line_no) & ((1 << 64) - 1)
+            continue
+        body.append((line_no, line))
+        pc += 1
+
+    # Pass 2: encode.
+    def resolve_target(token: str, line_no: int) -> int:
+        if token in labels:
+            return labels[token]
+        return _parse_int(token, line_no)
+
+    instructions: List[Instruction] = []
+    for line_no, line in body:
+        mnemonic, _, rest = line.partition(" ")
+        try:
+            op = Opcode(mnemonic.lower())
+        except ValueError:
+            raise AssemblyError(f"unknown mnemonic {mnemonic!r}", line_no) from None
+        operands = _split_operands(rest)
+
+        try:
+            if op in (Opcode.NOP, Opcode.HALT):
+                if operands:
+                    raise AssemblyError(f"{op.value} takes no operands", line_no)
+                inst = Instruction(op)
+            elif op is Opcode.MOVI:
+                if len(operands) != 2:
+                    raise AssemblyError("movi needs rd, imm", line_no)
+                inst = Instruction(op, rd=_parse_reg(operands[0], line_no),
+                                   imm=_parse_int(operands[1], line_no))
+            elif op in _REG_REG_OPS:
+                if len(operands) != 3:
+                    raise AssemblyError(f"{op.value} needs rd, rs1, rs2", line_no)
+                inst = Instruction(op, rd=_parse_reg(operands[0], line_no),
+                                   rs1=_parse_reg(operands[1], line_no),
+                                   rs2=_parse_reg(operands[2], line_no))
+            elif op in _REG_IMM_OPS:
+                if len(operands) != 3:
+                    raise AssemblyError(f"{op.value} needs rd, rs1, imm", line_no)
+                inst = Instruction(op, rd=_parse_reg(operands[0], line_no),
+                                   rs1=_parse_reg(operands[1], line_no),
+                                   imm=_parse_int(operands[2], line_no))
+            elif op in (Opcode.LD, Opcode.ST):
+                if len(operands) != 2:
+                    raise AssemblyError(f"{op.value} needs reg, offset(base)", line_no)
+                mem = _MEM_RE.match(operands[1])
+                if not mem:
+                    raise AssemblyError(
+                        f"expected offset(base), got {operands[1]!r}", line_no)
+                offset = _parse_int(mem.group(1), line_no)
+                base = _parse_reg(mem.group(2), line_no)
+                reg = _parse_reg(operands[0], line_no)
+                if op is Opcode.LD:
+                    inst = Instruction(op, rd=reg, rs1=base, imm=offset)
+                else:
+                    inst = Instruction(op, rs2=reg, rs1=base, imm=offset)
+            elif op in _COND_BRANCHES:
+                if len(operands) != 3:
+                    raise AssemblyError(f"{op.value} needs rs1, rs2, target", line_no)
+                inst = Instruction(op, rs1=_parse_reg(operands[0], line_no),
+                                   rs2=_parse_reg(operands[1], line_no),
+                                   imm=resolve_target(operands[2], line_no))
+            elif op is Opcode.JMP:
+                if len(operands) != 1:
+                    raise AssemblyError("jmp needs a target", line_no)
+                inst = Instruction(op, imm=resolve_target(operands[0], line_no))
+            else:  # pragma: no cover - all opcodes handled above
+                raise AssemblyError(f"unhandled opcode {op.value}", line_no)
+        except ValueError as exc:
+            raise AssemblyError(str(exc), line_no) from None
+        instructions.append(inst)
+
+    if not instructions:
+        raise AssemblyError("empty program")
+    try:
+        return Program(instructions=instructions, initial_memory=initial_memory,
+                       initial_regs=initial_regs, name=name, labels=labels)
+    except ValueError as exc:
+        raise AssemblyError(str(exc)) from None
+
+
+def disassemble(program: Program) -> str:
+    """Render *program* back to assembly text (labels become @indices)."""
+    return "\n".join(str(inst) for inst in program.instructions)
+
+
+__all__ = ["assemble", "disassemble"]

@@ -1,0 +1,141 @@
+"""Binary encoding for instructions and programs.
+
+Instructions encode to one 64-bit word::
+
+    [63:56] opcode    [55:51] rd    [50:46] rs1    [45:41] rs2
+    [40:0]  immediate (41-bit two's-complement)
+
+and a :class:`~repro.isa.program.Program` serialises to a small
+length-prefixed container (magic, version, instructions, initial
+registers, initial memory image). The format exists so generated
+workloads can be shipped/cached as artefacts and reloaded bit-exactly;
+round-trip fidelity is property-tested.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List
+
+from ..errors import ReproError
+from .instruction import Instruction
+from .opcodes import Opcode
+from .program import Program
+
+MAGIC = b"RPRO"
+VERSION = 1
+
+_IMM_BITS = 41
+_IMM_MIN = -(1 << (_IMM_BITS - 1))
+_IMM_MAX = (1 << (_IMM_BITS - 1)) - 1
+_IMM_MASK = (1 << _IMM_BITS) - 1
+
+_OPCODE_IDS: Dict[Opcode, int] = {op: i for i, op in enumerate(Opcode)}
+_OPCODES_BY_ID: Dict[int, Opcode] = {i: op for op, i in _OPCODE_IDS.items()}
+
+
+class EncodingError(ReproError):
+    """Raised for out-of-range fields or malformed binary input."""
+
+
+def encode_instruction(inst: Instruction) -> int:
+    """Pack *inst* into its 64-bit word."""
+    if not _IMM_MIN <= inst.imm <= _IMM_MAX:
+        raise EncodingError(
+            f"immediate {inst.imm} outside the encodable "
+            f"{_IMM_BITS}-bit range")
+    word = (_OPCODE_IDS[inst.opcode] << 56
+            | inst.rd << 51
+            | inst.rs1 << 46
+            | inst.rs2 << 41
+            | (inst.imm & _IMM_MASK))
+    return word
+
+
+def decode_instruction(word: int) -> Instruction:
+    """Unpack a 64-bit word back into an :class:`Instruction`."""
+    if not 0 <= word < (1 << 64):
+        raise EncodingError(f"word {word:#x} is not a 64-bit value")
+    opcode_id = word >> 56
+    try:
+        opcode = _OPCODES_BY_ID[opcode_id]
+    except KeyError:
+        raise EncodingError(f"unknown opcode id {opcode_id}") from None
+    rd = (word >> 51) & 0x1F
+    rs1 = (word >> 46) & 0x1F
+    rs2 = (word >> 41) & 0x1F
+    imm = word & _IMM_MASK
+    if imm > _IMM_MAX:
+        imm -= 1 << _IMM_BITS
+    return Instruction(opcode, rd=rd, rs1=rs1, rs2=rs2, imm=imm)
+
+
+def encode_program(program: Program) -> bytes:
+    """Serialise a whole program (code + initial state) to bytes."""
+    out = bytearray()
+    out += MAGIC
+    out += struct.pack("<H", VERSION)
+    name = program.name.encode()[:255]
+    out += struct.pack("<B", len(name)) + name
+    out += struct.pack("<I", len(program.instructions))
+    for inst in program.instructions:
+        out += struct.pack("<Q", encode_instruction(inst))
+    out += struct.pack("<I", len(program.initial_regs))
+    for reg, value in sorted(program.initial_regs.items()):
+        out += struct.pack("<BQ", reg, value)
+    out += struct.pack("<I", len(program.initial_memory))
+    for address, value in sorted(program.initial_memory.items()):
+        out += struct.pack("<QQ", address, value)
+    return bytes(out)
+
+
+def decode_program(blob: bytes) -> Program:
+    """Reconstruct a program from :func:`encode_program` output."""
+    view = memoryview(blob)
+    if bytes(view[:4]) != MAGIC:
+        raise EncodingError("bad magic; not a serialised program")
+    (version,) = struct.unpack_from("<H", view, 4)
+    if version != VERSION:
+        raise EncodingError(f"unsupported version {version}")
+    offset = 6
+    (name_len,) = struct.unpack_from("<B", view, offset)
+    offset += 1
+    name = bytes(view[offset:offset + name_len]).decode()
+    offset += name_len
+
+    (count,) = struct.unpack_from("<I", view, offset)
+    offset += 4
+    instructions: List[Instruction] = []
+    for _ in range(count):
+        (word,) = struct.unpack_from("<Q", view, offset)
+        offset += 8
+        instructions.append(decode_instruction(word))
+
+    (reg_count,) = struct.unpack_from("<I", view, offset)
+    offset += 4
+    initial_regs: Dict[int, int] = {}
+    for _ in range(reg_count):
+        reg, value = struct.unpack_from("<BQ", view, offset)
+        offset += 9
+        initial_regs[reg] = value
+
+    (mem_count,) = struct.unpack_from("<I", view, offset)
+    offset += 4
+    initial_memory: Dict[int, int] = {}
+    for _ in range(mem_count):
+        address, value = struct.unpack_from("<QQ", view, offset)
+        offset += 16
+        initial_memory[address] = value
+
+    if offset != len(blob):
+        raise EncodingError(f"{len(blob) - offset} trailing bytes")
+    try:
+        return Program(instructions=instructions,
+                       initial_memory=initial_memory,
+                       initial_regs=initial_regs, name=name)
+    except ValueError as exc:
+        raise EncodingError(str(exc)) from None
+
+
+__all__ = ["EncodingError", "encode_instruction", "decode_instruction",
+           "encode_program", "decode_program", "MAGIC", "VERSION"]

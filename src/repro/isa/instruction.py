@@ -1,0 +1,102 @@
+"""The static :class:`Instruction` record.
+
+Operand conventions (register fields hold logical register numbers 0-31,
+``r0`` is hard-wired to zero):
+
+=========  =======================================================
+shape      fields used
+=========  =======================================================
+reg-reg    ``rd = rs1 <op> rs2``
+reg-imm    ``rd = rs1 <op> imm`` (``MOVI``: ``rd = imm``)
+load       ``rd = MEM[rs1 + imm]``
+store      ``MEM[rs1 + imm] = rs2``
+branch     compare ``rs1, rs2``; taken target is instruction index ``imm``
+jump       unconditional target ``imm``
+=========  =======================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .opcodes import (Opcode, OpClass, has_dest, is_branch, op_class,
+                      reads_two_regs)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One static instruction; immutable so programs can be shared freely."""
+
+    opcode: Opcode
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("rd", "rs1", "rs2"):
+            reg = getattr(self, name)
+            if not 0 <= reg < 32:
+                raise ValueError(f"{name}={reg} outside r0-r31")
+
+    @property
+    def op_class(self) -> OpClass:
+        return op_class(self.opcode)
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode is Opcode.LD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode is Opcode.ST
+
+    @property
+    def is_mem(self) -> bool:
+        return self.opcode in (Opcode.LD, Opcode.ST)
+
+    @property
+    def is_branch(self) -> bool:
+        return is_branch(self.opcode)
+
+    @property
+    def writes_reg(self) -> bool:
+        """True when the instruction defines a destination register.
+
+        A write to ``r0`` is architecturally discarded but still allocates a
+        physical register in the pipeline, matching real renamed designs.
+        """
+        return has_dest(self.opcode)
+
+    def source_regs(self) -> tuple:
+        """Logical registers this instruction reads, in operand order."""
+        op = self.opcode
+        if op in (Opcode.NOP, Opcode.HALT, Opcode.JMP, Opcode.MOVI):
+            return ()
+        if op is Opcode.LD:
+            return (self.rs1,)
+        if reads_two_regs(op):
+            return (self.rs1, self.rs2)
+        return (self.rs1,)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        op = self.opcode
+        name = op.value
+        if op is Opcode.LD:
+            return f"{name} r{self.rd}, {self.imm}(r{self.rs1})"
+        if op is Opcode.ST:
+            return f"{name} r{self.rs2}, {self.imm}(r{self.rs1})"
+        if op is Opcode.JMP:
+            return f"{name} @{self.imm}"
+        if self.is_branch:
+            return f"{name} r{self.rs1}, r{self.rs2}, @{self.imm}"
+        if op is Opcode.MOVI:
+            return f"{name} r{self.rd}, {self.imm}"
+        if op in (Opcode.NOP, Opcode.HALT):
+            return name
+        if op.value.endswith("i"):
+            return f"{name} r{self.rd}, r{self.rs1}, {self.imm}"
+        return f"{name} r{self.rd}, r{self.rs1}, r{self.rs2}"
+
+
+__all__ = ["Instruction"]

@@ -1,0 +1,98 @@
+"""Shared value semantics for the interpreter and the pipeline execute stage.
+
+Keeping the ALU/branch evaluation in one place guarantees that the
+out-of-order pipeline and the in-order golden interpreter can never diverge
+on arithmetic — the differential property tests in ``tests/`` rely on this.
+
+All arithmetic is modulo 2**64; comparisons are unsigned; shift amounts use
+the low 6 bits of the operand, matching a 64-bit RISC machine.
+"""
+
+from __future__ import annotations
+
+from ..config import VALUE_MASK
+from .opcodes import Opcode
+
+#: Valid data segment: byte addresses in [0, MEMORY_LIMIT). Anything outside
+#: (or unaligned) raises an architectural memory fault — the "noisy" fault
+#: channel of the paper's classification.
+MEMORY_LIMIT = 1 << 32
+
+
+def alu_result(op: Opcode, a: int, b: int, imm: int) -> int:
+    """Evaluate a non-memory, non-branch opcode.
+
+    *a* and *b* are the 64-bit source operand values (``b`` is ignored for
+    immediate forms). Returns the 64-bit destination value.
+    """
+    if op is Opcode.ADD:
+        return (a + b) & VALUE_MASK
+    if op is Opcode.SUB:
+        return (a - b) & VALUE_MASK
+    if op is Opcode.AND:
+        return a & b
+    if op is Opcode.OR:
+        return a | b
+    if op is Opcode.XOR:
+        return a ^ b
+    if op is Opcode.SLL:
+        return (a << (b & 63)) & VALUE_MASK
+    if op is Opcode.SRL:
+        return a >> (b & 63)
+    if op is Opcode.SLT:
+        return 1 if a < b else 0
+    if op is Opcode.MUL:
+        return (a * b) & VALUE_MASK
+    if op is Opcode.FADD:
+        return (a + b) & VALUE_MASK
+    if op is Opcode.FMUL:
+        return (a * b) & VALUE_MASK
+    if op is Opcode.ADDI:
+        return (a + imm) & VALUE_MASK
+    if op is Opcode.ANDI:
+        return a & (imm & VALUE_MASK)
+    if op is Opcode.ORI:
+        return a | (imm & VALUE_MASK)
+    if op is Opcode.XORI:
+        return a ^ (imm & VALUE_MASK)
+    if op is Opcode.SLLI:
+        return (a << (imm & 63)) & VALUE_MASK
+    if op is Opcode.SRLI:
+        return a >> (imm & 63)
+    if op is Opcode.MOVI:
+        return imm & VALUE_MASK
+    raise ValueError(f"{op} is not an ALU opcode")
+
+
+def branch_taken(op: Opcode, a: int, b: int) -> bool:
+    """Resolve a branch direction from its two source values."""
+    if op is Opcode.BEQ:
+        return a == b
+    if op is Opcode.BNE:
+        return a != b
+    if op is Opcode.BLT:
+        return a < b
+    if op is Opcode.BGE:
+        return a >= b
+    if op is Opcode.JMP:
+        return True
+    raise ValueError(f"{op} is not a branch opcode")
+
+
+def effective_address(base: int, imm: int) -> int:
+    """Compute a load/store effective address (64-bit wrap-around)."""
+    return (base + imm) & VALUE_MASK
+
+
+def check_address(address: int) -> bool:
+    """True when *address* is a legal 8-byte-aligned data access."""
+    return address % 8 == 0 and 0 <= address < MEMORY_LIMIT
+
+
+__all__ = [
+    "MEMORY_LIMIT",
+    "alu_result",
+    "branch_taken",
+    "effective_address",
+    "check_address",
+]

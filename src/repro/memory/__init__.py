@@ -1,0 +1,20 @@
+"""Memory-system substrate: sparse main memory and a timing cache hierarchy.
+
+Data correctness lives in the architectural memory dictionaries owned by the
+threads; the caches here are *timing and energy* models (tag arrays with LRU
+replacement) exactly as trace-driven simulators use them. This separation
+keeps fault-injection semantics clean: a bit flip corrupts architectural
+values, never cache metadata.
+"""
+
+from .main_memory import MainMemory
+from .cache import Cache, CacheStats
+from .hierarchy import AccessResult, MemoryHierarchy
+
+__all__ = [
+    "MainMemory",
+    "Cache",
+    "CacheStats",
+    "AccessResult",
+    "MemoryHierarchy",
+]

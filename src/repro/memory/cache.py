@@ -1,0 +1,105 @@
+"""Set-associative tag-array cache model with LRU replacement.
+
+Only tags are modelled — the cache answers "hit or miss, at what latency"
+and counts events for the energy model. Line data stays in the
+architectural memory, which is authoritative for values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..errors import ConfigurationError
+
+
+@dataclass
+class CacheStats:
+    """Access counters consumed by the energy model and reports."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.accesses = self.hits = self.misses = 0
+
+
+class Cache:
+    """One level of set-associative cache (LRU, allocate-on-miss).
+
+    ``size_kb`` / ``assoc`` / ``line_bytes`` must describe a power-of-two
+    set count. ``latency`` is the hit latency in cycles.
+    """
+
+    def __init__(self, name: str, size_kb: int, assoc: int,
+                 line_bytes: int, latency: int):
+        num_lines = (size_kb * 1024) // line_bytes
+        if num_lines <= 0 or num_lines % assoc:
+            raise ConfigurationError(
+                f"{name}: {size_kb}KB / {assoc}-way / {line_bytes}B lines "
+                "does not tile into whole sets")
+        self.name = name
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.latency = latency
+        self.num_sets = num_lines // assoc
+        if self.num_sets & (self.num_sets - 1):
+            raise ConfigurationError(f"{name}: set count must be a power of two")
+        self.stats = CacheStats()
+        # Per-set list of tags in LRU order (index 0 = most recent).
+        self._sets: Dict[int, List[int]] = {}
+
+    def _index_tag(self, address: int) -> tuple:
+        line = address // self.line_bytes
+        return line % self.num_sets, line // self.num_sets
+
+    def access(self, address: int) -> bool:
+        """Touch *address*; return True on hit. Misses allocate the line."""
+        self.stats.accesses += 1
+        index, tag = self._index_tag(address)
+        ways = self._sets.get(index)
+        if ways is None:
+            ways = []
+            self._sets[index] = ways
+        try:
+            ways.remove(tag)
+        except ValueError:
+            self.stats.misses += 1
+            ways.insert(0, tag)
+            if len(ways) > self.assoc:
+                ways.pop()
+            return False
+        ways.insert(0, tag)
+        self.stats.hits += 1
+        return True
+
+    def probe(self, address: int) -> bool:
+        """Non-destructive lookup: True when the line is resident."""
+        index, tag = self._index_tag(address)
+        return tag in self._sets.get(index, ())
+
+    def install(self, address: int) -> None:
+        """Insert a line without touching the demand-access statistics
+        (prefetch fills)."""
+        index, tag = self._index_tag(address)
+        ways = self._sets.setdefault(index, [])
+        if tag in ways:
+            ways.remove(tag)
+        ways.insert(0, tag)
+        if len(ways) > self.assoc:
+            ways.pop()
+
+    def flush(self) -> None:
+        self._sets.clear()
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(ways) for ways in self._sets.values())
+
+
+__all__ = ["Cache", "CacheStats"]

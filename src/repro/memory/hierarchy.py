@@ -1,0 +1,110 @@
+"""Two-level data-cache hierarchy (paper Table 2: L1D 32KB/2-way/3cyc,
+L2 2MB/4-way/20cyc, main memory behind it)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import HardwareConfig
+from .cache import Cache
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one data access: total latency and where it hit."""
+
+    latency: int
+    level: str  # "l1" | "l2" | "mem"
+
+    @property
+    def l1_hit(self) -> bool:
+        return self.level == "l1"
+
+
+class MemoryHierarchy:
+    """Timing model for data-side accesses.
+
+    Line fills are *timed*: a miss records when its line becomes ready, and
+    a subsequent access to the same line before that point pays the
+    remaining fill latency (so wrong-path or squashed-and-refetched loads
+    get genuine prefetch overlap, never an instant free hit).
+
+    ``space`` segregates SMT contexts' identical virtual layouts into
+    disjoint physical lines. ``ideal=True`` makes every access an L1 hit —
+    used by SRT-iso's trailing threads, which the paper grants a perfect
+    load-value queue (no trailing cache misses).
+    """
+
+    #: Virtual address spaces are salted above this bit per SMT context.
+    SPACE_SHIFT = 44
+
+    def __init__(self, hw: HardwareConfig | None = None, ideal: bool = False):
+        hw = hw or HardwareConfig()
+        self.ideal = ideal
+        self.l1 = Cache("L1D", hw.l1d_size_kb, hw.l1d_assoc,
+                        hw.line_bytes, hw.l1d_latency)
+        self.l2 = Cache("L2", hw.l2_size_kb, hw.l2_assoc,
+                        hw.line_bytes, hw.l2_latency)
+        self.memory_latency = hw.memory_latency
+        self.line_bytes = hw.line_bytes
+        # line id -> cycle its in-flight fill completes
+        self._fill_ready = {}
+        self.prefetcher = None
+        self._prefetched: set = set()
+        if getattr(hw, "prefetch_degree", 0):
+            from .prefetch import StridePrefetcher
+            self.prefetcher = StridePrefetcher(hw.prefetch_degree)
+
+    def access(self, address: int, now: int = 0,
+               space: int = 0) -> AccessResult:
+        """Access *address* (loads and stores alike), returning timing."""
+        if self.ideal:
+            self.l1.stats.accesses += 1
+            self.l1.stats.hits += 1
+            return AccessResult(self.l1.latency, "l1")
+        address += space << self.SPACE_SHIFT
+        line = address // self.line_bytes
+        if self.l1.access(address):
+            if self.prefetcher is not None and line in self._prefetched:
+                self._prefetched.discard(line)
+                self.prefetcher.note_useful()
+            ready = self._fill_ready.get(line)
+            if ready is not None:
+                if ready <= now:
+                    del self._fill_ready[line]
+                else:
+                    # hit on a line whose fill is still in flight
+                    return AccessResult(
+                        max(self.l1.latency, ready - now), "l1")
+            return AccessResult(self.l1.latency, "l1")
+        if self.l2.access(address):
+            latency = self.l1.latency + self.l2.latency
+            level = "l2"
+        else:
+            latency = (self.l1.latency + self.l2.latency
+                       + self.memory_latency)
+            level = "mem"
+        self._fill_ready[line] = now + latency
+        if self.prefetcher is not None:
+            for pf_line in self.prefetcher.on_miss(space, line):
+                pf_addr = pf_line * self.line_bytes
+                if not self.l1.probe(pf_addr):
+                    self.l1.install(pf_addr)
+                    self.l2.install(pf_addr)
+                    self._fill_ready[pf_line] = now + latency
+                    self._prefetched.add(pf_line)
+        return AccessResult(latency, level)
+
+    def warm(self, addresses, space: int = 0) -> None:
+        """Pre-touch *addresses* (cache warm-up, per the paper's Table 1)."""
+        for address in addresses:
+            self.access(address, space=space)
+        self._fill_ready.clear()
+
+    def flush(self) -> None:
+        self.l1.flush()
+        self.l2.flush()
+        self._fill_ready.clear()
+
+
+__all__ = ["AccessResult", "MemoryHierarchy"]

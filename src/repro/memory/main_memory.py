@@ -1,0 +1,52 @@
+"""Sparse 64-bit-word main memory with a fixed access latency."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from ..config import VALUE_MASK
+from ..errors import MemoryFault
+from ..isa.semantics import check_address
+
+
+class MainMemory:
+    """Byte-addressed, 8-byte-word-granular sparse memory.
+
+    Unwritten words read as zero. All accesses must be 8-byte aligned and
+    inside the valid segment; violations raise
+    :class:`~repro.errors.MemoryFault` (the classifier's "noisy" channel).
+    """
+
+    def __init__(self, latency: int = 200,
+                 image: Dict[int, int] | None = None):
+        self.latency = latency
+        self._words: Dict[int, int] = dict(image) if image else {}
+
+    def read(self, address: int) -> int:
+        if not check_address(address):
+            raise MemoryFault(address)
+        return self._words.get(address, 0)
+
+    def write(self, address: int, value: int) -> None:
+        if not check_address(address):
+            raise MemoryFault(address)
+        self._words[address] = value & VALUE_MASK
+
+    def load_image(self, image: Dict[int, int]) -> None:
+        """Bulk-install an initial memory image (e.g. from a Program)."""
+        for address, value in image.items():
+            self.write(address, value)
+
+    def items(self) -> Iterable[Tuple[int, int]]:
+        return self._words.items()
+
+    def nonzero_snapshot(self) -> Tuple[Tuple[int, int], ...]:
+        """Sorted (address, value) pairs for all non-zero words."""
+        return tuple(sorted(
+            (a, v) for a, v in self._words.items() if v))
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+
+__all__ = ["MainMemory"]

@@ -1,0 +1,21 @@
+"""Out-of-order SMT pipeline substrate (stand-in for GEMS/Opal).
+
+A value-accurate, cycle-driven model of the paper's Table 2 core: 4-wide
+fetch/issue/commit, 40-entry issue queue with FaultHound's completed-
+instruction delay buffer, 250-entry ROB, 64-entry LSQ, merged physical
+register file with rename tables and commit-time freeing, bimodal branch
+prediction with full mispredict recovery, and the three recovery actions
+FaultHound needs: predecessor replay, full pipeline rollback, and singleton
+re-execute.
+
+Operand values are read at execution-completion time from the physical
+register file; an in-flight consumer whose producer got replay-marked
+bounces back to the issue queue. This keeps recovery semantics exact while
+staying fast enough for laptop-scale campaigns (DESIGN.md Section 4).
+"""
+
+from .core import PipelineCore
+from .stats import PipelineStats
+from .thread import ThreadContext
+
+__all__ = ["PipelineCore", "PipelineStats", "ThreadContext"]

@@ -1,0 +1,59 @@
+"""Bimodal branch predictor.
+
+A table of two-bit saturating counters indexed by (thread, pc). Targets
+are known from the instruction encoding (direct branches only), so only
+direction is predicted. ``ideal=True`` gives SRT-iso's trailing threads the
+paper's branch-outcome-queue optimisation (no trailing mispredictions).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+
+class BranchPredictor:
+    """2-bit bimodal counters: 0-1 predict not-taken, 2-3 predict taken."""
+
+    def __init__(self, entries: int = 1024, ideal: bool = False):
+        self.entries = entries
+        self.ideal = ideal
+        self._counters: Dict[int, int] = {}
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _index(self, thread_id: int, pc: int) -> int:
+        return (pc * 2 + thread_id) % self.entries
+
+    def predict(self, thread_id: int, pc: int,
+                actual_hint: bool | None = None) -> bool:
+        """Predict the direction of the branch at *pc*.
+
+        *actual_hint* is consulted only in ideal mode (perfect prediction).
+        """
+        self.predictions += 1
+        if self.ideal and actual_hint is not None:
+            return actual_hint
+        counter = self._counters.get(self._index(thread_id, pc), 2)
+        return counter >= 2
+
+    def update(self, thread_id: int, pc: int, taken: bool,
+               mispredicted: bool) -> None:
+        if mispredicted:
+            self.mispredictions += 1
+        if self.ideal:
+            return
+        index = self._index(thread_id, pc)
+        counter = self._counters.get(index, 2)
+        if taken:
+            counter = min(3, counter + 1)
+        else:
+            counter = max(0, counter - 1)
+        self._counters[index] = counter
+
+    @property
+    def misprediction_rate(self) -> float:
+        return (self.mispredictions / self.predictions
+                if self.predictions else 0.0)
+
+
+__all__ = ["BranchPredictor"]

@@ -1,0 +1,812 @@
+"""The out-of-order SMT pipeline core: cycle loop and recovery actions.
+
+One :class:`PipelineCore` models one of the paper's cores: ``smt_contexts``
+threads sharing the issue queue, physical register file, functional units
+and data-cache hierarchy, each with private ROB/LSQ partitions and rename
+tables. The screening unit (FaultHound, PBFS, or the null baseline) is
+consulted at instruction completion and — for FaultHound's LSQ scheme — at
+commit, and the core implements the three recovery actions: predecessor
+replay out of the delay buffer, full pipeline rollback, and the singleton
+re-execute with value comparison.
+
+Stage order within a cycle is commit → complete → issue → dispatch →
+fetch, the conventional reverse order that prevents same-cycle
+flow-through.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..config import HardwareConfig
+from ..core.actions import CheckAction, CheckKind
+from ..core.screening import NullScreeningUnit, ScreeningUnit
+from ..errors import MemoryFault, SimulationError
+from ..isa.interpreter import Interpreter
+from ..isa.opcodes import Opcode, op_latency
+from ..isa.program import Program
+from ..isa.semantics import (alu_result, branch_taken, check_address,
+                             effective_address)
+from ..memory.hierarchy import MemoryHierarchy
+from .branch import BranchPredictor
+from .func_units import FunctionalUnits
+from .issue_queue import IssueQueue
+from .regfile import FreeList, PhysicalRegisterFile
+from .stats import PipelineStats
+from .thread import ThreadContext
+from .uops import MicroOp, OpState
+
+#: Fetch-to-dispatch latency in cycles (fetch + decode depth).
+FRONTEND_DEPTH = 3
+#: Fetch-buffer capacity per thread.
+FETCH_BUFFER_CAP = 16
+
+#: Ordering of screening actions by severity, for stores that produce two
+#: check results (address and value).
+_SEVERITY = {
+    CheckAction.NONE: 0,
+    CheckAction.SUPPRESSED: 1,
+    CheckAction.REPLAY: 2,
+    CheckAction.SINGLETON: 3,
+    CheckAction.SQUASH: 4,
+}
+
+
+class PipelineCore:
+    """A value-accurate out-of-order core running one program per thread."""
+
+    def __init__(self, programs: Sequence[Program],
+                 hw: HardwareConfig | None = None,
+                 screening: ScreeningUnit | None = None,
+                 thread_options: Optional[Sequence[dict]] = None):
+        self.hw = hw or HardwareConfig()
+        if not programs:
+            raise SimulationError("need at least one program")
+        if len(programs) > self.hw.smt_contexts:
+            raise SimulationError(
+                f"{len(programs)} programs > {self.hw.smt_contexts} contexts")
+        self.screening = screening or NullScreeningUnit()
+        self.stats = PipelineStats()
+
+        self.prf = PhysicalRegisterFile(self.hw.phys_regs)
+        used = len(programs) * 32
+        self.free_list = FreeList(range(used, self.hw.phys_regs))
+
+        delay_size = (self.hw.delay_buffer_size
+                      if self.screening.wants_delay_buffer else 0)
+        self.iq = IssueQueue(self.hw.issue_queue_size, delay_size)
+
+        self.hierarchy = MemoryHierarchy(self.hw)
+        self._ideal_hierarchy = MemoryHierarchy(self.hw, ideal=True)
+
+        thread_options = thread_options or [{} for _ in programs]
+        self.threads: List[ThreadContext] = []
+        self.predictors: List[BranchPredictor] = []
+        for tid, (program, opts) in enumerate(zip(programs, thread_options)):
+            mapping = list(range(tid * 32, tid * 32 + 32))
+            thread = ThreadContext(tid, program, self.hw, mapping,
+                                   ideal_memory=opts.get("ideal_memory", False),
+                                   ideal_branch=opts.get("ideal_branch", False),
+                                   max_commits=opts.get("max_commits"))
+            for reg, value in thread.program.initial_regs.items():
+                if reg != 0:
+                    self.prf.write(mapping[reg], value)
+            self.threads.append(thread)
+            self.predictors.append(
+                BranchPredictor(ideal=thread.ideal_branch))
+        self._branch_oracles: Dict[int, Deque[bool]] = {
+            t.thread_id: self._build_branch_oracle(t)
+            for t in self.threads if t.ideal_branch}
+
+        self.fus = FunctionalUnits(self.hw)
+        self.cycle = 0
+        self._uid = 0
+        self._fetch_buffers: List[Deque[MicroOp]] = [
+            deque() for _ in self.threads]
+        self._executing: List[MicroOp] = []
+        self._replay_pending: set = set()
+        # per-cycle aggregate occupancy snapshots (see _dispatch_stage)
+        self._rob_total = 0
+        self._lsq_total = 0
+        #: Issue suspended until this cycle (singleton re-execute).
+        self._issue_suspended_until = 0
+        #: (cycle, uid, source) records of declared fault detections
+        #: (singleton re-execute value mismatches, Section 3.5).
+        self.declared_faults: List[Tuple[int, int, str]] = []
+        #: Tandem-classification hooks: when a thread's committed count
+        #: reaches its target, its architectural snapshot is captured
+        #: exactly at that boundary (see repro.faults.classifier).
+        self.snapshot_targets: Dict[int, int] = {}
+        self.captured_snapshots: Dict[int, Tuple] = {}
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _build_branch_oracle(self, thread: ThreadContext) -> Deque[bool]:
+        """Pre-execute the program to record conditional-branch outcomes
+        (SRT-iso's perfect trailing-thread branch prediction)."""
+        interp = Interpreter(thread.program)
+        outcomes: Deque[bool] = deque()
+        limit = (thread.max_commits or 200_000) * 2 + 1000
+        state = interp.state
+        for _ in range(limit):
+            if state.halted:
+                break
+            inst = thread.program.fetch(state.pc)
+            if inst is None:
+                break
+            if inst.is_branch and inst.opcode is not Opcode.JMP:
+                taken = branch_taken(inst.opcode, state.read_reg(inst.rs1),
+                                     state.read_reg(inst.rs2))
+                outcomes.append(taken)
+            if interp.step() is None:
+                break
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # public driving API
+    # ------------------------------------------------------------------
+    @property
+    def all_halted(self) -> bool:
+        return all(t.halted for t in self.threads)
+
+    def step(self) -> None:
+        """Advance the core by one cycle."""
+        self.cycle += 1
+        self.stats.cycles = self.cycle
+        self.fus.new_cycle()
+        self._commit_stage()
+        self._complete_stage()
+        self._issue_stage()
+        self._dispatch_stage()
+        self._fetch_stage()
+
+    def run(self, max_cycles: int = 2_000_000) -> PipelineStats:
+        """Run until every thread halts, or *max_cycles*."""
+        for _ in range(max_cycles):
+            if self.all_halted:
+                break
+            self.step()
+        return self.stats
+
+    def run_until_commits(self, total_commits: int,
+                          max_cycles: int = 2_000_000) -> int:
+        """Run until *total_commits* more instructions commit (across all
+        threads); returns the number actually committed (may be fewer if
+        every thread halts first)."""
+        target = self.stats.committed + total_commits
+        for _ in range(max_cycles):
+            if self.all_halted or self.stats.committed >= target:
+                break
+            self.step()
+        return self.stats.committed - (target - total_commits)
+
+    def arch_snapshot(self) -> Tuple:
+        """Digest of every thread's architectural state (classifier input)."""
+        return tuple(t.arch_state_snapshot(self.prf) for t in self.threads)
+
+    # ------------------------------------------------------------------
+    # fault-injection hooks (used by repro.faults.injector)
+    # ------------------------------------------------------------------
+    def inject_prf_bit(self, reg: int, bit: int) -> None:
+        """Flip one bit of a physical register (back-end datapath fault)."""
+        self.prf.flip_bit(reg % self.prf.num_regs, bit)
+
+    def inject_rat_bit(self, thread_id: int, logical: int, bit: int) -> None:
+        """Flip one bit of a speculative rename mapping (front-end fault)."""
+        self.threads[thread_id].spec_rat.flip_bit(logical, bit)
+
+    def inject_lsq_bit(self, thread_id: int, entry_index: int,
+                       field: str, bit: int) -> bool:
+        """Flip one bit of an executed LSQ entry's address or store value.
+
+        Returns False when the LSQ holds no executed entry to corrupt.
+        """
+        entries = self.threads[thread_id].lsq.executed_entries()
+        if not entries:
+            return False
+        op = entries[entry_index % len(entries)]
+        if field == "value" and op.is_store and op.store_value is not None:
+            op.store_value ^= 1 << bit
+        else:
+            op.eff_addr ^= 1 << bit
+        return True
+
+    # ------------------------------------------------------------------
+    # commit stage
+    # ------------------------------------------------------------------
+    def _commit_stage(self) -> None:
+        budget = self.hw.commit_width
+        order = self._thread_order()
+        for thread in order:
+            while budget > 0:
+                op = thread.rob.head()
+                if op is None or op.state is not OpState.COMPLETED:
+                    break
+                if op.exception_addr is not None:
+                    self._deliver_exception(thread, op)
+                    budget -= 1
+                    break
+                if op.singleton_stall > 0:
+                    op.singleton_stall -= 1
+                    break
+                if (op.is_mem and not op.lsq_checked
+                        and self.screening.wants_commit_checks):
+                    if self._commit_check(thread, op):
+                        break  # singleton re-execute stalls this commit
+                if not self._commit_op(thread, op):
+                    budget -= 1
+                    break
+                budget -= 1
+            if budget <= 0:
+                break
+
+    def _commit_check(self, thread: ThreadContext, op: MicroOp) -> bool:
+        """Run the commit-time LSQ check; True when commit must stall for a
+        singleton re-execute."""
+        op.lsq_checked = True
+        suppress = (thread.screen_suppress_remaining > 0
+                    or op.screen_suppressed)
+        action = self._screen(op, at_commit=True, suppress=suppress)
+        if action is not CheckAction.SINGLETON:
+            return False
+        self.stats.singleton_reexecs += 1
+        op.singleton_stall = self.hw.singleton_reexec_cycles
+        self._issue_suspended_until = max(
+            self._issue_suspended_until,
+            self.cycle + self.hw.singleton_reexec_cycles)
+        self._singleton_reexecute(thread, op)
+        return True
+
+    def _singleton_reexecute(self, thread: ThreadContext, op: MicroOp) -> None:
+        """Re-execute a single load/store from register-file values and
+        compare with the LSQ copy (Section 3.5): a mismatch means a fault
+        in the register file or the LSQ and is *declared* (detection)."""
+        base = self.prf.read(op.phys_srcs[0])
+        new_addr = effective_address(base, op.inst.imm)
+        self.stats.regfile_reads += 1
+        mismatch = new_addr != op.eff_addr
+        new_value = None
+        if op.is_store:
+            new_value = self.prf.read(op.phys_srcs[1])
+            self.stats.regfile_reads += 1
+            mismatch = mismatch or new_value != op.store_value
+        if mismatch:
+            self.stats.singleton_mismatch_detections += 1
+            self.declared_faults.append((self.cycle, op.uid, "lsq-compare"))
+        # The re-executed values are adopted (recovery for LSQ faults).
+        op.eff_addr = new_addr
+        if op.is_store:
+            op.store_value = new_value
+        if not check_address(new_addr):
+            op.exception_addr = new_addr
+
+    def _commit_op(self, thread: ThreadContext, op: MicroOp) -> bool:
+        """Architecturally retire the ROB head; False on a late exception."""
+        if op.is_store:
+            try:
+                thread.memory.write(op.eff_addr, op.store_value)
+            except MemoryFault:
+                op.exception_addr = op.eff_addr
+                self._deliver_exception(thread, op)
+                return False
+            self.stats.committed_stores += 1
+        elif op.is_load:
+            self.stats.committed_loads += 1
+
+        if op.writes_reg:
+            # Free the physical register holding the previous committed
+            # value of this logical register. A corrupted rename mapping
+            # makes this free the *wrong* (live) register — the uncovered
+            # rename-fault corruption of Section 5.5.
+            if op.old_phys_dest is not None:
+                self.free_list.free(op.old_phys_dest)
+            thread.committed_rat.set(op.inst.rd, op.phys_dest)
+
+        if op.is_mem:
+            thread.lsq.remove(op)
+        self.iq.remove(op)
+
+        if op.is_branch:
+            thread.arch_pc = (op.inst.imm if op.actual_taken else op.pc + 1)
+        elif op.inst.opcode is Opcode.HALT:
+            thread.arch_pc = op.pc + 1
+        else:
+            thread.arch_pc = op.pc + 1
+
+        op.state = OpState.COMMITTED
+        op.cycle_committed = self.cycle
+        thread.rob.pop_head()
+        thread.committed_count += 1
+        self.stats.note_commit(thread.thread_id, op.pc)
+        self._maybe_capture(thread)
+        if thread.screen_suppress_remaining > 0:
+            thread.screen_suppress_remaining -= 1
+
+        if op.inst.opcode is Opcode.HALT:
+            self._halt_thread(thread)
+        elif (thread.max_commits is not None
+                and thread.committed_count >= thread.max_commits):
+            self._halt_thread(thread)
+        return True
+
+    def _maybe_capture(self, thread: ThreadContext) -> None:
+        tid = thread.thread_id
+        target = self.snapshot_targets.get(tid)
+        if (target is not None and thread.committed_count >= target
+                and tid not in self.captured_snapshots):
+            self.captured_snapshots[tid] = thread.output_snapshot()
+
+    @property
+    def all_snapshots_captured(self) -> bool:
+        return all(tid in self.captured_snapshots
+                   for tid in self.snapshot_targets)
+
+    def set_snapshot_targets(self, targets: Dict[int, int]) -> None:
+        """Arm per-thread snapshot capture at the given committed counts.
+
+        A thread already at or past its target (or halted) is captured
+        immediately.
+        """
+        self.snapshot_targets = dict(targets)
+        self.captured_snapshots = {}
+        for thread in self.threads:
+            target = self.snapshot_targets.get(thread.thread_id)
+            if target is not None and (thread.committed_count >= target
+                                       or thread.halted):
+                self.captured_snapshots[thread.thread_id] = \
+                    thread.output_snapshot()
+
+    def _halt_thread(self, thread: ThreadContext) -> None:
+        thread.halted = True
+        thread.stop_fetch()
+        tid = thread.thread_id
+        if (tid in self.snapshot_targets
+                and tid not in self.captured_snapshots):
+            self.captured_snapshots[tid] = thread.output_snapshot()
+        self._squash_ops(thread, thread.rob.drain_all(), restore_walk=False)
+        self._fetch_buffers[thread.thread_id].clear()
+        thread.lsq.clear()
+
+    def _deliver_exception(self, thread: ThreadContext, op: MicroOp) -> None:
+        """Precise architectural exception at commit: record, halt thread
+        (the ISA has no trap handlers), squash everything younger."""
+        self.stats.exceptions += 1
+        thread.exceptions.append(
+            (thread.committed_count, op.pc, op.exception_addr))
+        thread.arch_pc = op.pc
+        op.state = OpState.COMMITTED  # consumed by the exception
+        thread.rob.pop_head()
+        if op.is_mem:
+            thread.lsq.remove(op)
+        self.iq.remove(op)
+        if op.phys_dest is not None:
+            self.free_list.free(op.phys_dest)
+        self._halt_thread(thread)
+
+    # ------------------------------------------------------------------
+    # complete stage
+    # ------------------------------------------------------------------
+    def _complete_stage(self) -> None:
+        finished = [op for op in self._executing
+                    if op.exec_done_at <= self.cycle]
+        if not finished:
+            return
+        finished.sort(key=lambda op: op.uid)
+        for op in finished:
+            if op.state is not OpState.EXECUTING:
+                # squashed earlier this cycle (possibly already unlinked)
+                if op in self._executing:
+                    self._executing.remove(op)
+                continue
+            if self._try_complete(op) and op in self._executing:
+                self._executing.remove(op)
+
+    def _sources_ready(self, op: MicroOp) -> bool:
+        return all(self.prf.is_ready(p) for p in op.phys_srcs)
+
+    def _bounce(self, op: MicroOp) -> None:
+        """Return an op whose operands became unready (producer replay) to
+        the issue queue — the load-hit-speculation-style retry."""
+        op.state = OpState.WAITING
+        op.exec_done_at = -1
+        if op.is_mem:
+            op.eff_addr = None
+            op.forwarded_from = None
+
+    def _try_complete(self, op: MicroOp) -> bool:
+        """Finish execution of *op*; returns False when it bounced."""
+        if not self._sources_ready(op):
+            self._bounce(op)
+            return False
+        thread = self.threads[op.thread_id]
+        inst = op.inst
+        opcode = inst.opcode
+
+        if op.is_load:
+            if not self._complete_load(thread, op):
+                return False
+        elif op.is_store:
+            base = self.prf.read(op.phys_srcs[0])
+            op.eff_addr = effective_address(base, inst.imm)
+            op.store_value = self.prf.read(op.phys_srcs[1])
+            self.stats.regfile_reads += 2
+            if not check_address(op.eff_addr):
+                op.exception_addr = op.eff_addr
+            else:
+                self._check_order_violation(thread, op)
+        elif op.is_branch:
+            self._complete_branch(thread, op)
+        elif opcode in (Opcode.NOP, Opcode.HALT):
+            pass
+        else:
+            srcs = [self.prf.read(p) for p in op.phys_srcs]
+            self.stats.regfile_reads += len(srcs)
+            a = srcs[0] if srcs else 0
+            b = srcs[1] if len(srcs) > 1 else 0
+            op.result = alu_result(opcode, a, b, inst.imm)
+
+        if op.phys_dest is not None and op.result is not None:
+            self.prf.write(op.phys_dest, op.result)
+            self.stats.regfile_writes += 1
+        elif op.phys_dest is not None:
+            self.prf.write(op.phys_dest, 0)
+            self.stats.regfile_writes += 1
+
+        op.state = OpState.COMPLETED
+        op.cycle_completed = self.cycle
+        self.stats.completed += 1
+        was_replay = op.replay_marked
+        if was_replay:
+            op.replay_marked = False
+            self._replay_pending.discard(op.uid)
+            if not self._replay_pending:
+                self.screening.replaying = False
+        self.iq.on_complete(op)
+
+        if op.is_mem and op.exception_addr is None:
+            # A re-completing replayed op must not re-trigger: its
+            # re-computed value is deemed final (Section 3.3).
+            self._screen_completion(thread, op, force_suppress=was_replay)
+        return True
+
+    def _complete_load(self, thread: ThreadContext, op: MicroOp) -> bool:
+        """Produce a load's value: forward from the newest older resolved
+        store to the same address, else read memory (speculatively past
+        unresolved older stores; a late-resolving store catches stale
+        loads via the memory-order violation check)."""
+        base = self.prf.read(op.phys_srcs[0])
+        self.stats.regfile_reads += 1
+        address = effective_address(base, op.inst.imm)
+        op.eff_addr = address
+        if not check_address(address):
+            op.exception_addr = address
+            op.result = 0
+            return True
+        hit, value, store_uid = thread.lsq.forward_value(op, address)
+        if hit:
+            op.result = value
+            op.forwarded_from = store_uid
+        else:
+            op.result = thread.memory.read(address)
+        return True
+
+    def _complete_branch(self, thread: ThreadContext, op: MicroOp) -> None:
+        srcs = [self.prf.read(p) for p in op.phys_srcs]
+        self.stats.regfile_reads += len(srcs)
+        a = srcs[0] if srcs else 0
+        b = srcs[1] if len(srcs) > 1 else 0
+        op.actual_taken = branch_taken(op.inst.opcode, a, b)
+        predictor = self.predictors[op.thread_id]
+        if op.inst.opcode is not Opcode.JMP:
+            op.mispredicted = op.actual_taken != op.predicted_taken
+            predictor.update(op.thread_id, op.pc, op.actual_taken,
+                             op.mispredicted)
+            if op.mispredicted:
+                self.stats.branch_mispredicts += 1
+                self._recover_from_branch(thread, op)
+
+    # ------------------------------------------------------------------
+    # screening hooks
+    # ------------------------------------------------------------------
+    def _screen(self, op: MicroOp, at_commit: bool,
+                suppress: bool) -> CheckAction:
+        """Run the load/store checks for *op*; returns the strongest action."""
+        unit = self.screening
+        saved = unit.replaying
+        if suppress:
+            unit.replaying = True
+        check = unit.check_at_commit if at_commit else unit.check_at_complete
+        try:
+            if op.is_load:
+                results = [check(CheckKind.LOAD_ADDR, op.eff_addr, op.pc)]
+            else:
+                results = [
+                    check(CheckKind.STORE_ADDR, op.eff_addr, op.pc),
+                    check(CheckKind.STORE_VALUE, op.store_value, op.pc),
+                ]
+        finally:
+            unit.replaying = saved
+        return max((r.action for r in results), key=_SEVERITY.__getitem__)
+
+    def _screen_completion(self, thread: ThreadContext, op: MicroOp,
+                           force_suppress: bool = False) -> None:
+        suppress = (force_suppress
+                    or thread.screen_suppress_remaining > 0
+                    or op.screen_suppressed)
+        action = self._screen(op, at_commit=False, suppress=suppress)
+        if action is CheckAction.REPLAY:
+            self._initiate_replay(op)
+        elif action is CheckAction.SQUASH:
+            self._screening_rollback(thread)
+
+    def _initiate_replay(self, trigger: MicroOp) -> None:
+        """Predecessor replay (Section 3.3): the trigger and its delay-
+        buffered predecessors return to the issue queue for re-execution."""
+        marked = self.iq.mark_predecessors_for_replay(trigger.uid)
+        if trigger.in_delay_buffer:
+            self.iq.delay_buffer.remove(trigger)
+        if trigger in self.iq and trigger.state is OpState.COMPLETED:
+            trigger.mark_for_replay()
+            marked.append(trigger)
+        if not marked:
+            return
+        for op in marked:
+            if op.phys_dest is not None:
+                self.prf.mark_pending(op.phys_dest)
+            self._replay_pending.add(op.uid)
+        self.stats.replay_events += 1
+        self.stats.replayed_ops += len(marked)
+        self.screening.replaying = True
+
+    def _screening_rollback(self, thread: ThreadContext) -> None:
+        """Full pipeline rollback for this thread: squash every uncommitted
+        instruction and refetch from the commit point. Recovers rename
+        faults because the speculative rename table is restored from the
+        committed one."""
+        drained = thread.rob.drain_all()
+        self._squash_ops(thread, drained, restore_walk=False)
+        thread.spec_rat.copy_from(thread.committed_rat)
+        thread.lsq.clear()
+        self._fetch_buffers[thread.thread_id].clear()
+        thread.redirect_fetch(thread.arch_pc,
+                              self.cycle + self.hw.rollback_redirect_penalty)
+        mem_ops = sum(1 for op in drained if op.is_mem)
+        thread.screen_suppress_remaining += mem_ops
+        self.stats.rollback_events += 1
+        self.stats.rollback_squashed_ops += len(drained)
+
+    # ------------------------------------------------------------------
+    # squash machinery
+    # ------------------------------------------------------------------
+    def _squash_ops(self, thread: ThreadContext, ops: List[MicroOp],
+                    restore_walk: bool) -> None:
+        """Remove *ops* from every structure. With *restore_walk*, ops must
+        be ordered youngest-first and the speculative rename table is
+        restored mapping by mapping (branch-mispredict recovery); otherwise
+        the caller restores the table wholesale (full rollback) or does not
+        need it (halt)."""
+        for op in ops:
+            if restore_walk and op.phys_dest is not None:
+                thread.spec_rat.set(op.inst.rd, op.old_phys_dest)
+            if op.phys_dest is not None:
+                self.free_list.free(op.phys_dest)
+            self.iq.remove(op)
+            if op.state is OpState.EXECUTING and op in self._executing:
+                self._executing.remove(op)
+            self._replay_pending.discard(op.uid)
+            op.state = OpState.SQUASHED
+            self.stats.squashed += 1
+        if not self._replay_pending:
+            self.screening.replaying = False
+
+    def _check_order_violation(self, thread: ThreadContext,
+                               store: MicroOp) -> None:
+        """A resolving store exposes younger completed loads to the same
+        address that consumed stale data: squash from the oldest such load
+        and refetch (standard memory-order-violation recovery)."""
+        violations = thread.lsq.violating_loads(store)
+        if not violations:
+            return
+        oldest = min(violations, key=lambda op: op.uid)
+        self.stats.memory_order_violations += 1
+        drained = thread.rob.drain_younger_than(oldest.uid - 1)
+        self._squash_ops(thread, drained, restore_walk=True)
+        thread.lsq.remove_younger_than(oldest.uid - 1)
+        self._fetch_buffers[thread.thread_id].clear()
+        thread.redirect_fetch(oldest.pc,
+                              self.cycle + self.hw.branch_mispredict_penalty)
+
+    def _recover_from_branch(self, thread: ThreadContext,
+                             branch: MicroOp) -> None:
+        drained = thread.rob.drain_younger_than(branch.uid)
+        self._squash_ops(thread, drained, restore_walk=True)
+        thread.lsq.remove_younger_than(branch.uid)
+        self._fetch_buffers[thread.thread_id].clear()
+        target = branch.inst.imm if branch.actual_taken else branch.pc + 1
+        thread.redirect_fetch(target,
+                              self.cycle + self.hw.branch_mispredict_penalty)
+        self.stats.branch_squashed_ops += len(drained)
+
+    # ------------------------------------------------------------------
+    # issue stage
+    # ------------------------------------------------------------------
+    def _issue_stage(self) -> None:
+        if self.cycle < self._issue_suspended_until:
+            return
+        budget = self.hw.issue_width
+        ready_bits = self.prf.ready
+        for op in self.iq.waiting_ops():
+            if budget <= 0:
+                break
+            # hot path: inline operand-ready check
+            srcs_ready = True
+            for phys in op.phys_srcs:
+                if not ready_bits[phys]:
+                    srcs_ready = False
+                    break
+            if not srcs_ready:
+                continue
+            thread = self.threads[op.thread_id]
+            latency = op_latency(op.inst.opcode)
+            if op.is_load:
+                base = self.prf.read(op.phys_srcs[0])
+                address = effective_address(base, op.inst.imm)
+                valid = check_address(address)
+                if not self.fus.try_claim(op.inst.op_class):
+                    continue
+                if not valid:
+                    latency = 1  # exception resolved at completion
+                else:
+                    hit, _value, _uid = thread.lsq.forward_value(op, address)
+                    if hit:
+                        latency = self.hw.l1d_latency
+                    else:
+                        hierarchy = (self._ideal_hierarchy
+                                     if thread.ideal_memory else self.hierarchy)
+                        latency = hierarchy.access(
+                            address, now=self.cycle,
+                            space=op.thread_id).latency
+            elif not self.fus.try_claim(op.inst.op_class):
+                continue
+            op.state = OpState.EXECUTING
+            op.cycle_issued = self.cycle
+            op.exec_done_at = self.cycle + latency
+            self._executing.append(op)
+            self.stats.issued += 1
+            budget -= 1
+
+    # ------------------------------------------------------------------
+    # dispatch stage
+    # ------------------------------------------------------------------
+    def _dispatch_stage(self) -> None:
+        budget = self.hw.decode_width
+        # snapshot aggregate occupancies once per cycle; dispatches below
+        # update the running totals
+        self._rob_total = sum(len(t.rob) for t in self.threads)
+        self._lsq_total = sum(len(t.lsq) for t in self.threads)
+        for thread in self._thread_order():
+            buffer = self._fetch_buffers[thread.thread_id]
+            while budget > 0 and buffer:
+                op = buffer[0]
+                if op.dispatch_ready_at > self.cycle:
+                    break
+                if not self._dispatch_op(thread, op):
+                    break
+                buffer.popleft()
+                budget -= 1
+            if budget <= 0:
+                break
+
+    def _dispatch_op(self, thread: ThreadContext, op: MicroOp) -> bool:
+        # ROB and LSQ are shared dynamically: dispatch checks aggregate
+        # occupancy across all SMT contexts.
+        if thread.rob.full or not self.iq.can_accept():
+            return False
+        if self._rob_total >= self.hw.rob_size:
+            return False
+        if op.is_mem and (thread.lsq.full
+                          or self._lsq_total >= self.hw.lsq_size):
+            return False
+        if op.inst.writes_reg and op.inst.rd != 0 and self.free_list.empty:
+            return False
+
+        op.phys_srcs = tuple(thread.spec_rat.get(r)
+                             for r in op.inst.source_regs())
+        if op.inst.writes_reg and op.inst.rd != 0:
+            new_phys = self.free_list.allocate()
+            op.old_phys_dest = thread.spec_rat.get(op.inst.rd)
+            op.phys_dest = new_phys
+            self.prf.mark_pending(new_phys)
+            thread.spec_rat.set(op.inst.rd, new_phys)
+
+        if not self.iq.insert(op):
+            # roll the rename back; this should not happen after can_accept
+            if op.phys_dest is not None:
+                thread.spec_rat.set(op.inst.rd, op.old_phys_dest)
+                self.free_list.free(op.phys_dest)
+                op.phys_dest = None
+            return False
+        if self.iq.delay_buffer.squashes > self.stats.delay_buffer_squashes:
+            self.stats.delay_buffer_squashes = self.iq.delay_buffer.squashes
+        thread.rob.push(op)
+        self._rob_total += 1
+        if op.is_mem:
+            thread.lsq.push(op)
+            self._lsq_total += 1
+        self.stats.dispatched += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # fetch stage
+    # ------------------------------------------------------------------
+    def _fetch_stage(self) -> None:
+        thread = self._fetch_thread()
+        if thread is None:
+            return
+        buffer = self._fetch_buffers[thread.thread_id]
+        predictor = self.predictors[thread.thread_id]
+        oracle = self._branch_oracles.get(thread.thread_id)
+        for _ in range(self.hw.fetch_width):
+            if len(buffer) >= FETCH_BUFFER_CAP:
+                break
+            inst = thread.program.fetch(thread.fetch_pc)
+            if inst is None:
+                thread.stop_fetch()
+                break
+            self._uid += 1
+            op = MicroOp(self._uid, thread.thread_id, thread.fetch_pc, inst,
+                         self.cycle, self.cycle + FRONTEND_DEPTH)
+            if inst.opcode is Opcode.JMP:
+                thread.fetch_pc = inst.imm
+            elif inst.is_branch:
+                hint = None
+                if oracle is not None:
+                    hint = oracle.popleft() if oracle else False
+                op.predicted_taken = predictor.predict(
+                    thread.thread_id, thread.fetch_pc, hint)
+                thread.fetch_pc = (inst.imm if op.predicted_taken
+                                   else thread.fetch_pc + 1)
+            else:
+                thread.fetch_pc += 1
+            buffer.append(op)
+            self.stats.fetched += 1
+            if inst.opcode is Opcode.HALT:
+                thread.stop_fetch()
+                break
+            if inst.is_branch and op.predicted_taken:
+                break  # taken-branch redirect ends the fetch group
+
+    def _fetch_thread(self) -> Optional[ThreadContext]:
+        """ICOUNT fetch policy: the eligible thread with the fewest
+        in-flight instructions gets the full fetch width this cycle.
+
+        This is the classic SMT fairness rule — without it a thread
+        stalled on a long miss chain fills its whole ROB partition and
+        starves the shared free list and issue queue, collapsing the
+        other thread's throughput.
+        """
+        best = None
+        best_count = None
+        n = len(self.threads)
+        for offset in range(n):
+            thread = self.threads[(self.cycle + offset) % n]
+            if (not thread.fetch_active
+                    or self.cycle < thread.fetch_stalled_until
+                    or len(self._fetch_buffers[thread.thread_id])
+                    >= FETCH_BUFFER_CAP):
+                continue
+            in_flight = (len(thread.rob)
+                         + len(self._fetch_buffers[thread.thread_id]))
+            if best_count is None or in_flight < best_count:
+                best, best_count = thread, in_flight
+        return best
+
+    def _thread_order(self) -> List[ThreadContext]:
+        n = len(self.threads)
+        start = self.cycle % n
+        return [self.threads[(start + i) % n] for i in range(n)]
+
+
+__all__ = ["PipelineCore", "FRONTEND_DEPTH"]

@@ -1,0 +1,193 @@
+"""An interactive-style debugger for the pipeline core.
+
+Built for poking at the simulator from a REPL or a script: run to a
+condition, set breakpoints on pcs or events, inspect architectural and
+micro-architectural state as text. The debugger never mutates simulation
+state except by stepping the core.
+
+Typical REPL session::
+
+    from repro import PipelineCore, FaultHoundUnit, assemble
+    from repro.pipeline.debugger import PipelineDebugger
+
+    dbg = PipelineDebugger(PipelineCore([program], screening=FaultHoundUnit()))
+    dbg.break_at_pc(7)
+    dbg.cont()
+    print(dbg.where())
+    print(dbg.registers())
+    dbg.step(20)
+    print(dbg.in_flight())
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .core import PipelineCore
+from .uops import MicroOp, OpState
+
+#: Events breakpoints can watch, mapped to stat-counter names.
+EVENT_COUNTERS = {
+    "replay": "replay_events",
+    "rollback": "rollback_events",
+    "singleton": "singleton_reexecs",
+    "mispredict": "branch_mispredicts",
+    "exception": "exceptions",
+    "violation": "memory_order_violations",
+}
+
+
+class Breakpoint:
+    """A stop condition evaluated after every cycle."""
+
+    def __init__(self, description: str,
+                 condition: Callable[[PipelineCore], bool]):
+        self.description = description
+        self.condition = condition
+        self.hits = 0
+
+    def check(self, core: PipelineCore) -> bool:
+        if self.condition(core):
+            self.hits += 1
+            return True
+        return False
+
+
+class PipelineDebugger:
+    """Step/continue/inspect wrapper around a :class:`PipelineCore`."""
+
+    def __init__(self, core: PipelineCore):
+        self.core = core
+        self.breakpoints: List[Breakpoint] = []
+        self.last_stop: Optional[str] = None
+
+    # -- breakpoints ------------------------------------------------------
+    def break_at_pc(self, pc: int, thread_id: int = 0) -> Breakpoint:
+        """Stop at the end of the cycle in which the instruction at *pc*
+        commits (reads the core's recent-commit ring, so a pc that enters
+        and leaves the ROB head inside one wide commit batch still hits)."""
+        state = {"seen": self.core.stats.committed}
+
+        def hit(core: PipelineCore) -> bool:
+            new = core.stats.committed - state["seen"]
+            state["seen"] = core.stats.committed
+            if new <= 0:
+                return False
+            recent = list(core.stats.recent_commits)[-new:]
+            return any(t == thread_id and p == pc for t, p in recent)
+        bp = Breakpoint(f"pc=={pc} (t{thread_id}) committed", hit)
+        self.breakpoints.append(bp)
+        return bp
+
+    def break_on_event(self, event: str) -> Breakpoint:
+        """Stop when a pipeline event (replay/rollback/...) occurs."""
+        try:
+            counter = EVENT_COUNTERS[event]
+        except KeyError:
+            raise ValueError(f"unknown event {event!r}; "
+                             f"known: {sorted(EVENT_COUNTERS)}") from None
+        baseline = getattr(self.core.stats, counter)
+        state = {"seen": baseline}
+
+        def hit(core: PipelineCore) -> bool:
+            current = getattr(core.stats, counter)
+            if current > state["seen"]:
+                state["seen"] = current
+                return True
+            return False
+        bp = Breakpoint(f"event {event}", hit)
+        self.breakpoints.append(bp)
+        return bp
+
+    def break_when(self, description: str,
+                   condition: Callable[[PipelineCore], bool]) -> Breakpoint:
+        bp = Breakpoint(description, condition)
+        self.breakpoints.append(bp)
+        return bp
+
+    def clear_breakpoints(self) -> None:
+        self.breakpoints.clear()
+
+    # -- execution --------------------------------------------------------
+    def step(self, cycles: int = 1) -> None:
+        """Advance unconditionally (breakpoints are not evaluated)."""
+        for _ in range(cycles):
+            if self.core.all_halted:
+                break
+            self.core.step()
+
+    def cont(self, max_cycles: int = 1_000_000) -> Optional[Breakpoint]:
+        """Run until a breakpoint fires, the core halts, or *max_cycles*."""
+        for _ in range(max_cycles):
+            if self.core.all_halted:
+                self.last_stop = "halted"
+                return None
+            self.core.step()
+            for bp in self.breakpoints:
+                if bp.check(self.core):
+                    self.last_stop = bp.description
+                    return bp
+        self.last_stop = "max_cycles"
+        return None
+
+    # -- inspection -------------------------------------------------------
+    def where(self) -> str:
+        """One line per thread: commit point and fetch point."""
+        lines = [f"cycle {self.core.cycle}"
+                 + (f"  (stopped: {self.last_stop})" if self.last_stop
+                    else "")]
+        for thread in self.core.threads:
+            head = thread.rob.head()
+            head_text = (f"head uid={head.uid} pc={head.pc} "
+                         f"{head.inst.opcode.value} [{head.state.value}]"
+                         if head else "rob empty")
+            lines.append(f"  t{thread.thread_id}: committed="
+                         f"{thread.committed_count} fetch_pc="
+                         f"{thread.fetch_pc} {head_text}"
+                         + ("  HALTED" if thread.halted else ""))
+        return "\n".join(lines)
+
+    def registers(self, thread_id: int = 0, count: int = 16) -> str:
+        """Architectural register values (via the committed rename table)."""
+        thread = self.core.threads[thread_id]
+        cells = []
+        for reg in range(count):
+            value = thread.arch_reg_value(reg, self.core.prf)
+            cells.append(f"r{reg:<2}={value:#x}")
+        rows = [" ".join(cells[i:i + 4]) for i in range(0, len(cells), 4)]
+        return "\n".join(rows)
+
+    def in_flight(self, thread_id: Optional[int] = None,
+                  limit: int = 20) -> str:
+        """The ROB contents, oldest first."""
+        lines = []
+        for thread in self.core.threads:
+            if thread_id is not None and thread.thread_id != thread_id:
+                continue
+            for op in list(thread.rob)[:limit]:
+                lines.append(
+                    f"  t{thread.thread_id} uid={op.uid:<5} pc={op.pc:<4} "
+                    f"{str(op.inst):24s} {op.state.value}"
+                    + (" [delay-buf]" if op.in_delay_buffer else "")
+                    + (" [replay]" if op.replay_marked else ""))
+        return "\n".join(lines) if lines else "  (nothing in flight)"
+
+    def screening_state(self) -> str:
+        """Summary of the attached screening unit."""
+        unit = self.core.screening
+        lines = [f"scheme: {unit.name}  checks={unit.checks} "
+                 f"triggers={unit.trigger_count}"]
+        for attr, label in (("addresses", "address TCAM"),
+                            ("values", "value TCAM")):
+            domain = getattr(unit, attr, None)
+            if domain is not None and domain.tcam is not None:
+                lines.append(f"  {label}: {domain.tcam.valid_entries}"
+                             f"/{len(domain.tcam)} entries, "
+                             f"{domain.tcam.triggers} triggers")
+        return "\n".join(lines)
+
+    def stats(self) -> Dict[str, float]:
+        return self.core.stats.summary()
+
+
+__all__ = ["Breakpoint", "PipelineDebugger", "EVENT_COUNTERS"]

@@ -1,0 +1,56 @@
+"""Per-cycle functional-unit issue bandwidth (Table 2: 4 ALU, 2 Mul, 2 FPU,
+plus 2 data-cache ports for loads/stores)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..config import HardwareConfig
+from ..isa.opcodes import OpClass
+
+#: Data-cache ports — loads and stores issued per cycle. Table 2 does not
+#: list this; two ports is the conventional value for a 4-wide core.
+MEM_PORTS = 2
+
+
+class FunctionalUnits:
+    """Tracks how many ops of each class may still issue this cycle."""
+
+    def __init__(self, hw: HardwareConfig):
+        self._limits: Dict[OpClass, int] = {
+            OpClass.ALU: hw.num_alus,
+            OpClass.MUL: hw.num_muls,
+            OpClass.FPU: hw.num_fpus,
+            OpClass.LOAD: MEM_PORTS,
+            OpClass.STORE: MEM_PORTS,
+            OpClass.BRANCH: hw.num_alus,   # branches share the ALUs
+            OpClass.OTHER: hw.num_alus,
+        }
+        self._available: Dict[OpClass, int] = {}
+        self.new_cycle()
+
+    def new_cycle(self) -> None:
+        self._available = dict(self._limits)
+        # loads and stores share the memory ports
+        self._mem_available = MEM_PORTS
+
+    def try_claim(self, op_class: OpClass) -> bool:
+        """Claim an issue slot for *op_class*; False when exhausted."""
+        if op_class in (OpClass.LOAD, OpClass.STORE):
+            if self._mem_available <= 0:
+                return False
+            self._mem_available -= 1
+            return True
+        if self._available[op_class] <= 0:
+            return False
+        if op_class in (OpClass.BRANCH, OpClass.OTHER):
+            # shared with plain ALU ops
+            if self._available[OpClass.ALU] <= 0:
+                return False
+            self._available[OpClass.ALU] -= 1
+            return True
+        self._available[op_class] -= 1
+        return True
+
+
+__all__ = ["FunctionalUnits", "MEM_PORTS"]

@@ -1,0 +1,145 @@
+"""Issue queue with FaultHound's completed-instruction delay buffer.
+
+Conventionally, completed instructions vacate the issue queue immediately.
+FaultHound (Section 3.3) delays that exit: the last few completed
+instructions linger — tracked here by a small FIFO "delay buffer" — so a
+soft-fault trigger can mark *preceding* instructions for replay. A
+newly-dispatching instruction that needs a slot may evict a lingering
+completed instruction, in which case the whole delay buffer is squashed
+(the paper's best-effort rule), costing only marginal coverage.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from .uops import MicroOp, OpState
+
+
+class DelayBuffer:
+    """FIFO of recently completed ops still occupying issue-queue slots."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._ops: Deque[MicroOp] = deque()
+        self.squashes = 0
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self):
+        return iter(self._ops)
+
+    def push(self, op: MicroOp) -> Optional[MicroOp]:
+        """Add a newly completed op; returns the op that aged out of the
+        buffer (and thus finally vacates the issue queue), if any."""
+        op.in_delay_buffer = True
+        self._ops.append(op)
+        if len(self._ops) > self.capacity:
+            evicted = self._ops.popleft()
+            evicted.in_delay_buffer = False
+            return evicted
+        return None
+
+    def remove(self, op: MicroOp) -> None:
+        if op.in_delay_buffer:
+            op.in_delay_buffer = False
+            self._ops.remove(op)
+
+    def squash(self) -> List[MicroOp]:
+        """Drop every buffered op (they lose their replay opportunity)."""
+        dropped = list(self._ops)
+        for op in dropped:
+            op.in_delay_buffer = False
+        self._ops.clear()
+        self.squashes += 1
+        return dropped
+
+    def predecessors_of(self, uid: int) -> List[MicroOp]:
+        """Buffered ops older than *uid* — the replay candidates."""
+        return [op for op in self._ops if op.uid < uid]
+
+
+class IssueQueue:
+    """Shared out-of-order scheduling window.
+
+    Ops occupy a slot from dispatch until they either commit-with-
+    completion... more precisely: until they age out of the delay buffer
+    after completing, are evicted by a dispatching newcomer, commit, or are
+    squashed. Replay-marked ops revert to WAITING in place.
+    """
+
+    def __init__(self, capacity: int, delay_buffer_size: int):
+        self.capacity = capacity
+        self.delay_buffer = DelayBuffer(delay_buffer_size)
+        self._ops: List[MicroOp] = []
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self):
+        return iter(self._ops)
+
+    def __contains__(self, op: MicroOp) -> bool:
+        return op in self._ops
+
+    @property
+    def has_free_slot(self) -> bool:
+        return len(self._ops) < self.capacity
+
+    def can_accept(self) -> bool:
+        """A newcomer fits if there is a free slot or an evictable
+        (completed, delay-buffered) op."""
+        return self.has_free_slot or len(self.delay_buffer) > 0
+
+    def insert(self, op: MicroOp) -> bool:
+        """Dispatch *op* into the queue; returns False when full.
+
+        Eviction of a completed op squashes the entire delay buffer
+        (Section 3.3: later buffered ops must not wait on a replaced one).
+        """
+        if not self.has_free_slot:
+            if not self.delay_buffer:
+                return False
+            for dropped in self.delay_buffer.squash():
+                if dropped in self._ops:
+                    self._ops.remove(dropped)
+        self._ops.append(op)
+        op.state = OpState.WAITING
+        return True
+
+    def remove(self, op: MicroOp) -> None:
+        self.delay_buffer.remove(op)
+        if op in self._ops:
+            self._ops.remove(op)
+
+    def on_complete(self, op: MicroOp) -> None:
+        """Completion: the op enters the delay buffer instead of leaving;
+        the op that ages out finally vacates its slot."""
+        evicted = self.delay_buffer.push(op)
+        if evicted is not None and evicted in self._ops:
+            self._ops.remove(evicted)
+
+    def waiting_ops(self) -> List[MicroOp]:
+        """Schedulable candidates, oldest-first.
+
+        ``_ops`` is kept in dispatch order, which is age order per thread
+        (and nearly so globally); replay-marked ops re-enter WAITING in
+        place, preserving their position. Avoiding a per-cycle sort is a
+        measurable win in the hottest loop.
+        """
+        return [op for op in self._ops if op.state is OpState.WAITING]
+
+    def mark_predecessors_for_replay(self, trigger_uid: int) -> List[MicroOp]:
+        """Flip every delay-buffered predecessor of *trigger_uid* back to
+        WAITING; returns the marked ops."""
+        marked = []
+        for op in self.delay_buffer.predecessors_of(trigger_uid):
+            self.delay_buffer.remove(op)
+            op.mark_for_replay()
+            marked.append(op)
+        return marked
+
+
+__all__ = ["DelayBuffer", "IssueQueue"]

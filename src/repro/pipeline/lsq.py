@@ -1,0 +1,101 @@
+"""Per-thread load-store queue.
+
+Entries are the memory ops themselves in program order. Loads issue
+speculatively past older stores with unresolved addresses; a load whose
+address matches an older *resolved* store forwards the newest such store's
+value. When a store resolves its address, younger already-completed loads
+to the same address that did not forward from it (or something newer) are
+memory-order violations and are squashed and re-fetched. Stores write
+memory at commit. Between execution and commit the queue holds each op's
+address (and store value) — the residency window the paper's LSQ fault
+injection and commit-time check target (Section 3.5).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .uops import MicroOp
+
+
+class LoadStoreQueue:
+    """Program-ordered window of in-flight memory operations."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._ops: List[MicroOp] = []
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self):
+        return iter(self._ops)
+
+    @property
+    def full(self) -> bool:
+        return len(self._ops) >= self.capacity
+
+    def push(self, op: MicroOp) -> None:
+        self._ops.append(op)
+
+    def remove(self, op: MicroOp) -> None:
+        self._ops.remove(op)
+
+    def remove_younger_than(self, uid: int) -> None:
+        self._ops = [op for op in self._ops if op.uid <= uid]
+
+    def clear(self) -> None:
+        self._ops.clear()
+
+    def older_stores_resolved(self, load: MicroOp) -> bool:
+        """True when every store older than *load* has a known address."""
+        for op in self._ops:
+            if op.uid >= load.uid:
+                break
+            if op.is_store and op.eff_addr is None:
+                return False
+        return True
+
+    def violating_loads(self, store: MicroOp) -> List[MicroOp]:
+        """Younger completed loads to *store*'s address that consumed a
+        stale value — memory-order violations exposed when *store*
+        resolves. A load is safe only if it forwarded from this store or
+        a younger one."""
+        from .uops import OpState
+        violations = []
+        for op in self._ops:
+            if (op.uid > store.uid and op.is_load
+                    and op.state is OpState.COMPLETED
+                    and op.eff_addr == store.eff_addr
+                    and (op.forwarded_from is None
+                         # <= : a load that forwarded from this very store
+                         # is stale too when the store re-resolves after a
+                         # replay (its value may have been corrected)
+                         or op.forwarded_from <= store.uid)):
+                violations.append(op)
+        return violations
+
+    def forward_value(self, load: MicroOp,
+                      address: int) -> Tuple[bool, Optional[int], Optional[int]]:
+        """Store-to-load forwarding: (hit, value, store_uid) from the newest
+        older store to *address* whose value is resolved."""
+        best: Optional[MicroOp] = None
+        for op in self._ops:
+            if op.uid >= load.uid:
+                break
+            if op.is_store and op.eff_addr == address:
+                best = op
+        if best is not None and best.store_value is not None:
+            return True, best.store_value, best.uid
+        return False, None, None
+
+    def resident(self, op: MicroOp) -> bool:
+        return op in self._ops
+
+    def executed_entries(self) -> List[MicroOp]:
+        """Ops whose address is resolved and which await commit — the
+        fault-injection target population for the LSQ."""
+        return [op for op in self._ops if op.eff_addr is not None]
+
+
+__all__ = ["LoadStoreQueue"]

@@ -1,0 +1,81 @@
+"""Merged physical register file with ready bits and a free list.
+
+Architectural values live in physical registers until the next writer of
+the same logical register commits — exactly the structure whose fault
+behaviour the paper studies (most PRF faults are masked because consumers
+read bypassed values; only distant consumers and recovery paths read the
+register file).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..config import VALUE_MASK
+from ..errors import SimulationError
+
+
+class PhysicalRegisterFile:
+    """``num_regs`` 64-bit physical registers, each with a ready bit."""
+
+    def __init__(self, num_regs: int):
+        if num_regs <= 0:
+            raise SimulationError("register file needs at least one register")
+        self.num_regs = num_regs
+        self.values: List[int] = [0] * num_regs
+        self.ready: List[bool] = [True] * num_regs
+
+    def read(self, reg: int) -> int:
+        return self.values[reg]
+
+    def write(self, reg: int, value: int) -> None:
+        self.values[reg] = value & VALUE_MASK
+        self.ready[reg] = True
+
+    def mark_pending(self, reg: int) -> None:
+        self.ready[reg] = False
+
+    def is_ready(self, reg: int) -> bool:
+        return self.ready[reg]
+
+    def flip_bit(self, reg: int, bit: int) -> int:
+        """Inject a single-bit soft fault; returns the corrupted value."""
+        if not 0 <= bit < 64:
+            raise SimulationError(f"bit {bit} out of range")
+        self.values[reg] ^= 1 << bit
+        return self.values[reg]
+
+
+class FreeList:
+    """FIFO free list of physical register tags.
+
+    Deliberately tolerant of double-frees: a rename fault can cause commit
+    to free a live register (paper Section 5.5, "freeing incorrect physical
+    registers"), and the resulting reallocation-clobber is part of the fault
+    model rather than a simulator error.
+    """
+
+    def __init__(self, tags):
+        self._tags: List[int] = list(tags)
+
+    def __len__(self) -> int:
+        return len(self._tags)
+
+    @property
+    def empty(self) -> bool:
+        return not self._tags
+
+    def allocate(self) -> Optional[int]:
+        """Pop a free tag, or ``None`` when exhausted (dispatch stalls)."""
+        if self._tags:
+            return self._tags.pop(0)
+        return None
+
+    def free(self, tag: int) -> None:
+        self._tags.append(tag)
+
+    def contains(self, tag: int) -> bool:
+        return tag in self._tags
+
+
+__all__ = ["PhysicalRegisterFile", "FreeList"]

@@ -1,0 +1,50 @@
+"""Register renaming: speculative and committed rename tables.
+
+The speculative table maps each logical register to the physical register
+holding its newest (possibly uncommitted) value. The committed table holds
+the architectural mapping and is the recovery point for full rollbacks.
+Rename-table fault injection flips a bit of a speculative mapping — the
+"unintended, albeit unchanged, value" fault class of Section 3.4.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import SimulationError
+
+
+class RenameTable:
+    """One logical-to-physical mapping table (32 logical registers)."""
+
+    def __init__(self, initial_mapping: List[int], num_phys: int):
+        if len(initial_mapping) != 32:
+            raise SimulationError("rename table needs 32 entries")
+        self.map: List[int] = list(initial_mapping)
+        self.num_phys = num_phys
+
+    def get(self, logical: int) -> int:
+        return self.map[logical]
+
+    def set(self, logical: int, phys: int) -> None:
+        self.map[logical] = phys
+
+    def copy_from(self, other: "RenameTable") -> None:
+        self.map[:] = other.map
+
+    def snapshot(self) -> List[int]:
+        return list(self.map)
+
+    def flip_bit(self, logical: int, bit: int) -> int:
+        """Inject a rename fault: flip one bit of a mapping.
+
+        The corrupted pointer is wrapped into the valid physical-register
+        range (a real out-of-range tag is undefined hardware behaviour; the
+        wrap keeps the fault architecturally meaningful).
+        """
+        corrupted = (self.map[logical] ^ (1 << bit)) % self.num_phys
+        self.map[logical] = corrupted
+        return corrupted
+
+
+__all__ = ["RenameTable"]

@@ -1,0 +1,56 @@
+"""Per-thread re-order buffer: program-ordered in-flight ops."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, List, Optional
+
+from .uops import MicroOp
+
+
+class ReorderBuffer:
+    """FIFO of dispatched, uncommitted micro-ops for one thread."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._ops: Deque[MicroOp] = deque()
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[MicroOp]:
+        return iter(self._ops)
+
+    @property
+    def full(self) -> bool:
+        return len(self._ops) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._ops
+
+    def push(self, op: MicroOp) -> None:
+        self._ops.append(op)
+
+    def head(self) -> Optional[MicroOp]:
+        return self._ops[0] if self._ops else None
+
+    def pop_head(self) -> MicroOp:
+        return self._ops.popleft()
+
+    def drain_all(self) -> List[MicroOp]:
+        """Remove and return every op (full rollback)."""
+        drained = list(self._ops)
+        self._ops.clear()
+        return drained
+
+    def drain_younger_than(self, uid: int) -> List[MicroOp]:
+        """Remove and return ops with uid greater than *uid*, youngest
+        first (the order a walk-based rename restore needs)."""
+        drained = []
+        while self._ops and self._ops[-1].uid > uid:
+            drained.append(self._ops.pop())
+        return drained
+
+
+__all__ = ["ReorderBuffer"]

@@ -1,0 +1,85 @@
+"""Pipeline event counters: the raw material for performance and energy."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Tuple
+
+
+@dataclass
+class PipelineStats:
+    """Per-run event counts. Every field feeds either the performance
+    metrics (Figure 9), the energy model (Figure 10) or the breakdown
+    analyses (Figures 11/12)."""
+
+    cycles: int = 0
+    fetched: int = 0
+    dispatched: int = 0
+    issued: int = 0
+    completed: int = 0
+    committed: int = 0
+    committed_loads: int = 0
+    committed_stores: int = 0
+    squashed: int = 0
+
+    branch_mispredicts: int = 0
+    branch_squashed_ops: int = 0
+    memory_order_violations: int = 0
+
+    # screening recovery actions
+    replay_events: int = 0
+    replayed_ops: int = 0
+    rollback_events: int = 0
+    rollback_squashed_ops: int = 0
+    singleton_reexecs: int = 0
+    singleton_mismatch_detections: int = 0
+    delay_buffer_squashes: int = 0
+
+    exceptions: int = 0
+
+    # regfile traffic (energy)
+    regfile_reads: int = 0
+    regfile_writes: int = 0
+
+    per_thread_committed: Dict[int, int] = field(default_factory=dict)
+    #: Ring of the most recent commits as (thread_id, pc) — enough for a
+    #: debugger to see everything committed since its last per-cycle check
+    #: (commit width is far below the ring size).
+    recent_commits: Deque[Tuple[int, int]] = field(
+        default_factory=lambda: deque(maxlen=32))
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.committed if self.committed else 0.0
+
+    def thread_committed(self, thread_id: int) -> int:
+        return self.per_thread_committed.get(thread_id, 0)
+
+    def note_commit(self, thread_id: int, pc: int = -1) -> None:
+        self.committed += 1
+        self.per_thread_committed[thread_id] = (
+            self.per_thread_committed.get(thread_id, 0) + 1)
+        self.recent_commits.append((thread_id, pc))
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict for reports and EXPERIMENTS.md tables."""
+        return {
+            "cycles": self.cycles,
+            "committed": self.committed,
+            "ipc": round(self.ipc, 4),
+            "branch_mispredicts": self.branch_mispredicts,
+            "replay_events": self.replay_events,
+            "replayed_ops": self.replayed_ops,
+            "rollback_events": self.rollback_events,
+            "rollback_squashed_ops": self.rollback_squashed_ops,
+            "singleton_reexecs": self.singleton_reexecs,
+            "exceptions": self.exceptions,
+        }
+
+
+__all__ = ["PipelineStats"]

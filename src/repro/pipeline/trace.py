@@ -1,0 +1,136 @@
+"""Pipeline tracing: Konata-style text diagrams of instruction flow.
+
+The tracer drives a core cycle by cycle, registering every micro-op it
+sees in flight; because :class:`~repro.pipeline.uops.MicroOp` carries its
+full timing history (fetch, dispatch-ready, issue, completion, commit),
+the lane diagram is reconstructed post-hoc:
+
+====  ==========================================
+ F    in the fetch buffer (front end)
+ w    waiting in the issue queue
+ E    executing
+ c    completed, lingering (delay buffer window)
+ R    committed (retired)
+ x    squashed
+====  ==========================================
+
+Typical use::
+
+    tracer = PipelineTracer(core)
+    tracer.run(200)
+    print(tracer.render(limit=30))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .core import PipelineCore
+from .uops import MicroOp, OpState
+
+
+class PipelineTracer:
+    """Collects in-flight micro-ops while stepping a core."""
+
+    def __init__(self, core: PipelineCore, max_ops: int = 5000):
+        self.core = core
+        self.max_ops = max_ops
+        self._ops: Dict[int, MicroOp] = {}
+
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        """Register everything currently in flight (call after step())."""
+        for source in self.core._fetch_buffers + [
+                thread.rob for thread in self.core.threads]:
+            for op in source:
+                if len(self._ops) >= self.max_ops:
+                    return
+                self._ops.setdefault(op.uid, op)
+
+    def run(self, cycles: int) -> None:
+        """Step the core *cycles* times, tracing along the way."""
+        for _ in range(cycles):
+            if self.core.all_halted:
+                break
+            self.core.step()
+            self.tick()
+
+    # ------------------------------------------------------------------
+    @property
+    def traced_ops(self) -> List[MicroOp]:
+        return [self._ops[uid] for uid in sorted(self._ops)]
+
+    def _lane(self, op: MicroOp, start: int, end: int) -> str:
+        """One op's stage letters over [start, end)."""
+        cells = []
+        for cycle in range(start, end):
+            cells.append(self._stage_at(op, cycle))
+        return "".join(cells)
+
+    @staticmethod
+    def _stage_at(op: MicroOp, cycle: int) -> str:
+        if cycle < op.cycle_fetched:
+            return " "
+        if op.state is OpState.SQUASHED:
+            # timing of the squash is not recorded; mark the whole tail
+            if op.cycle_issued >= 0 and cycle >= op.cycle_issued:
+                return "x"
+        if op.cycle_committed >= 0 and cycle >= op.cycle_committed:
+            return "R" if cycle == op.cycle_committed else " "
+        if op.cycle_completed >= 0 and cycle >= op.cycle_completed:
+            return "c"
+        if op.cycle_issued >= 0 and cycle >= op.cycle_issued:
+            return "E"
+        if cycle >= op.dispatch_ready_at:
+            return "w"
+        return "F"
+
+    def render(self, first_uid: Optional[int] = None, limit: int = 40,
+               width: int = 64) -> str:
+        """Text diagram: one row per op, lanes over a cycle window."""
+        ops = self.traced_ops
+        if first_uid is not None:
+            ops = [op for op in ops if op.uid >= first_uid]
+        ops = ops[:limit]
+        if not ops:
+            return "(no ops traced)"
+        start = min(op.cycle_fetched for op in ops)
+        end = min(start + width,
+                  max(self._last_cycle(op) for op in ops) + 2)
+        header = (f"{'uid':>5s} {'t':>1s} {'pc':>5s} {'op':20s} "
+                  f"cycles {start}..{end - 1}")
+        lines = [header]
+        for op in ops:
+            lane = self._lane(op, start, end)
+            lines.append(f"{op.uid:5d} {op.thread_id:1d} {op.pc:5d} "
+                         f"{str(op.inst)[:20]:20s} |{lane}|")
+        return "\n".join(lines)
+
+    @staticmethod
+    def _last_cycle(op: MicroOp) -> int:
+        return max(op.cycle_fetched, op.cycle_issued, op.cycle_completed,
+                   op.cycle_committed, op.exec_done_at)
+
+    # ------------------------------------------------------------------
+    def stage_histogram(self) -> Dict[str, float]:
+        """Mean per-op residency (in cycles) of each pipeline segment for
+        committed ops — a quick bottleneck summary."""
+        committed = [op for op in self.traced_ops
+                     if op.state is OpState.COMMITTED
+                     and op.cycle_issued >= 0]
+        if not committed:
+            return {}
+        n = len(committed)
+        return {
+            "frontend": sum(op.dispatch_ready_at - op.cycle_fetched
+                            for op in committed) / n,
+            "wait": sum(max(0, op.cycle_issued - op.dispatch_ready_at)
+                        for op in committed) / n,
+            "execute": sum(max(1, op.cycle_completed - op.cycle_issued)
+                           for op in committed) / n,
+            "commit_wait": sum(max(0, op.cycle_committed - op.cycle_completed)
+                               for op in committed) / n,
+        }
+
+
+__all__ = ["PipelineTracer"]

@@ -1,0 +1,126 @@
+"""The in-flight micro-op: one dynamic instance of a static instruction."""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+from ..isa.instruction import Instruction
+
+
+class OpState(enum.Enum):
+    """Lifecycle of a micro-op through the back end."""
+
+    FETCHED = "fetched"        # in the fetch buffer, pre-rename
+    WAITING = "waiting"        # in the issue queue, sources not all ready
+    EXECUTING = "executing"    # issued, execution timer running
+    COMPLETED = "completed"    # result written back; may sit in delay buffer
+    COMMITTED = "committed"
+    SQUASHED = "squashed"
+
+
+class MicroOp:
+    """Mutable per-dynamic-instruction state.
+
+    ``uid`` is a core-global monotone sequence number: program order within
+    a thread, dispatch order across threads. FaultHound's "preceding
+    instructions" are ops with smaller uid.
+    """
+
+    __slots__ = (
+        "uid", "thread_id", "pc", "inst", "state",
+        "phys_dest", "old_phys_dest", "phys_srcs",
+        "result", "eff_addr", "store_value",
+        "predicted_taken", "actual_taken", "mispredicted",
+        "cycle_fetched", "dispatch_ready_at", "cycle_issued",
+        "exec_done_at", "cycle_completed", "cycle_committed",
+        "exception_addr", "forwarded_from",
+        "replay_marked", "in_delay_buffer", "singleton_stall",
+        "screen_suppressed", "lsq_checked",
+    )
+
+    def __init__(self, uid: int, thread_id: int, pc: int, inst: Instruction,
+                 cycle_fetched: int, dispatch_ready_at: int):
+        self.uid = uid
+        self.thread_id = thread_id
+        self.pc = pc
+        self.inst = inst
+        self.state = OpState.FETCHED
+
+        self.phys_dest: Optional[int] = None
+        self.old_phys_dest: Optional[int] = None
+        self.phys_srcs: Tuple[int, ...] = ()
+
+        self.result: Optional[int] = None
+        self.eff_addr: Optional[int] = None
+        self.store_value: Optional[int] = None
+
+        self.predicted_taken: Optional[bool] = None
+        self.actual_taken: Optional[bool] = None
+        self.mispredicted = False
+
+        self.cycle_fetched = cycle_fetched
+        self.dispatch_ready_at = dispatch_ready_at
+        self.cycle_issued = -1
+        self.exec_done_at = -1
+        self.cycle_completed = -1
+        self.cycle_committed = -1
+
+        #: Address of an architectural memory fault raised by this op, to
+        #: be delivered precisely at commit.
+        self.exception_addr: Optional[int] = None
+        #: uid of the store this load forwarded from, if any.
+        self.forwarded_from: Optional[int] = None
+
+        self.replay_marked = False
+        self.in_delay_buffer = False
+        #: Remaining stall cycles for a singleton re-execute at commit.
+        self.singleton_stall = 0
+        #: True when this op re-executes as part of screening recovery and
+        #: must not re-trigger checks ("re-computed values deemed final").
+        self.screen_suppressed = False
+        #: True once the commit-time LSQ check has run for this op.
+        self.lsq_checked = False
+
+    # -- convenience ------------------------------------------------------
+    @property
+    def is_load(self) -> bool:
+        return self.inst.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.inst.is_store
+
+    @property
+    def is_mem(self) -> bool:
+        return self.inst.is_mem
+
+    @property
+    def is_branch(self) -> bool:
+        return self.inst.is_branch
+
+    @property
+    def writes_reg(self) -> bool:
+        return self.inst.writes_reg and self.inst.rd != 0
+
+    @property
+    def completed(self) -> bool:
+        return self.state is OpState.COMPLETED
+
+    def mark_for_replay(self) -> None:
+        """Return a completed op to the waiting state for re-execution."""
+        self.replay_marked = True
+        self.in_delay_buffer = False
+        self.state = OpState.WAITING
+        self.result = None
+        self.eff_addr = None
+        self.store_value = None
+        self.exec_done_at = -1
+        self.forwarded_from = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<uop {self.uid} t{self.thread_id} pc={self.pc} "
+                f"{self.inst.opcode.value} {self.state.value}>")
+
+
+__all__ = ["MicroOp", "OpState"]

@@ -1,0 +1,5 @@
+"""Redundant-execution baselines (SRT / SRT-iso, paper Section 4)."""
+
+from .srt import srt_iso_core, dynamic_length
+
+__all__ = ["srt_iso_core", "dynamic_length"]

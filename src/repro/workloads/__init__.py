@@ -1,0 +1,24 @@
+"""Synthetic workloads reproducing the paper's benchmark suites.
+
+We cannot run SPEC2006, Apache, SPECjbb, OLTP or SPLASH-2 binaries
+(no SPARC/Solaris stack); instead each benchmark is a parameterised
+generator whose *value-locality statistics* — load/store address patterns,
+store-value bit-change profiles (Figure 6), branch predictability and
+cache behaviour — are shaped to match the paper's description of that
+workload class. The FaultHound mechanisms respond to exactly these
+statistics, which is what makes the substitution sound (DESIGN.md §1).
+"""
+
+from .value_models import pointer_ring, region_bases
+from .profiles import WorkloadProfile, PROFILES, SUITES
+from .generator import build_program, build_smt_programs
+
+__all__ = [
+    "pointer_ring",
+    "region_bases",
+    "WorkloadProfile",
+    "PROFILES",
+    "SUITES",
+    "build_program",
+    "build_smt_programs",
+]

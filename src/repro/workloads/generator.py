@@ -1,0 +1,351 @@
+"""Synthesise an ISA program from a :class:`WorkloadProfile`.
+
+The generated program is one big loop whose body mixes sequential and
+pointer-chasing loads, stores with a profile-selected value-evolution
+model, address arithmetic, ALU filler and data-dependent branches. All the
+layout randomness is drawn from the profile's seed, so builds are
+reproducible bit-for-bit.
+
+The bodies are built for *realistic fault-masking behaviour* (the paper's
+~85% masked fraction, Figure 7): most values live in rotating temporaries
+that die within one iteration (like bypass-consumed values in real code),
+persistent cursors and accumulators are self-masking through their ANDI
+wrap masks (a flipped high bit is scrubbed on the next iteration), and
+constants are rematerialised every iteration the way compilers do. What
+remains architecturally vulnerable — loop counters, the chase pointer's
+in-ring bits, live accumulator bits — is the genuine SDC surface.
+
+Register convention (all generated programs):
+
+=======  =====================================================
+r1       loop counter (counts down to zero; full fault surface)
+r2       sequential cursor (byte offset; self-masking via ANDI)
+r3       pointer-chase cursor (rebased into the ring every chase)
+r4       store-value accumulator (self-masking per value model)
+r5       current region offset (self-masking)
+r10      store cursor (self-masking)
+r12      heap base (rematerialised every iteration)
+r13      region-switch countdown
+r14      outlier-event countdown
+r15      wide-model multiplier (rematerialised every iteration)
+r19      this iteration's outlier address perturbation (usually 0)
+r20-r28  rotating temporaries, dead within the iteration
+=======  =====================================================
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from ..errors import WorkloadError
+from ..isa.assembler import assemble
+from ..isa.program import Program
+from .profiles import WorkloadProfile
+from .value_models import data_table, pointer_ring
+
+#: Words of initial payload data seeded at the start of the sequential
+#: region, so data-dependent value models (drift/mix/wide) see real values
+#: from the first iteration.
+SEED_DATA_WORDS = 1 << 12
+
+#: Absolute base of the generated heap.
+HEAP_BASE = 0x10_0000
+#: Pointer-chase rings are capped (at the L1 capacity) so tandem-fork deep
+#: copies stay cheap and chase-bound IPC lands in a realistic band; larger
+#: working sets express themselves through the sequential span.
+MAX_CHASE_WORDS = 1 << 12
+
+
+def _mask_for(words: int) -> int:
+    """AND-mask that wraps an 8-aligned byte offset inside *words* slots."""
+    if words & (words - 1):
+        raise WorkloadError("working-set word counts must be powers of two")
+    return 8 * (words - 1)
+
+
+def build_program(profile: WorkloadProfile, dynamic_target: int = 20_000,
+                  copy_index: int = 0, swift: bool = False) -> Program:
+    """Build one copy of *profile* long enough to commit roughly
+    *dynamic_target* instructions.
+
+    ``swift=True`` emits a SWIFT-style software-redundant variant (the
+    paper's related-work class [22]): the store-value computation is
+    duplicated into shadow registers (r29-r31), loaded values are copied
+    rather than re-loaded, and every store is preceded by a main-vs-shadow
+    compare that branches to an error handler on mismatch. The handler
+    writes a sentinel and halts — software fault *detection*, at a
+    permanent instruction-count cost.
+    """
+    rng = random.Random((profile.seed << 8) ^ copy_index)
+    chase_words = min(profile.working_set_words, MAX_CHASE_WORDS)
+    chase_base = HEAP_BASE
+    seq_base = chase_base + 8 * chase_words
+    seq_words = profile.working_set_words
+    region_words = max(4, seq_words // max(1, profile.region_count))
+
+    body = _body_lines(profile, rng, region_words, chase_base,
+                       chase_words, seq_base)
+    if swift:
+        body = _swiftify(body)
+    # Labels are not instructions and not-taken data branches skip their
+    # two-op taken path, so the executed count per iteration runs below
+    # the line count; 0.6 is a conservative floor.
+    body_insts = sum(1 for line in body if not line.endswith(":"))
+    iterations = max(4, int(dynamic_target / max(1.0, body_insts * 0.6)) + 2)
+
+    lines: List[str] = []
+    value_seed = rng.getrandbits(16)
+    lines.append(f".reg r1 {iterations}")
+    lines.append(".reg r2 0")
+    lines.append(f".reg r3 {chase_base}")
+    lines.append(f".reg r4 {value_seed}")
+    lines.append(".reg r5 0")
+    lines.append(f".reg r10 {8 * rng.randrange(region_words)}")
+    lines.append(f".reg r12 {seq_base}")
+    lines.append(".reg r15 0x9E3779B1")
+    lines.append(f".reg r21 {rng.getrandbits(12)}")
+    lines.append(".reg r19 0")
+    if profile.region_switch_period:
+        lines.append(f".reg r13 {profile.region_switch_period}")
+    if profile.outlier_period:
+        # first event early (so sticky counters are dead before the fault
+        # campaign's first injections), then every outlier_period
+        lines.append(f".reg r14 {min(8, profile.outlier_period)}")
+    if swift:
+        lines.append(f".reg r30 {value_seed}")  # shadow accumulator
+    lines.append("loop:")
+    lines.extend("    " + line for line in body)
+    lines.append("    addi r1, r1, -1")
+    lines.append("    bne  r1, r0, loop")
+    lines.append("    halt")
+    if swift:
+        lines.append("swift_fail:")
+        lines.append(f"    movi r28, 0xDEAD")
+        lines.append(f"    st   r28, 0(r12)")
+        lines.append("    halt")
+
+    program = assemble("\n".join(lines),
+                       name=f"{profile.name}.{copy_index}")
+    program.initial_memory.update(
+        pointer_ring(rng, chase_base, chase_words))
+    program.initial_memory.update(
+        data_table(rng, seq_base, min(seq_words, SEED_DATA_WORDS)))
+    return program
+
+
+def build_smt_programs(profile: WorkloadProfile, dynamic_target: int = 20_000,
+                       copies: int = 2) -> List[Program]:
+    """The paper runs two copies of each benchmark per 2-way-SMT core."""
+    return [build_program(profile, dynamic_target, copy_index=i)
+            for i in range(copies)]
+
+
+# ----------------------------------------------------------------------
+# body synthesis
+# ----------------------------------------------------------------------
+def _body_lines(profile: WorkloadProfile, rng: random.Random,
+                region_words: int, chase_base: int,
+                chase_words: int, seq_base: int) -> List[str]:
+    lines: List[str] = []
+    seq_mask = _mask_for(region_words)
+    chase_mask = _mask_for(chase_words)
+    skip_counter = 0
+
+    # Rematerialise the constants every iteration (compiler-style): faults
+    # in them are scrubbed within one loop trip.
+    lines.append(f"movi r12, {seq_base}")
+    lines.append("movi r15, 0x9E3779B1")
+
+    if profile.region_switch_period:
+        lines.extend(_region_switch(profile, rng))
+    if profile.outlier_period:
+        lines.extend(_outlier_block(profile))
+    else:
+        lines.append("movi r19, 0")
+
+    for _load_index in range(profile.loads_per_iter):
+        if rng.random() < profile.pointer_chase:
+            # Rebase the pointer into the ring before dereferencing: an
+            # identity on healthy pointers that scrubs out-of-ring fault
+            # bits, leaving only the in-ring bits vulnerable.
+            lines.append(f"andi r3, r3, {chase_mask}")
+            lines.append(f"ori  r3, r3, {chase_base}")
+            lines.append("ld   r3, 0(r3)")
+            lines.append("or   r21, r3, r0")
+        else:
+            lines.append("addi r2, r2, 8")
+            lines.append(f"andi r2, r2, {seq_mask}")
+            lines.append("add  r20, r12, r2")
+            lines.append("add  r20, r20, r5")
+            lines.append("add  r20, r20, r19")
+            lines.append("ld   r21, 0(r20)")
+        if rng.random() < profile.branchiness:
+            lines.extend(_data_branch(skip_counter, rng))
+            skip_counter += 1
+
+    for _store_index in range(profile.stores_per_iter):
+        lines.extend(_value_update(profile.value_model))
+        lines.append("addi r10, r10, 8")
+        lines.append(f"andi r10, r10, {seq_mask}")
+        lines.append("add  r23, r12, r10")
+        lines.append("add  r23, r23, r5")
+        lines.append("add  r23, r23, r19")
+        lines.append("st   r4, 0(r23)")
+
+    # ALU filler writes only rotating temporaries that die within the
+    # iteration — the dominant masked-fault population, like real code's
+    # bypass-consumed values.
+    for _ in range(profile.alu_per_iter):
+        lines.append(rng.choice([
+            "add  r26, r21, r24",
+            "xor  r27, r21, r26",
+            "addi r26, r21, 7",
+            "slli r28, r21, 3",
+            "srli r28, r26, 2",
+            "sub  r27, r28, r21",
+            "mul  r26, r21, r15",
+            "fadd r27, r26, r21",
+        ]))
+    return lines
+
+
+def _value_update(model: str) -> List[str]:
+    """Advance the store-value accumulator per the Figure 6 value model.
+
+    Every model except "wide" wraps the accumulator with an ANDI, both to
+    bound the changing bit positions (the Figure 6 low-order concentration)
+    and to self-mask high-bit faults.
+    """
+    if model == "counter":
+        return ["addi r4, r4, 1",
+                f"andi r4, r4, {(1 << 20) - 1}"]
+    if model == "drift":
+        return ["andi r22, r21, 255",
+                "add  r4, r4, r22",
+                f"andi r4, r4, {(1 << 20) - 1}"]
+    if model == "mix":
+        return ["xor  r4, r4, r21",
+                "addi r4, r4, 1",
+                f"andi r4, r4, {(1 << 24) - 1}"]
+    if model == "wide":
+        # FP-like values (leslie3d): a wide band of noisy mantissa-ish
+        # low bits under stable high bits — the widest change profile of
+        # Figure 6 and the paper's lowest-coverage benchmark, but not
+        # 64 random bits (real FP data keeps sign/exponent stable).
+        return ["mul  r22, r21, r15",
+                "srli r22, r22, 24",
+                f"andi r22, r22, {(1 << 16) - 1}",
+                "add  r4, r4, r22",
+                f"andi r4, r4, {(1 << 30) - 1}"]
+    raise WorkloadError(f"unknown value model {model!r}")
+
+
+def _data_branch(index: int, rng: random.Random) -> List[str]:
+    """A branch whose direction depends on loaded data — the hard-to-
+    predict background of branchy workloads."""
+    label = f"skip_{index}"
+    # Bits 0-2 of pointer-chase values are always zero (8-byte alignment),
+    # so sample decision bits above them.
+    bit = rng.randrange(3, 12)
+    return [
+        f"srli r24, r21, {bit}",
+        "andi r24, r24, 1",
+        f"beq  r24, r0, {label}",
+        "addi r25, r21, 3",
+        "xor  r26, r25, r21",
+        f"{label}:",
+    ]
+
+
+def _shadow_line(line: str) -> str:
+    """Rewrite a value-chain instruction onto the shadow registers
+    (r4→r30, r21→r31, r22→r29)."""
+    import re
+    mapping = {"r4": "r30", "r21": "r31", "r22": "r29"}
+    return re.sub(r"\br(4|21|22)\b",
+                  lambda m: mapping["r" + m.group(1)], line)
+
+
+def _swiftify(body: List[str]) -> List[str]:
+    """SWIFT-style duplication of the store-value dataflow.
+
+    - a loaded value is *copied* into its shadow (`or r31, r21, r0`) —
+      SWIFT does not re-execute loads;
+    - every instruction that writes the value accumulator (r4) or its
+      feeding temporaries (r22) is duplicated onto the shadow registers;
+    - every store of r4 is preceded by a main-vs-shadow compare branching
+      to the error handler.
+    """
+    out: List[str] = []
+    for line in body:
+        stripped = line.strip()
+        if stripped.startswith("ld") and " r21," in stripped:
+            out.append(line)
+            out.append("or   r31, r21, r0")
+            continue
+        if stripped.startswith("st") and stripped.startswith("st   r4,"):
+            out.append("bne  r4, r30, swift_fail")
+            out.append(line)
+            continue
+        out.append(line)
+        shadow = _shadow_line(line)
+        if shadow != line and not stripped.endswith(":") \
+                and not stripped.startswith(("bne", "beq", "srli r24")):
+            # duplicate value-chain writes; skip control flow and the
+            # branch-decision temps (SWIFT does not duplicate control)
+            if stripped.split()[0] in ("addi", "andi", "add", "xor",
+                                       "mul", "srli", "or"):
+                target = shadow.strip().split()[1].rstrip(",")
+                if target in ("r30", "r29", "r31"):
+                    out.append(shadow)
+    return out
+
+
+#: The outlier kick: a fixed far offset whose XOR flips every bit in the
+#: 3-30 band at once. One event therefore saturates the whole band of
+#: sticky counters (PBFS stays blind there until its flash clear), while
+#: the biased machines re-arm two quiet iterations later — and because the
+#: alternate neighbourhood repeats, FaultHound's TCAM learns it as a
+#: second filter entry and stops false-positive-ing on it.
+OUTLIER_KICK = 0x7FFF_FFF8
+
+
+def _outlier_block(profile: WorkloadProfile) -> List[str]:
+    """Every ``outlier_period`` iterations, one iteration's addresses and
+    store values jump to a far neighbourhood *through the same static
+    instructions* (r19 carries the address perturbation; r4 absorbs a
+    value kick, trimmed by the value model's cap)."""
+    return [
+        "addi r14, r14, -1",
+        "bne  r14, r0, no_outlier",
+        f"movi r14, {profile.outlier_period}",
+        f"movi r19, {OUTLIER_KICK:#x}",
+        "xor  r4, r4, r19",
+        "jmp  outlier_done",
+        "no_outlier:",
+        "movi r19, 0",
+        "outlier_done:",
+    ]
+
+
+def _region_switch(profile: WorkloadProfile,
+                   rng: random.Random) -> List[str]:
+    """Every ``region_switch_period`` iterations, hop to the next data
+    region: a genuine value-neighbourhood change (false-positive source)."""
+    region_words = max(4, profile.working_set_words
+                       // max(1, profile.region_count))
+    region_stride = 8 * region_words
+    total_mask = _mask_for(profile.working_set_words)
+    return [
+        "addi r13, r13, -1",
+        "bne  r13, r0, no_switch",
+        f"movi r13, {profile.region_switch_period}",
+        f"addi r5, r5, {region_stride}",
+        f"andi r5, r5, {total_mask}",
+        "no_switch:",
+    ]
+
+
+__all__ = ["build_program", "build_smt_programs", "HEAP_BASE",
+           "MAX_CHASE_WORDS"]

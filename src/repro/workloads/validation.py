@@ -1,0 +1,95 @@
+"""Workload-profile validation: measure what a profile actually produces.
+
+The profiles in :mod:`repro.workloads.profiles` *intend* certain
+behaviours (memory intensity, branchiness, value-locality width). This
+module measures what a built program actually exhibits — on the golden
+interpreter for stream statistics and on the pipeline for
+micro-architectural character — so calibration drift is visible instead
+of silent. The test suite pins the invariants each figure depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..analysis.locality import (bit_change_fractions, mean_bits_changed,
+                                 neighbourhood_hit_rate)
+from ..config import HardwareConfig
+from ..isa.interpreter import Interpreter
+from ..pipeline.core import PipelineCore
+from .generator import build_program
+from .profiles import PROFILES, WorkloadProfile
+
+
+@dataclass
+class ProfileReport:
+    """Measured characteristics of one built workload."""
+
+    name: str
+    dynamic_instructions: int
+    load_fraction: float
+    store_fraction: float
+    l1_miss_rate: float
+    branch_mispredict_rate: float
+    baseline_ipc: float
+    store_value_bits_changed: float
+    store_value_neighbourhood_hits: float
+    quiet_value_bits: int      # store-value positions changing <1%
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "dynamic_instructions": self.dynamic_instructions,
+            "load_fraction": round(self.load_fraction, 4),
+            "store_fraction": round(self.store_fraction, 4),
+            "l1_miss_rate": round(self.l1_miss_rate, 4),
+            "branch_mispredict_rate": round(self.branch_mispredict_rate, 4),
+            "baseline_ipc": round(self.baseline_ipc, 4),
+            "store_value_bits_changed":
+                round(self.store_value_bits_changed, 3),
+            "store_value_neighbourhood_hits":
+                round(self.store_value_neighbourhood_hits, 4),
+            "quiet_value_bits": self.quiet_value_bits,
+        }
+
+
+def validate_profile(profile: WorkloadProfile,
+                     dynamic_target: int = 6_000,
+                     hw: HardwareConfig | None = None) -> ProfileReport:
+    """Build one copy of *profile* and measure it."""
+    hw = hw or HardwareConfig()
+    program = build_program(profile, dynamic_target)
+
+    interp = Interpreter(program)
+    interp.trace_memory_ops = True
+    interp.run(max_instructions=dynamic_target * 4)
+    loads = sum(1 for kind, _ in interp.mem_trace if kind == "load_addr")
+    stores = sum(1 for kind, _ in interp.mem_trace if kind == "store_addr")
+    values = [v for kind, v in interp.mem_trace if kind == "store_value"]
+    instret = max(1, interp.state.instret)
+
+    core = PipelineCore([program], hw=hw)
+    core.run_until_commits(dynamic_target, max_cycles=5_000_000)
+
+    fractions = bit_change_fractions(values)
+    return ProfileReport(
+        name=profile.name,
+        dynamic_instructions=instret,
+        load_fraction=loads / instret,
+        store_fraction=stores / instret,
+        l1_miss_rate=core.hierarchy.l1.stats.miss_rate,
+        branch_mispredict_rate=core.predictors[0].misprediction_rate,
+        baseline_ipc=core.stats.ipc,
+        store_value_bits_changed=mean_bits_changed(values),
+        store_value_neighbourhood_hits=neighbourhood_hit_rate(values),
+        quiet_value_bits=sum(1 for f in fractions if f < 0.01),
+    )
+
+
+def validate_all(dynamic_target: int = 4_000) -> Dict[str, ProfileReport]:
+    """Validate every Table 1 profile (slow: builds and runs all 14)."""
+    return {name: validate_profile(profile, dynamic_target)
+            for name, profile in PROFILES.items()}
+
+
+__all__ = ["ProfileReport", "validate_profile", "validate_all"]

@@ -1,0 +1,94 @@
+"""Tests for the analysis utilities (locality, metrics, tables)."""
+
+import pytest
+
+from repro.analysis import (arithmetic_mean, bit_change_fractions,
+                            collect_mem_streams, format_series,
+                            format_table, fp_rate, geo_mean, perf_overhead)
+from repro.analysis.locality import mean_bits_changed
+from repro.core import FaultHoundUnit
+from repro.core.actions import CheckAction, CheckKind
+from repro.isa import assemble
+
+
+class TestBitChangeFractions:
+    def test_constant_stream_never_changes(self):
+        assert bit_change_fractions([5, 5, 5]) == [0.0] * 64
+
+    def test_alternating_bit(self):
+        fractions = bit_change_fractions([0, 1, 0, 1])
+        assert fractions[0] == 1.0
+        assert fractions[1] == 0.0
+
+    def test_counter_changes_low_bits_most(self):
+        fractions = bit_change_fractions(list(range(1000)))
+        assert fractions[0] == 1.0
+        assert fractions[0] > fractions[1] > fractions[2]
+        assert fractions[40] == 0.0
+
+    def test_short_stream_is_all_zero(self):
+        assert bit_change_fractions([7]) == [0.0] * 64
+
+    def test_mean_bits_changed(self):
+        assert mean_bits_changed([0, 0b111, 0b111]) == pytest.approx(1.5)
+        assert mean_bits_changed([42]) == 0.0
+
+
+class TestCollectStreams:
+    def test_streams_from_program(self):
+        program = assemble("""
+            movi r1, 0x100
+            movi r2, 9
+            st   r2, 0(r1)
+            ld   r3, 0(r1)
+            halt
+        """)
+        streams = collect_mem_streams([program])
+        assert streams["load_addr"] == [0x100]
+        assert streams["store_addr"] == [0x100]
+        assert streams["store_value"] == [9]
+
+
+class TestMetrics:
+    def test_perf_overhead(self):
+        assert perf_overhead(110, 100) == pytest.approx(0.10)
+        assert perf_overhead(100, 0) == 0.0
+
+    def test_fp_rate_counts_recovery_actions(self):
+        unit = FaultHoundUnit()
+        unit.action_counts[CheckAction.REPLAY] = 3
+        unit.action_counts[CheckAction.SQUASH] = 1
+        unit.action_counts[CheckAction.SINGLETON] = 1
+        unit.action_counts[CheckAction.SUPPRESSED] = 100  # not counted
+        assert fp_rate(unit, 1000) == pytest.approx(0.005)
+        assert fp_rate(unit, 0) == 0.0
+
+    def test_means(self):
+        assert arithmetic_mean([1.0, 3.0]) == 2.0
+        assert arithmetic_mean([]) == 0.0
+        assert geo_mean([0.0, 0.0]) == pytest.approx(0.0)
+        assert 0.0 < geo_mean([0.1, 0.2]) < 0.2
+        assert geo_mean([]) == 0.0
+
+
+class TestTables:
+    def test_format_table_alignment_and_percent(self):
+        rows = {"alpha": {"x": 0.5, "y": 0.25}, "beta": {"x": 1.0, "y": 0.0}}
+        text = format_table("T", rows, percent=True)
+        assert "T" in text
+        assert "50.0%" in text and "25.0%" in text
+        lines = text.splitlines()
+        assert len(lines) == 5  # title, rule, header, two data rows
+        assert "alpha" in text and "beta" in text
+
+    def test_format_table_empty(self):
+        assert "(no data)" in format_table("T", {})
+
+    def test_format_table_string_cells(self):
+        text = format_table("T", {"row": {"col": "value"}})
+        assert "value" in text
+
+    def test_format_series(self):
+        text = format_series("S", {"scheme": [0.1, 0.2]},
+                             x_labels=["a", "b"], percent=True)
+        assert "10.0%" in text and "20.0%" in text

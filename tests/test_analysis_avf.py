@@ -1,0 +1,59 @@
+"""AVF estimator tests."""
+
+import pytest
+
+from repro.analysis.avf import AVFEstimator, AVFReport
+from repro.faults.model import FaultSite
+from repro.pipeline import PipelineCore
+from repro.workloads import PROFILES, build_smt_programs
+
+
+@pytest.fixture(scope="module")
+def report():
+    programs = build_smt_programs(PROFILES["bzip2"], 4000)
+    core = PipelineCore(programs)
+    estimator = AVFEstimator(core)
+    return estimator.run(cycles=30_000)
+
+
+def test_report_fractions_in_range(report):
+    assert report.samples > 100
+    for value in (report.regfile, report.lsq, report.rename):
+        assert 0.0 <= value <= 1.0
+
+
+def test_regfile_avf_reflects_mapped_share(report):
+    # 64 committed mappings of 224 registers is the floor; in-flight
+    # destinations push it higher but nowhere near 1.0
+    assert 0.25 <= report.regfile <= 0.9
+
+
+def test_weighted_avf_uses_proportions(report):
+    weighted = report.weighted()
+    assert 0.0 < weighted < 1.0
+    custom = report.weighted({FaultSite.REGFILE: 1.0,
+                              FaultSite.LSQ: 0.0,
+                              FaultSite.RENAME: 0.0})
+    assert custom == pytest.approx(report.regfile)
+
+
+def test_predicted_masked_floor_consistent(report):
+    assert report.predicted_masked_floor() \
+        == pytest.approx(1.0 - report.weighted())
+
+
+def test_avf_is_an_upper_bound_on_unmasked_rate(report):
+    """The campaign's measured unmasked fraction (SDC+noisy, ~10%) must
+    not exceed the occupancy AVF (which over-approximates ACE-ness)."""
+    # measured in the shipped campaigns: unmasked ~0.07-0.15
+    assert report.weighted() > 0.10
+
+
+def test_empty_report():
+    programs = build_smt_programs(PROFILES["gamess"], 500)
+    estimator = AVFEstimator(PipelineCore(programs))
+    assert estimator.report() == AVFReport()
+
+
+def test_as_dict_keys(report):
+    assert set(report.as_dict()) == {"regfile", "lsq", "rename", "weighted"}

@@ -1,0 +1,55 @@
+"""Last-value vs neighbourhood locality (the paper's Section 2 leeway
+argument: fault-tolerance hints need less than value prediction)."""
+
+import pytest
+
+from repro.analysis.locality import (last_value_hit_rate,
+                                     neighbourhood_hit_rate)
+from repro.workloads import PROFILES, build_program
+
+
+class TestLastValue:
+    def test_constant_stream(self):
+        assert last_value_hit_rate([5, 5, 5]) == 1.0
+
+    def test_counter_never_repeats(self):
+        assert last_value_hit_rate(list(range(50))) == 0.0
+
+    def test_short_stream(self):
+        assert last_value_hit_rate([7]) == 0.0
+
+
+class TestNeighbourhood:
+    def test_explicit_mask(self):
+        # values differ only in bit 0, which the mask wildcards
+        values = [0b10, 0b11, 0b10, 0b11]
+        assert neighbourhood_hit_rate(values, changing_mask=0b1) == 1.0
+        assert neighbourhood_hit_rate(values, changing_mask=0) == 0.0
+
+    def test_derived_mask_counter(self):
+        # a counter's low bits change often -> derived mask wildcards
+        # them; only rare high-bit carries (changing <1% of the time, so
+        # not wildcarded) still miss
+        values = list(range(200))
+        assert neighbourhood_hit_rate(values) > 0.95
+        assert last_value_hit_rate(values) == 0.0
+
+    def test_short_stream(self):
+        assert neighbourhood_hit_rate([1]) == 0.0
+
+
+def test_hints_have_more_leeway_than_prediction():
+    """Section 2: "fault-tolerance hints have more leeway than value
+    prediction" — on real workload store-value streams the neighbourhood
+    hit rate must far exceed the last-value hit rate."""
+    from repro.isa.interpreter import Interpreter
+    program = build_program(PROFILES["dealII"], 4000)
+    interp = Interpreter(program)
+    interp.trace_memory_ops = True
+    interp.run(max_instructions=30_000)
+    values = [v for kind, v in interp.mem_trace if kind == "store_value"]
+    assert len(values) > 200
+    last = last_value_hit_rate(values)
+    neighbourhood = neighbourhood_hit_rate(values)
+    assert neighbourhood > last + 0.3
+    assert neighbourhood > 0.8

@@ -1,0 +1,112 @@
+"""Tests for the statistics helpers and ASCII chart renderers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.charts import (bar_chart, grouped_bar_chart,
+                                   log_sparkline, sparkline)
+from repro.analysis.stats import (Proportion, intervals_overlap,
+                                  mean_and_stderr, proportion,
+                                  wilson_interval)
+
+
+class TestWilson:
+    def test_half_successes(self):
+        low, high = wilson_interval(50, 100)
+        assert low < 0.5 < high
+        assert high - low < 0.25
+
+    def test_zero_and_full(self):
+        low, high = wilson_interval(0, 20)
+        assert low == 0.0 and 0 < high < 0.3
+        low, high = wilson_interval(20, 20)
+        assert 0.7 < low < 1.0 and high == 1.0
+
+    def test_zero_trials_is_vacuous(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 3)
+
+    @given(st.integers(0, 200), st.integers(0, 200))
+    def test_interval_always_contains_point(self, a, b):
+        successes, trials = min(a, b), max(a, b)
+        if trials == 0:
+            return
+        low, high = wilson_interval(successes, trials)
+        assert 0.0 <= low <= successes / trials <= high <= 1.0
+
+    @given(st.integers(1, 50))
+    def test_more_trials_tighter_interval(self, successes):
+        small = proportion(successes, 2 * successes)
+        large = proportion(10 * successes, 20 * successes)
+        assert large.half_width < small.half_width
+
+    def test_proportion_str(self):
+        p = proportion(3, 10)
+        assert "30.0%" in str(p)
+
+    def test_intervals_overlap(self):
+        a = proportion(5, 10)
+        b = proportion(6, 10)
+        c = proportion(99, 100)
+        assert intervals_overlap(a, b)
+        assert not intervals_overlap(a, c)
+
+
+class TestMeanStderr:
+    def test_basic(self):
+        mean, stderr = mean_and_stderr([1.0, 2.0, 3.0])
+        assert mean == 2.0
+        assert stderr == pytest.approx((1.0 / 3) ** 0.5)
+
+    def test_degenerate(self):
+        assert mean_and_stderr([]) == (0.0, 0.0)
+        assert mean_and_stderr([5.0]) == (5.0, 0.0)
+
+
+class TestCharts:
+    def test_bar_chart_contains_labels_and_bars(self):
+        text = bar_chart("T", {"fh": 0.10, "pbfs": 0.97})
+        assert "fh" in text and "pbfs" in text
+        assert "█" in text
+        # the bigger value gets the longer bar
+        fh_line = next(l for l in text.splitlines() if "fh" in l)
+        pbfs_line = next(l for l in text.splitlines() if "pbfs" in l)
+        assert pbfs_line.count("█") > fh_line.count("█")
+
+    def test_bar_chart_log_scale_compresses(self):
+        rows = {"tiny": 0.001, "huge": 1.0}
+        linear = bar_chart("T", rows)
+        log = bar_chart("T", rows, log_scale=True)
+        tiny_linear = next(l for l in linear.splitlines() if "tiny" in l)
+        tiny_log = next(l for l in log.splitlines() if "tiny" in l)
+        assert tiny_log.count("█") > tiny_linear.count("█")
+        assert "log scale" in log
+
+    def test_bar_chart_empty(self):
+        assert "(no data)" in bar_chart("T", {})
+
+    def test_grouped_chart_has_sections(self):
+        text = grouped_bar_chart("T", {"bench1": {"a": 0.5},
+                                       "bench2": {"a": 0.7}})
+        assert "bench1:" in text and "bench2:" in text
+
+    def test_sparkline_length_and_profile(self):
+        line = sparkline([0.0, 0.5, 1.0])
+        assert len(line) == 3
+        assert line[0] == " " and line[-1] == "█"
+
+    def test_sparkline_empty_and_flat(self):
+        assert sparkline([]) == ""
+        assert sparkline([0, 0]) == "  "
+
+    def test_log_sparkline_shows_small_values(self):
+        plain = sparkline([0.001, 1.0])
+        log = log_sparkline([0.001, 1.0])
+        assert plain[0] == " "
+        assert log[0] != " "

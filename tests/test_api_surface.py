@@ -1,0 +1,138 @@
+"""Coverage for the smaller public API surfaces."""
+
+import pytest
+
+from repro.config import FaultHoundConfig, PBFSConfig
+from repro.core import FaultHoundUnit, TCAM
+from repro.energy import EnergyModel
+from repro.errors import ConfigurationError
+from repro.isa import Instruction, Opcode, assemble
+from repro.isa.opcodes import (OpClass, has_dest, is_branch,
+                               is_conditional_branch, op_class, op_latency,
+                               reads_two_regs)
+from repro.pipeline import PipelineCore
+
+
+class TestOpcodeHelpers:
+    def test_class_assignments(self):
+        assert op_class(Opcode.ADD) is OpClass.ALU
+        assert op_class(Opcode.MUL) is OpClass.MUL
+        assert op_class(Opcode.FADD) is OpClass.FPU
+        assert op_class(Opcode.LD) is OpClass.LOAD
+        assert op_class(Opcode.ST) is OpClass.STORE
+        assert op_class(Opcode.BEQ) is OpClass.BRANCH
+        assert op_class(Opcode.HALT) is OpClass.OTHER
+
+    def test_latencies(self):
+        assert op_latency(Opcode.ADD) == 1
+        assert op_latency(Opcode.MUL) == 4
+        assert op_latency(Opcode.FMUL) == 5
+
+    def test_branch_predicates(self):
+        assert is_branch(Opcode.JMP)
+        assert not is_conditional_branch(Opcode.JMP)
+        assert is_conditional_branch(Opcode.BLT)
+        assert not is_branch(Opcode.ADD)
+
+    def test_dest_and_source_shapes(self):
+        assert has_dest(Opcode.LD)
+        assert not has_dest(Opcode.ST)
+        assert not has_dest(Opcode.BEQ)
+        assert reads_two_regs(Opcode.ST)
+        assert not reads_two_regs(Opcode.ADDI)
+
+    def test_instruction_source_regs(self):
+        assert Instruction(Opcode.MOVI, rd=1, imm=5).source_regs() == ()
+        assert Instruction(Opcode.LD, rd=1, rs1=2).source_regs() == (2,)
+        assert Instruction(Opcode.ST, rs1=2, rs2=3).source_regs() == (2, 3)
+        assert Instruction(Opcode.JMP, imm=0).source_regs() == ()
+
+    def test_instruction_rejects_bad_registers(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, rd=32)
+
+
+class TestProgramHelpers:
+    def test_static_counts(self):
+        program = assemble("""
+            ld r1, 0(r2)
+            st r1, 8(r2)
+            ld r3, 16(r2)
+            halt
+        """)
+        assert program.static_loads == 2
+        assert program.static_stores == 1
+
+    def test_ensure_halts_appends_once(self):
+        program = assemble("nop\nnop")
+        halted = program.ensure_halts()
+        assert halted.instructions[-1].opcode is Opcode.HALT
+        assert halted.ensure_halts() is halted
+
+    def test_fetch_bounds(self):
+        program = assemble("nop\nhalt")
+        assert program.fetch(0).opcode is Opcode.NOP
+        assert program.fetch(5) is None
+        assert program.fetch(-1) is None
+
+    def test_len_and_iter(self):
+        program = assemble("nop\nnop\nhalt")
+        assert len(program) == 3
+        assert len(list(program)) == 3
+
+    def test_rejects_empty(self):
+        from repro.isa import Program
+        with pytest.raises(ValueError):
+            Program(instructions=[])
+
+
+class TestTCAMExtras:
+    def test_trigger_rate_and_flash_clear(self):
+        tcam = TCAM(entries=2)
+        tcam.lookup(0)
+        tcam.lookup(0xFF << 20)          # replace -> trigger
+        assert tcam.trigger_rate == pytest.approx(0.5)
+        tcam.flash_clear()               # counters cleared, values retained
+        assert tcam.valid_entries == 2
+
+    def test_len(self):
+        assert len(TCAM(entries=16)) == 16
+
+
+class TestPBFSConfigVariants:
+    def test_counter_resolution(self):
+        assert PBFSConfig().counter == "sticky"
+        assert PBFSConfig(biased=True).counter == "biased"
+        assert PBFSConfig(counter="standard").counter == "standard"
+
+    def test_conflicting_flags_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PBFSConfig(biased=True, counter="standard")
+
+
+class TestEnergyNoClusteringPath:
+    def test_pc_indexed_faulthound_uses_sram_energy(self):
+        cfg = FaultHoundConfig(clustering=False, second_level=False,
+                               squash_detection=False)
+        core = PipelineCore([assemble("""
+            movi r1, 0x800
+            ld r2, 0(r1)
+            st r2, 8(r1)
+            halt
+        """)], screening=FaultHoundUnit(cfg))
+        core.run(max_cycles=10_000)
+        breakdown = EnergyModel().compute(core)
+        assert breakdown.screening_pj > 0
+
+
+class TestHardwarePresets:
+    def test_presets_are_valid_configs(self):
+        from repro.config import HardwareConfig
+        small = HardwareConfig.small_core()
+        big = HardwareConfig.aggressive_core()
+        assert small.issue_width < big.issue_width
+        # both must actually run a program
+        for hw in (small, big):
+            core = PipelineCore([assemble("movi r1, 3\nhalt")], hw=hw)
+            core.run(max_cycles=10_000)
+            assert core.all_halted

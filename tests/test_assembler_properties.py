@@ -1,0 +1,59 @@
+"""Assembler round-trip property tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import Instruction, Opcode, assemble
+from repro.isa.assembler import disassemble
+
+from .program_gen import random_program
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 100_000))
+def test_disassemble_reassemble_fixpoint(seed):
+    """disassemble() output, reassembled, yields identical instructions —
+    and a second round trip is a fixpoint."""
+    program = random_program(random.Random(seed), body_len=18)
+    text = disassemble(program).replace("@", "")
+    once = assemble(text)
+    assert once.instructions == program.instructions
+    text_again = disassemble(once).replace("@", "")
+    assert assemble(text_again).instructions == once.instructions
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.sampled_from(list(Opcode)),
+       st.integers(0, 31), st.integers(0, 31), st.integers(0, 31),
+       st.integers(-(1 << 20), (1 << 20) - 1))
+def test_single_instruction_round_trip(opcode, rd, rs1, rs2, imm):
+    if opcode in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE,
+                  Opcode.JMP):
+        imm = 0  # branch target must be in range for a 1-instruction body
+    inst = Instruction(opcode, rd=rd, rs1=rs1, rs2=rs2, imm=imm)
+    text = str(inst).replace("@", "")
+    program = assemble(text + "\nhalt" if opcode is not Opcode.HALT
+                       else text)
+    decoded = program.instructions[0]
+    assert decoded.opcode is inst.opcode
+    uses_imm = opcode in (Opcode.ADDI, Opcode.ANDI, Opcode.ORI,
+                          Opcode.XORI, Opcode.SLLI, Opcode.SRLI,
+                          Opcode.MOVI, Opcode.LD, Opcode.ST,
+                          Opcode.BEQ, Opcode.BNE, Opcode.BLT,
+                          Opcode.BGE, Opcode.JMP)
+    if uses_imm:
+        assert decoded.imm == inst.imm
+    # operand fields that the opcode actually uses must round-trip
+    if inst.writes_reg:
+        assert decoded.rd == inst.rd
+    for got, want in zip(decoded.source_regs(), inst.source_regs()):
+        assert got == want
+
+
+def test_whitespace_and_case_insensitivity():
+    a = assemble("ADD r1, r2, r3\nHALT")
+    b = assemble("  add   r1 ,r2,  r3\nhalt")
+    assert a.instructions == b.instructions

@@ -1,0 +1,84 @@
+"""Classifier edge paths: early halts, unapplied faults, event deltas."""
+
+import pytest
+
+from repro.config import HardwareConfig
+from repro.faults import (FaultInjector, FaultRecord, FaultSite,
+                          TandemClassifier)
+from repro.faults.classifier import WindowResult, _EventBaseline
+from repro.isa import assemble
+from repro.pipeline import PipelineCore
+
+HW = HardwareConfig()
+
+SHORT = """
+    movi r1, 40
+    movi r2, 0x1000
+loop:
+    st   r1, 0(r2)
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    halt
+"""
+
+
+def factory():
+    return PipelineCore([assemble(SHORT)], hw=HW)
+
+
+def make_classifier(window=40):
+    injector = FaultInjector(1, HW.phys_regs, 1)
+    return TandemClassifier(factory, injector, window_commits=window,
+                            max_window_cycles=20_000)
+
+
+class TestEarlyHalt:
+    def test_injection_past_program_end_not_applied(self):
+        classifier = make_classifier()
+        record = FaultRecord(index=0, site=FaultSite.REGFILE,
+                             inject_at_commit=10_000, bit=3, reg=40)
+        (result,) = classifier.run([record])
+        assert result.applied is False
+        assert result.fault_class is None
+
+    def test_window_straddling_halt_still_classifies(self):
+        classifier = make_classifier(window=500)   # longer than the program
+        record = FaultRecord(index=0, site=FaultSite.REGFILE,
+                             inject_at_commit=30, bit=2, reg=200)
+        (result,) = classifier.run([record])
+        assert result.applied
+        assert result.fault_class is not None
+
+
+class TestLSQRetry:
+    def test_lsq_fault_waits_for_resident_entry(self):
+        classifier = make_classifier()
+        record = FaultRecord(index=0, site=FaultSite.LSQ,
+                             inject_at_commit=20, bit=4,
+                             thread_id=0, lsq_slot=0, lsq_field="value")
+        (result,) = classifier.run([record])
+        # the store loop keeps the LSQ busy: the retry loop must land it
+        assert result.applied
+
+
+class TestEventBaseline:
+    def test_of_and_delta(self):
+        core = factory()
+        before = _EventBaseline.of(core)
+        assert before.replays == 0
+        core.stats.replay_events = 3
+        after = _EventBaseline.of(core)
+        from repro.faults.classifier import _Delta
+        delta = _Delta(before, after)
+        assert delta.replays == 3
+        assert delta.rollbacks == 0
+
+
+class TestWindowResultDefaults:
+    def test_fresh_result_fields(self):
+        record = FaultRecord(index=0, site=FaultSite.REGFILE,
+                             inject_at_commit=1, bit=0, reg=0)
+        result = WindowResult(record=record)
+        assert result.applied and not result.state_equal
+        assert result.fault_class is None
+        assert result.hung is False

@@ -1,0 +1,77 @@
+"""CLI tests (in-process, via main(argv))."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_list_shows_everything(capsys):
+    code, out, _ = run_cli(capsys, "list")
+    assert code == 0
+    assert "mcf" in out and "faulthound" in out and "fig9" in out
+
+
+def test_run_program(tmp_path, capsys):
+    source = tmp_path / "prog.asm"
+    source.write_text("""
+        movi r1, 5
+        movi r2, 6
+        add  r3, r1, r2
+        halt
+    """)
+    code, out, _ = run_cli(capsys, "run", str(source), "--scheme", "baseline")
+    assert code == 0
+    assert "committed" in out
+    assert "0xb" in out  # r3 == 11
+
+
+def test_run_missing_file(capsys):
+    code, _, err = run_cli(capsys, "run", "/nonexistent.asm")
+    assert code == 1
+    assert "error" in err
+
+
+def test_run_bad_assembly(tmp_path, capsys):
+    source = tmp_path / "bad.asm"
+    source.write_text("bogus r1")
+    code, _, err = run_cli(capsys, "run", str(source))
+    assert code == 1
+    assert "unknown mnemonic" in err
+
+
+def test_bench_command(capsys):
+    code, out, _ = run_cli(capsys, "bench", "gamess",
+                           "--scheme", "fh-backend",
+                           "--instructions", "2500")
+    assert code == 0
+    assert "perf degradation" in out
+    assert "false-positive rate" in out
+
+
+def test_campaign_command(capsys):
+    code, out, _ = run_cli(capsys, "campaign", "bzip2", "--faults", "10")
+    assert code == 0
+    assert "masked" in out
+    assert "coverage" in out
+
+
+def test_figure_table2(capsys):
+    code, out, _ = run_cli(capsys, "figure", "table2")
+    assert code == 0
+    assert "Re-order Buffer" in out
+
+
+def test_parser_rejects_unknown_benchmark():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["bench", "nonesuch"])
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

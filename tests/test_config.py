@@ -1,0 +1,74 @@
+"""Configuration validation tests."""
+
+import pytest
+
+from repro.config import (FaultHoundConfig, HardwareConfig, PBFSConfig,
+                          VALUE_BITS, VALUE_MASK, table2_rows)
+from repro.errors import ConfigurationError
+
+
+def test_value_constants():
+    assert VALUE_BITS == 64
+    assert VALUE_MASK == (1 << 64) - 1
+
+
+class TestFaultHoundConfig:
+    def test_paper_defaults(self):
+        cfg = FaultHoundConfig()
+        assert cfg.tcam_entries == 32
+        assert cfg.loosen_threshold == 4
+        assert cfg.second_level_states == 8
+        assert cfg.squash_states == 8
+        assert cfg.clustering and cfg.second_level
+        assert cfg.squash_detection and cfg.lsq_check
+
+    @pytest.mark.parametrize("kwargs", [
+        {"tcam_entries": 0},
+        {"loosen_threshold": -1},
+        {"loosen_threshold": 65},
+        {"first_level_changing_states": 0},
+        {"second_level_states": 1},
+        {"squash_states": 0},
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FaultHoundConfig(**kwargs)
+
+
+class TestPBFSConfig:
+    def test_paper_defaults(self):
+        cfg = PBFSConfig()
+        assert cfg.table_entries == 2048
+        assert not cfg.biased
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            PBFSConfig(table_entries=0)
+        with pytest.raises(ConfigurationError):
+            PBFSConfig(clear_interval=0)
+
+
+class TestHardwareConfig:
+    def test_table2_defaults(self):
+        hw = HardwareConfig()
+        assert hw.issue_queue_size == 40
+        assert hw.rob_size == 250
+        assert hw.lsq_size == 64
+        assert hw.delay_buffer_size == 7
+        assert hw.smt_contexts == 2
+
+    def test_needs_enough_physical_registers(self):
+        with pytest.raises(ConfigurationError):
+            HardwareConfig(phys_regs=64, smt_contexts=2)
+
+    def test_rejects_nonpositive_widths(self):
+        with pytest.raises(ConfigurationError):
+            HardwareConfig(fetch_width=0)
+        with pytest.raises(ConfigurationError):
+            HardwareConfig(delay_buffer_size=-1)
+
+    def test_table2_rows_render(self):
+        rows = table2_rows()
+        assert rows["Issue Queue size"] == "40"
+        assert "TCAM" in rows["FaultHound filters"]
+        assert "2MB" in rows["Private L2"]

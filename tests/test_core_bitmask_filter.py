@@ -1,0 +1,131 @@
+"""Bit-mask filter semantics (paper Figures 1 and 3)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BitmaskFilter
+
+MASK64 = (1 << 64) - 1
+values = st.integers(min_value=0, max_value=MASK64)
+
+
+def test_invalid_filter_never_matches():
+    assert not BitmaskFilter().matches(0)
+
+
+def test_install_makes_exact_matcher():
+    filt = BitmaskFilter()
+    filt.install(0xDEAD)
+    assert filt.matches(0xDEAD)
+    assert not filt.matches(0xDEAF)
+    assert filt.mismatch_count(0xDEAF) == (0xDEAD ^ 0xDEAF).bit_count()
+
+
+def test_update_opens_wildcards():
+    filt = BitmaskFilter()
+    filt.install(0b0000)
+    filt.update(0b0101)            # bits 0,2 become changing
+    assert filt.changing_mask == 0b0101
+    assert filt.matches(0b0001)    # wildcard positions accept anything
+    assert filt.matches(0b0100)
+    assert not filt.matches(0b1000)
+
+
+def test_figure1_value_subspace():
+    # Figure 1: filter (x 0 x 1), previous 0001 -> accepts {0001, 0011,
+    # 1001, 1011}; 4-bit example embedded in 64 bits.
+    filt = BitmaskFilter()
+    filt.install(0b0001)
+    filt.update(0b1011)            # bits 1 and 3 become changing
+    accepted = [v for v in range(16) if filt.matches(v)]
+    assert accepted == [0b0001, 0b0011, 0b1001, 0b1011]
+    assert filt.subspace_size_log2() == 2
+
+
+def test_figure3_no_trigger_example():
+    # Figure 3(a): value matches in all unchanging positions -> the
+    # changing positions' machines advance, previous value refreshed.
+    filt = BitmaskFilter()
+    filt.install(0b1100)
+    filt.update(0b1101)            # bit 0 now changing
+    assert filt.matches(0b1100)
+    alarm = filt.update(0b1100)    # full match; bit 0 sees change again
+    assert alarm == 0
+    assert filt.previous == 0b1100
+
+
+def test_figure3_trigger_reports_unchanging_mismatch():
+    filt = BitmaskFilter()
+    filt.install(0b1100)
+    mismatch = filt.mismatch_mask(0b0100)  # bit 3 differs, unchanging
+    assert mismatch == 0b1000
+    alarm = filt.update(0b0100)            # loosen: bit 3 -> changing
+    assert alarm == 0b1000
+    assert filt.matches(0b1100) and filt.matches(0b0100)
+
+
+def test_previous_value_tracks_latest():
+    filt = BitmaskFilter()
+    filt.install(10)
+    filt.update(12)
+    assert filt.previous == 12
+
+
+def test_biased_bank_decays_back_to_unchanging():
+    filt = BitmaskFilter()
+    filt.install(0)
+    filt.update(1)                 # bit 0 changing
+    filt.update(1)                 # no further change: decay step 1
+    filt.update(1)                 # decay step 2 -> unchanging again
+    assert filt.changing_mask == 0
+    assert filt.mismatch_mask(0) == 1
+
+
+def test_sticky_filter_flash_clear_keeps_previous():
+    filt = BitmaskFilter(bank_kind="sticky")
+    filt.install(5)
+    filt.update(7)
+    filt.flash_clear()
+    assert filt.previous == 7
+    assert filt.changing_mask == 0
+
+
+def test_ternary_repr():
+    filt = BitmaskFilter()
+    filt.install(0b1)
+    filt.update(0b11)              # bit 1 changing
+    text = filt.ternary_repr()
+    assert len(text) == 64
+    assert text.endswith("x1")
+    assert set(text[:-2]) == {"0"}
+
+
+@settings(max_examples=60)
+@given(values, values)
+def test_match_iff_zero_mismatch(v1, v2):
+    filt = BitmaskFilter()
+    filt.install(v1)
+    assert filt.matches(v2) == (filt.mismatch_count(v2) == 0)
+
+
+@settings(max_examples=60)
+@given(values, st.lists(values, min_size=1, max_size=10))
+def test_latest_value_always_matches_after_update(first, rest):
+    """Invariant: after update(v), v itself is inside the subspace —
+    unchanging bits equal the new previous value by construction."""
+    filt = BitmaskFilter()
+    filt.install(first)
+    for value in rest:
+        filt.update(value)
+        assert filt.matches(value)
+
+
+@settings(max_examples=60)
+@given(values, values)
+def test_mismatch_mask_confined_to_unchanging_diff(v1, v2):
+    filt = BitmaskFilter()
+    filt.install(v1)
+    filt.update(v2)
+    mask = filt.mismatch_mask(v1)
+    assert mask & filt.changing_mask == 0
+    assert mask & ~(v1 ^ filt.previous) == 0

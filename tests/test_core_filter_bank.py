@@ -1,0 +1,115 @@
+"""Filter-bank tests, including bit-parallel == scalar equivalence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (ArrayBank, BitParallelBiasedBank,
+                        BitParallelStickyBank, make_bank)
+from repro.core.state_machines import BiasedMachine, StickyCounter
+
+MASK64 = (1 << 64) - 1
+change_masks = st.integers(min_value=0, max_value=MASK64)
+
+
+class TestBitParallelBiasedBank:
+    def test_fresh_bank_all_unchanging(self):
+        assert BitParallelBiasedBank().changing_mask == 0
+
+    def test_alarm_on_change_from_u(self):
+        bank = BitParallelBiasedBank()
+        assert bank.observe(0b1010) == 0b1010
+        assert bank.changing_mask == 0b1010
+
+    def test_no_alarm_while_changing(self):
+        bank = BitParallelBiasedBank()
+        bank.observe(0b1)
+        assert bank.observe(0b1) == 0
+
+    def test_decay_takes_two_quiet_observations(self):
+        bank = BitParallelBiasedBank()
+        bank.observe(0b1)
+        bank.observe(0)
+        assert bank.changing_mask == 0b1
+        bank.observe(0)
+        assert bank.changing_mask == 0
+
+    def test_reset(self):
+        bank = BitParallelBiasedBank()
+        bank.observe(MASK64)
+        bank.reset()
+        assert bank.changing_mask == 0
+
+
+class TestBitParallelStickyBank:
+    def test_alarm_once_then_sticky(self):
+        bank = BitParallelStickyBank()
+        assert bank.observe(0b11) == 0b11
+        assert bank.observe(0b11) == 0
+        assert bank.changing_mask == 0b11
+
+    def test_never_decays_without_clear(self):
+        bank = BitParallelStickyBank()
+        bank.observe(0b1)
+        for _ in range(100):
+            bank.observe(0)
+        assert bank.changing_mask == 0b1
+
+    def test_flash_clear_rearms(self):
+        bank = BitParallelStickyBank()
+        bank.observe(0b1)
+        bank.flash_clear()
+        assert bank.observe(0b1) == 0b1
+
+
+class TestMakeBank:
+    def test_default_biased_is_bit_parallel(self):
+        assert isinstance(make_bank("biased", 2), BitParallelBiasedBank)
+
+    def test_non_default_states_fall_back_to_array(self):
+        bank = make_bank("biased", 3)
+        assert isinstance(bank, ArrayBank)
+        assert all(m.num_changing_states == 3 for m in bank.machines)
+
+    def test_sticky_and_standard(self):
+        assert isinstance(make_bank("sticky"), BitParallelStickyBank)
+        assert isinstance(make_bank("standard", 3), ArrayBank)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_bank("bogus")
+
+
+@settings(max_examples=60)
+@given(st.lists(change_masks, min_size=1, max_size=30))
+def test_bit_parallel_biased_equals_scalar_reference(sequence):
+    """The bitplane transition function must agree with 64 explicit
+    Figure-2(b) machines on any observation sequence."""
+    fast = BitParallelBiasedBank()
+    slow = ArrayBank(lambda: BiasedMachine(2))
+    for mask in sequence:
+        assert fast.observe(mask) == slow.observe(mask)
+        assert fast.changing_mask == slow.changing_mask
+
+
+@settings(max_examples=60)
+@given(st.lists(change_masks, min_size=1, max_size=30))
+def test_bit_parallel_sticky_equals_scalar_reference(sequence):
+    fast = BitParallelStickyBank()
+    slow = ArrayBank(StickyCounter)
+    for mask in sequence:
+        assert fast.observe(mask) == slow.observe(mask)
+        assert fast.changing_mask == slow.changing_mask
+
+
+@settings(max_examples=40)
+@given(st.lists(change_masks, min_size=1, max_size=20), change_masks)
+def test_alarms_only_on_changed_unchanging_bits(sequence, probe):
+    """Invariant: an alarm bit must be a changed bit that was not already
+    marked changing."""
+    bank = BitParallelBiasedBank()
+    for mask in sequence:
+        before = bank.changing_mask
+        alarm = bank.observe(mask)
+        assert alarm & ~mask == 0
+        assert alarm & before == 0

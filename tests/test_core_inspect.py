@@ -1,0 +1,68 @@
+"""Screening-state rendering tests."""
+
+from repro.config import FaultHoundConfig, PBFSConfig
+from repro.core import FaultHoundUnit, NullScreeningUnit, PBFSUnit, TCAM
+from repro.core.actions import CheckKind
+from repro.core.inspect import render_domain, render_tcam, render_unit
+
+
+def warmed_unit():
+    unit = FaultHoundUnit()
+    for i in range(20):
+        unit.check_at_complete(CheckKind.LOAD_ADDR, 0x1000 + 8 * (i % 4), 3)
+        unit.check_at_complete(CheckKind.STORE_VALUE, i % 8, 5)
+    return unit
+
+
+def test_render_tcam_shows_filters():
+    tcam = TCAM(entries=4)
+    tcam.lookup(0x40)
+    tcam.lookup(0x48)
+    text = render_tcam(tcam)
+    assert "prev=0x48" in text
+    assert "wildcards=" in text
+    assert "x" in text  # a learned wildcard position
+
+
+def test_render_tcam_empty():
+    assert "(no valid filters)" in render_tcam(TCAM(entries=2))
+
+
+def test_render_tcam_limit():
+    tcam = TCAM(entries=16)
+    for i in range(10):
+        # disjoint 5-bit groups: every pair is >4 bits apart, so each
+        # value installs its own filter
+        tcam.lookup(0b11111 << (6 * i))
+    text = render_tcam(tcam, limit=3)
+    assert "more)" in text
+
+
+def test_render_unit_faulthound():
+    text = render_unit(warmed_unit())
+    assert "address domain" in text
+    assert "value domain" in text
+    assert "second level" in text
+    assert "squash machines" in text
+
+
+def test_render_unit_no_clustering():
+    cfg = FaultHoundConfig(clustering=False, second_level=False,
+                           squash_detection=False)
+    unit = FaultHoundUnit(cfg)
+    unit.check_at_complete(CheckKind.LOAD_ADDR, 1, 2)
+    text = render_unit(unit)
+    assert "PC-indexed table" in text
+
+
+def test_render_unit_pbfs():
+    unit = PBFSUnit(PBFSConfig(biased=True))
+    unit.check_at_complete(CheckKind.LOAD_ADDR, 5, 9)
+    text = render_unit(unit)
+    assert "pbfs-biased" in text
+    assert "load_addr" in text
+
+
+def test_render_unit_fallback():
+    text = render_unit(NullScreeningUnit())
+    assert "baseline" in text

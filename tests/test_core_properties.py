@@ -1,0 +1,115 @@
+"""Hypothesis property tests over the screening units as black boxes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import FaultHoundConfig, PBFSConfig
+from repro.core import (CheckAction, CheckKind, FaultHoundUnit, PBFSUnit)
+
+MASK64 = (1 << 64) - 1
+values = st.integers(min_value=0, max_value=MASK64)
+pcs = st.integers(min_value=0, max_value=1 << 20)
+kinds = st.sampled_from(list(CheckKind))
+
+check_stream = st.lists(st.tuples(kinds, values, pcs),
+                        min_size=1, max_size=60)
+
+
+@settings(max_examples=40, deadline=None)
+@given(check_stream)
+def test_faulthound_actions_always_valid(stream):
+    """Whatever the stream, the unit returns a legal completion action and
+    keeps its counters consistent."""
+    unit = FaultHoundUnit()
+    for kind, value, pc in stream:
+        result = unit.check_at_complete(kind, value, pc)
+        assert result.action in (CheckAction.NONE, CheckAction.SUPPRESSED,
+                                 CheckAction.REPLAY, CheckAction.SQUASH)
+        assert result.kind is kind
+    assert unit.checks == len(stream)
+    assert sum(unit.action_counts.values()) == len(stream)
+
+
+@settings(max_examples=40, deadline=None)
+@given(check_stream)
+def test_faulthound_commit_actions_valid(stream):
+    unit = FaultHoundUnit()
+    for kind, value, pc in stream:
+        result = unit.check_at_commit(kind, value, pc)
+        assert result.action in (CheckAction.NONE, CheckAction.SUPPRESSED,
+                                 CheckAction.SINGLETON)
+
+
+@settings(max_examples=30, deadline=None)
+@given(check_stream)
+def test_faulthound_repeated_value_stops_triggering(stream):
+    """After any history, checking the same value at the same pc twice in
+    a row cannot trigger the second time (the lookup installs/loosens it)."""
+    unit = FaultHoundUnit()
+    for kind, value, pc in stream:
+        unit.check_at_complete(kind, value, pc)
+        repeat = unit.check_at_complete(kind, value, pc)
+        assert not repeat.triggered
+
+
+@settings(max_examples=30, deadline=None)
+@given(check_stream)
+def test_replaying_mode_never_acts(stream):
+    unit = FaultHoundUnit()
+    unit.replaying = True
+    for kind, value, pc in stream:
+        assert unit.check_at_complete(kind, value, pc).action \
+            is CheckAction.NONE
+        assert unit.check_at_commit(kind, value, pc).action \
+            is CheckAction.NONE
+
+
+@settings(max_examples=30, deadline=None)
+@given(check_stream)
+def test_pbfs_only_squashes_or_passes(stream):
+    unit = PBFSUnit(PBFSConfig(biased=True))
+    for kind, value, pc in stream:
+        action = unit.check_at_complete(kind, value, pc).action
+        assert action in (CheckAction.NONE, CheckAction.SQUASH)
+
+
+@settings(max_examples=30, deadline=None)
+@given(check_stream)
+def test_pbfs_sticky_same_pc_triggers_at_most_once_per_bit(stream):
+    """For a fixed pc and kind, the sticky table cannot trigger more times
+    than there are bit positions (each trigger saturates >= 1 counter and
+    no clear happens within the stream)."""
+    unit = PBFSUnit(PBFSConfig(clear_interval=10**9))
+    squashes = 0
+    for _, value, _ in stream:
+        result = unit.check_at_complete(CheckKind.LOAD_ADDR, value, pc=7)
+        squashes += result.action is CheckAction.SQUASH
+    assert squashes <= 64
+
+
+@settings(max_examples=25, deadline=None)
+@given(check_stream, check_stream)
+def test_units_are_independent_instances(stream_a, stream_b):
+    """Two units never share state (regression guard against class-level
+    mutable defaults)."""
+    a = FaultHoundUnit()
+    b = FaultHoundUnit()
+    for kind, value, pc in stream_a:
+        a.check_at_complete(kind, value, pc)
+    assert b.checks == 0
+    assert b.addresses.tcam.valid_entries == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(values, min_size=2, max_size=40))
+def test_no_clustering_table_same_pc_behaviour(stream):
+    """The no-clustering ablation's PC-indexed table must behave like one
+    shared filter per pc: deterministic and trigger-consistent."""
+    cfg = FaultHoundConfig(clustering=False, second_level=False,
+                           squash_detection=False)
+    a = FaultHoundUnit(cfg)
+    b = FaultHoundUnit(cfg)
+    for value in stream:
+        ra = a.check_at_complete(CheckKind.STORE_VALUE, value, pc=3)
+        rb = b.check_at_complete(CheckKind.STORE_VALUE, value, pc=3)
+        assert ra.action == rb.action

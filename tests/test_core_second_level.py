@@ -1,0 +1,71 @@
+"""Second-level delinquent-bit filter tests (paper Section 3.2)."""
+
+from repro.core import SecondLevelFilter
+
+
+def test_fresh_filter_allows_first_alarm():
+    second = SecondLevelFilter()
+    assert second.observe_trigger(0b100) == 0b100
+
+
+def test_delinquent_bit_suppressed_on_repeat():
+    second = SecondLevelFilter()
+    second.observe_trigger(0b1)
+    # The same bit alarming again within 7 triggers is suppressed.
+    assert second.observe_trigger(0b1) == 0
+
+
+def test_rearms_after_seven_quiet_triggers():
+    second = SecondLevelFilter(num_states=8)
+    second.observe_trigger(0b1)
+    for _ in range(7):
+        second.observe_trigger(0)      # quiet trigger events re-arm bit 0
+    assert second.observe_trigger(0b1) == 0b1
+
+
+def test_mixed_mask_partial_allow():
+    second = SecondLevelFilter()
+    second.observe_trigger(0b01)       # bit 0 now delinquent
+    allowed = second.observe_trigger(0b11)
+    assert allowed == 0b10             # bit 1 fresh -> allowed; bit 0 suppressed
+
+
+def test_suppressed_trigger_still_recorded():
+    """Even suppressed non-matches advance the machine (the paper: "though
+    the state machine transitions to record the non-match")."""
+    second = SecondLevelFilter()
+    second.observe_trigger(0b1)
+    for _ in range(6):
+        second.observe_trigger(0)
+    second.observe_trigger(0b1)        # suppressed but re-saturates bit 0
+    for _ in range(6):
+        second.observe_trigger(0)
+    assert second.observe_trigger(0b1) == 0  # still suppressed: not yet 7 quiet
+
+
+def test_allows_probe_is_side_effect_free():
+    second = SecondLevelFilter()
+    assert second.allows(0b1)
+    second.observe_trigger(0b1)
+    assert not second.allows(0b1)
+    assert second.allows(0b10)
+
+
+def test_delinquent_mask_tracks_suppressed_positions():
+    second = SecondLevelFilter()
+    second.observe_trigger(0b1010)
+    assert second.delinquent_mask == 0b1010
+
+
+def test_suppression_statistics():
+    second = SecondLevelFilter()
+    second.observe_trigger(0b1)        # allowed
+    second.observe_trigger(0b1)        # suppressed
+    assert second.observed_triggers == 2
+    assert second.suppressed_triggers == 1
+
+
+def test_rejects_too_few_states():
+    import pytest
+    with pytest.raises(ValueError):
+        SecondLevelFilter(num_states=1)

@@ -1,0 +1,102 @@
+"""State-machine semantics (paper Figure 2, Sections 3.2/3.4)."""
+
+import pytest
+
+from repro.core import BiasedMachine, StandardCounter, StickyCounter
+
+
+class TestStickyCounter:
+    def test_first_change_alarms(self):
+        counter = StickyCounter()
+        assert counter.observe(True) is True
+
+    def test_stays_saturated_no_second_alarm(self):
+        counter = StickyCounter()
+        counter.observe(True)
+        assert counter.observe(False) is False
+        assert counter.observe(True) is False  # sticky: only one detection
+        assert counter.is_changing
+
+    def test_no_change_never_alarms(self):
+        counter = StickyCounter()
+        for _ in range(10):
+            assert counter.observe(False) is False
+        assert not counter.is_changing
+
+    def test_flash_clear_rearms(self):
+        counter = StickyCounter()
+        counter.observe(True)
+        counter.flash_clear()
+        assert not counter.is_changing
+        assert counter.observe(True) is True
+
+
+class TestStandardCounter:
+    def test_direct_u_c1_transitions(self):
+        # Figure 2(a): one no-change from C1 returns to U, so an
+        # alternating change/no-change pattern alarms every other step.
+        counter = StandardCounter(3)
+        alarms = [counter.observe(bool(i % 2 == 0)) for i in range(6)]
+        assert alarms == [True, False, True, False, True, False]
+
+    def test_saturates_at_deepest_state(self):
+        counter = StandardCounter(3)
+        for _ in range(5):
+            counter.observe(True)
+        assert counter.state == 3
+        counter.observe(False)
+        assert counter.state == 2
+
+    def test_rejects_zero_states(self):
+        with pytest.raises(ValueError):
+            StandardCounter(0)
+
+
+class TestBiasedMachine:
+    def test_change_jumps_to_deepest_state(self):
+        machine = BiasedMachine(2)
+        machine.observe(True)
+        assert machine.state == 2
+
+    def test_two_consecutive_no_changes_to_reenter_u(self):
+        # Figure 2(b): the bias that cuts false positives.
+        machine = BiasedMachine(2)
+        machine.observe(True)          # U -> C2, alarm
+        machine.observe(False)         # C2 -> C1
+        assert machine.is_changing
+        machine.observe(False)         # C1 -> U
+        assert not machine.is_changing
+
+    def test_toggling_pattern_alarm_suppressed(self):
+        # change/no-change toggling alarms once then never again — the
+        # exact pattern that makes the standard counter alarm repeatedly.
+        machine = BiasedMachine(2)
+        alarms = [machine.observe(bool(i % 2 == 0)) for i in range(10)]
+        assert alarms == [True] + [False] * 9
+
+    def test_alarm_only_out_of_u(self):
+        machine = BiasedMachine(2)
+        machine.observe(True)
+        assert machine.observe(True) is False  # change in C2: no alarm
+        machine.observe(False)
+        assert machine.observe(True) is False  # change in C1: no alarm
+
+    def test_seven_state_machine_needs_seven_quiet_steps(self):
+        # The second-level / squash configuration (8 states).
+        machine = BiasedMachine(7)
+        machine.observe(True)
+        for _ in range(6):
+            machine.observe(False)
+            assert machine.is_changing
+        machine.observe(False)
+        assert not machine.is_changing
+        assert machine.observe(True) is True
+
+    def test_saturate_forces_deepest_state(self):
+        machine = BiasedMachine(7)
+        machine.saturate()
+        assert machine.state == 7
+
+    def test_rejects_zero_states(self):
+        with pytest.raises(ValueError):
+            BiasedMachine(0)

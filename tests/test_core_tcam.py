@@ -1,0 +1,139 @@
+"""Counting-TCAM tests (paper Section 3.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TCAM
+from repro.errors import ConfigurationError
+
+MASK64 = (1 << 64) - 1
+values = st.integers(min_value=0, max_value=MASK64)
+
+
+def warmed(entries=4, threshold=4, seed_values=(0,)):
+    tcam = TCAM(entries=entries, loosen_threshold=threshold)
+    for value in seed_values:
+        tcam.lookup(value)
+    return tcam
+
+
+class TestColdStart:
+    def test_first_value_installs_without_trigger(self):
+        tcam = TCAM(entries=4)
+        res = tcam.lookup(123)
+        assert not res.triggered
+        assert res.cold_install
+        assert tcam.valid_entries == 1
+
+    def test_repeat_value_matches(self):
+        tcam = warmed(seed_values=(123,))
+        res = tcam.lookup(123)
+        assert not res.triggered and not res.cold_install
+
+
+class TestMatchAndLoosen:
+    def test_near_value_loosens_closest(self):
+        tcam = warmed(seed_values=(0b0000,))
+        res = tcam.lookup(0b0101)      # 2 mismatches <= threshold 4
+        assert res.triggered
+        assert res.mismatch_count == 2
+        assert res.replaced_index is None
+        # after loosening, both old and new values match
+        assert tcam.probe(0b0101) == 0
+        assert tcam.probe(0b0000) == 0
+
+    def test_far_value_replaces_lru(self):
+        tcam = warmed(entries=2, seed_values=(0,))
+        far = (1 << 40) - 1            # 40 mismatching bits
+        res = tcam.lookup(far)
+        assert res.triggered
+        assert res.replaced_index is not None
+        assert res.mismatch_count == 40
+        assert tcam.probe(far) == 0
+
+    def test_replacement_prefers_invalid_entries(self):
+        tcam = TCAM(entries=3)
+        tcam.lookup(0)
+        res = tcam.lookup(MASK64)      # far: replaces, but 2 entries unused
+        assert res.replaced_index is not None
+        assert tcam.valid_entries == 2  # did not evict the valid filter
+        assert tcam.probe(0) == 0
+
+    def test_threshold_boundary_inclusive(self):
+        tcam = warmed(threshold=2, seed_values=(0,))
+        res = tcam.lookup(0b11)        # exactly 2 mismatches: loosen
+        assert res.replaced_index is None
+        res = tcam.lookup(0b11100)     # 3 mismatches: replace
+        assert res.replaced_index is not None
+
+
+class TestClustering:
+    def test_similar_values_reinforce_one_filter(self):
+        """The clustering insight: values differing in low bits share one
+        filter, which learns those bits are changing and stops triggering."""
+        tcam = TCAM(entries=8, loosen_threshold=4)
+        stream = [0x1000 + (i % 4) for i in range(40)]
+        triggers = sum(tcam.lookup(v).triggered for v in stream)
+        late_triggers = sum(tcam.lookup(v).triggered for v in stream)
+        assert tcam.valid_entries == 1     # all clustered into one entry
+        assert late_triggers == 0          # fully learned
+        assert triggers <= 4
+
+    def test_distinct_neighborhoods_use_distinct_entries(self):
+        # bases are pairwise >4 bits apart, beyond the loosen threshold
+        tcam = TCAM(entries=8)
+        for base in (0, 0xFF << 8, 0xFF << 24, 0xFF << 40):
+            tcam.lookup(base)
+        assert tcam.valid_entries == 4
+
+    def test_lru_evicts_least_recent_neighborhood(self):
+        tcam = TCAM(entries=2)
+        a, b, c = 0xFF << 8, 0xFF << 24, 0xFF << 40
+        tcam.lookup(a)
+        tcam.lookup(b)
+        tcam.lookup(a)                 # a most recent
+        tcam.lookup(c)                 # evicts b
+        assert tcam.probe(a) == 0
+        assert tcam.probe(b) > 0
+
+
+class TestAccounting:
+    def test_lookup_and_trigger_counters(self):
+        tcam = warmed(seed_values=(0,))
+        tcam.lookup(0)
+        tcam.lookup(MASK64)
+        assert tcam.lookups == 3
+        assert tcam.triggers == 1
+        assert tcam.trigger_rate == pytest.approx(1 / 3)
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ConfigurationError):
+            TCAM(entries=0)
+
+    def test_probe_has_no_side_effects(self):
+        tcam = warmed(seed_values=(0,))
+        before = tcam.lookups
+        tcam.probe(MASK64)
+        assert tcam.lookups == before
+
+
+@settings(max_examples=50)
+@given(st.lists(values, min_size=1, max_size=40))
+def test_lookup_value_always_admitted_afterwards(stream):
+    """Invariant: whatever the lookup decided (match/loosen/replace), the
+    looked-up value is inside some filter's subspace immediately after."""
+    tcam = TCAM(entries=4, loosen_threshold=4)
+    for value in stream:
+        tcam.lookup(value)
+        assert tcam.probe(value) == 0
+
+
+@settings(max_examples=50)
+@given(st.lists(values, min_size=1, max_size=40))
+def test_closest_index_always_valid(stream):
+    tcam = TCAM(entries=4)
+    for value in stream:
+        res = tcam.lookup(value)
+        assert 0 <= res.closest_index < 4
+        assert res.mismatch_count == res.mismatch_mask.bit_count()

@@ -1,0 +1,180 @@
+"""FaultHound / PBFS screening-unit behaviour tests."""
+
+import pytest
+
+from repro.config import FaultHoundConfig, PBFSConfig
+from repro.core import (CheckAction, CheckKind, FaultHoundUnit,
+                        NullScreeningUnit, PBFSUnit)
+
+
+def warm_unit(unit, value=0x1000, kind=CheckKind.LOAD_ADDR, pc=10, n=3):
+    for _ in range(n):
+        unit.check_at_complete(kind, value, pc)
+    return unit
+
+
+class TestNullUnit:
+    def test_always_none(self):
+        unit = NullScreeningUnit()
+        res = unit.check_at_complete(CheckKind.LOAD_ADDR, 123, 0)
+        assert res.action is CheckAction.NONE
+        assert unit.check_at_commit(CheckKind.STORE_VALUE, 5, 0).action \
+            is CheckAction.NONE
+        assert unit.trigger_count == 0
+
+
+class TestPBFSUnit:
+    def test_cold_install_then_match(self):
+        unit = PBFSUnit()
+        first = unit.check_at_complete(CheckKind.LOAD_ADDR, 0x40, pc=7)
+        again = unit.check_at_complete(CheckKind.LOAD_ADDR, 0x40, pc=7)
+        assert first.action is CheckAction.NONE
+        assert again.action is CheckAction.NONE
+
+    def test_mismatch_squashes(self):
+        unit = warm_unit(PBFSUnit(), value=0x40)
+        res = unit.check_at_complete(CheckKind.LOAD_ADDR, 0x41 << 8, pc=10)
+        assert res.action is CheckAction.SQUASH
+
+    def test_sticky_only_one_detection_per_bit(self):
+        unit = PBFSUnit()
+        unit.check_at_complete(CheckKind.LOAD_ADDR, 0b00, pc=3)
+        first = unit.check_at_complete(CheckKind.LOAD_ADDR, 0b01, pc=3)
+        unit.check_at_complete(CheckKind.LOAD_ADDR, 0b00, pc=3)
+        second = unit.check_at_complete(CheckKind.LOAD_ADDR, 0b01, pc=3)
+        assert first.action is CheckAction.SQUASH
+        assert second.action is CheckAction.NONE  # counter saturated
+
+    def test_biased_variant_redetects_after_decay(self):
+        unit = PBFSUnit(PBFSConfig(biased=True))
+        assert unit.name == "pbfs-biased"
+        unit.check_at_complete(CheckKind.LOAD_ADDR, 0b00, pc=3)
+        assert unit.check_at_complete(CheckKind.LOAD_ADDR, 0b01, pc=3
+                                      ).action is CheckAction.SQUASH
+        # three quiet checks decay bit 0 back to unchanging...
+        for _ in range(3):
+            unit.check_at_complete(CheckKind.LOAD_ADDR, 0b01, pc=3)
+        # ...so the next flip triggers again: better coverage, more FPs.
+        assert unit.check_at_complete(CheckKind.LOAD_ADDR, 0b00, pc=3
+                                      ).action is CheckAction.SQUASH
+
+    def test_flash_clear_rearms_sticky(self):
+        unit = PBFSUnit(PBFSConfig(clear_interval=4))
+        unit.check_at_complete(CheckKind.LOAD_ADDR, 0b00, pc=3)
+        unit.check_at_complete(CheckKind.LOAD_ADDR, 0b01, pc=3)  # squash+stick
+        unit.check_at_complete(CheckKind.LOAD_ADDR, 0b00, pc=3)
+        unit.check_at_complete(CheckKind.LOAD_ADDR, 0b00, pc=3)  # clears here
+        res = unit.check_at_complete(CheckKind.LOAD_ADDR, 0b01, pc=3)
+        assert res.action is CheckAction.SQUASH
+
+    def test_pc_spreading_separates_similar_values(self):
+        """PBFS's weakness: the same value stream from different PCs must be
+        learned once per PC."""
+        unit = PBFSUnit(PBFSConfig(biased=True))
+        squashes = 0
+        for pc in (100, 200, 300):
+            unit.check_at_complete(CheckKind.LOAD_ADDR, 0b00, pc=pc)
+            if unit.check_at_complete(CheckKind.LOAD_ADDR, 0b01, pc=pc
+                                      ).action is CheckAction.SQUASH:
+                squashes += 1
+        assert squashes == 3
+
+    def test_no_commit_check(self):
+        unit = PBFSUnit()
+        res = unit.check_at_commit(CheckKind.LOAD_ADDR, 1, pc=0)
+        assert res.action is CheckAction.NONE
+        assert unit.checks == 0
+
+    def test_replaying_suppresses_squash(self):
+        unit = warm_unit(PBFSUnit(), value=0)
+        unit.replaying = True
+        res = unit.check_at_complete(CheckKind.LOAD_ADDR, 1 << 8, pc=10)
+        assert res.action is CheckAction.NONE
+        assert res.triggered
+
+
+class TestFaultHoundUnit:
+    def test_match_is_none(self):
+        unit = warm_unit(FaultHoundUnit())
+        res = unit.check_at_complete(CheckKind.LOAD_ADDR, 0x1000, pc=10)
+        assert res.action is CheckAction.NONE
+
+    def test_first_trigger_is_squash_then_replay(self):
+        """A fresh unit's squash machines are all quiet, so the very first
+        identity-bearing trigger licenses a squash; the second trigger from
+        the same closest filter downgrades to replay."""
+        unit = warm_unit(FaultHoundUnit(), value=0)
+        first = unit.check_at_complete(CheckKind.LOAD_ADDR, 0b1, pc=10)
+        assert first.action is CheckAction.SQUASH
+        unit.check_at_complete(CheckKind.LOAD_ADDR, 0, pc=10)
+        res = unit.check_at_complete(CheckKind.LOAD_ADDR, 0b100, pc=10)
+        assert res.action is CheckAction.REPLAY
+
+    def test_second_level_suppresses_delinquent_bit(self):
+        unit = warm_unit(FaultHoundUnit(), value=0)
+        unit.check_at_complete(CheckKind.LOAD_ADDR, 0b1, pc=10)   # bit 0 alarm
+        # decay bit 0 back to unchanging in the first level (2 quiet checks)
+        unit.check_at_complete(CheckKind.LOAD_ADDR, 0b1, pc=10)
+        unit.check_at_complete(CheckKind.LOAD_ADDR, 0b1, pc=10)
+        res = unit.check_at_complete(CheckKind.LOAD_ADDR, 0b0, pc=10)
+        assert res.triggered
+        assert res.action is CheckAction.SUPPRESSED
+
+    def test_separate_address_and_value_tcams(self):
+        unit = FaultHoundUnit()
+        unit.check_at_complete(CheckKind.LOAD_ADDR, 0x1000, pc=1)
+        unit.check_at_complete(CheckKind.STORE_VALUE, 0x9999, pc=1)
+        assert unit.addresses.tcam.valid_entries == 1
+        assert unit.values.tcam.valid_entries == 1
+
+    def test_commit_trigger_is_singleton(self):
+        unit = warm_unit(FaultHoundUnit(), value=0)
+        res = unit.check_at_commit(CheckKind.LOAD_ADDR, 1 << 20, pc=10)
+        assert res.action is CheckAction.SINGLETON
+
+    def test_lsq_check_disabled(self):
+        unit = FaultHoundUnit(FaultHoundConfig(lsq_check=False))
+        res = unit.check_at_commit(CheckKind.LOAD_ADDR, 123, pc=0)
+        assert res.action is CheckAction.NONE
+        assert unit.checks == 0
+
+    def test_replaying_ignores_triggers_but_learns(self):
+        unit = warm_unit(FaultHoundUnit(), value=0)
+        unit.replaying = True
+        res = unit.check_at_complete(CheckKind.LOAD_ADDR, 0b11, pc=10)
+        assert res.triggered and res.action is CheckAction.NONE
+        unit.replaying = False
+        # the filter learned 0b11 during replay: matches now
+        res = unit.check_at_complete(CheckKind.LOAD_ADDR, 0b11, pc=10)
+        assert res.action is CheckAction.NONE
+
+    def test_full_rollback_ablation(self):
+        cfg = FaultHoundConfig(squash_detection=False,
+                               second_level=False,
+                               full_rollback_on_trigger=True)
+        unit = warm_unit(FaultHoundUnit(cfg), value=0)
+        res = unit.check_at_complete(CheckKind.LOAD_ADDR, 0b1, pc=10)
+        assert res.action is CheckAction.SQUASH
+
+    def test_no_clustering_ablation_uses_pc_indexed_table(self):
+        cfg = FaultHoundConfig(clustering=False, second_level=False,
+                               squash_detection=False)
+        unit = FaultHoundUnit(cfg)
+        assert unit.addresses.tcam is None
+        assert unit.addresses.table is not None
+        unit.check_at_complete(CheckKind.LOAD_ADDR, 0, pc=5)
+        res = unit.check_at_complete(CheckKind.LOAD_ADDR, 0b1, pc=5)
+        assert res.action is CheckAction.REPLAY
+
+    def test_squash_detection_disabled_never_squashes(self):
+        cfg = FaultHoundConfig(squash_detection=False, second_level=False)
+        unit = warm_unit(FaultHoundUnit(cfg), value=0)
+        for delta in (1, 2, 4, 8):
+            res = unit.check_at_complete(CheckKind.LOAD_ADDR, delta << 10, pc=1)
+            assert res.action in (CheckAction.REPLAY, CheckAction.NONE)
+
+    def test_action_counters(self):
+        unit = warm_unit(FaultHoundUnit(), value=0)
+        unit.check_at_complete(CheckKind.LOAD_ADDR, 1 << 30, pc=10)
+        assert unit.trigger_count == 1
+        assert unit.checks == 4

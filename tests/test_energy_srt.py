@@ -1,0 +1,130 @@
+"""Energy-model and SRT-baseline tests."""
+
+import pytest
+
+from repro.config import HardwareConfig, PBFSConfig
+from repro.core import FaultHoundUnit, PBFSUnit
+from repro.energy import (DEFAULT_CONSTANTS, EnergyModel, sram_access_energy,
+                          tcam_access_energy)
+from repro.errors import ConfigurationError
+from repro.pipeline import PipelineCore
+from repro.redundancy import dynamic_length, srt_iso_core
+from repro.workloads import PROFILES, build_program
+
+HW = HardwareConfig()
+
+
+def run_core(program, screening=None, **kwargs):
+    core = PipelineCore([program], hw=HW, screening=screening, **kwargs)
+    core.run(max_cycles=2_000_000)
+    assert core.all_halted
+    return core
+
+
+@pytest.fixture(scope="module")
+def small_program():
+    return build_program(PROFILES["gamess"], 3000)
+
+
+class TestCacti:
+    def test_pbfs_table_costs_like_an_l1_access(self):
+        # Section 2.2: the 32KB PBFS table's energy is comparable to L1 D.
+        pbfs = sram_access_energy(2048, 128)
+        assert 15 <= pbfs <= 40
+
+    def test_faulthound_tcam_much_cheaper_than_pbfs_table(self):
+        tcam = tcam_access_energy(32, 128)
+        pbfs = sram_access_energy(2048, 128)
+        assert tcam < pbfs / 2
+
+    def test_tcam_scales_with_entries(self):
+        assert tcam_access_energy(64, 128) > tcam_access_energy(16, 128)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            sram_access_energy(0, 64)
+        with pytest.raises(ValueError):
+            tcam_access_energy(16, -1)
+
+
+class TestEnergyModel:
+    def test_baseline_breakdown_positive(self, small_program):
+        core = run_core(small_program)
+        breakdown = EnergyModel().compute(core)
+        assert breakdown.total_pj > 0
+        assert breakdown.pipeline_pj > 0
+        assert breakdown.leakage_pj == core.stats.cycles \
+            * DEFAULT_CONSTANTS.leakage_per_cycle_pj
+        assert breakdown.screening_pj == 0.0
+
+    def test_overhead_vs_self_is_zero(self, small_program):
+        core = run_core(small_program)
+        b = EnergyModel().compute(core)
+        assert b.overhead_vs(b) == pytest.approx(0.0)
+
+    def test_faulthound_adds_screening_energy(self, small_program):
+        baseline = EnergyModel().compute(run_core(small_program))
+        fh = EnergyModel().compute(
+            run_core(small_program, FaultHoundUnit()))
+        assert fh.screening_pj > 0
+        assert fh.overhead_vs(baseline) > 0
+
+    def test_pbfs_screening_energy_exceeds_faulthound(self, small_program):
+        fh_core = run_core(small_program, FaultHoundUnit())
+        pbfs_core = run_core(small_program, PBFSUnit())
+        fh = EnergyModel().compute(fh_core)
+        pbfs = EnergyModel().compute(pbfs_core)
+        # Similar lookup counts, but PBFS pays the 32KB-table price.
+        assert pbfs.screening_pj > fh.screening_pj
+
+    def test_as_dict_totals(self, small_program):
+        breakdown = EnergyModel().compute(run_core(small_program))
+        d = breakdown.as_dict()
+        parts = sum(v for k, v in d.items() if k != "total_pj")
+        assert parts == pytest.approx(d["total_pj"])
+
+
+class TestSRT:
+    def test_dynamic_length_matches_interpreter(self, small_program):
+        assert dynamic_length(small_program) >= 3000
+
+    def test_rejects_bad_coverage(self, small_program):
+        with pytest.raises(ConfigurationError):
+            srt_iso_core([small_program], coverage=1.5)
+
+    def test_srt_doubles_contexts_and_commits(self, small_program):
+        length = dynamic_length(small_program)
+        core = srt_iso_core([small_program], hw=HW, coverage=1.0,
+                            lengths=[length])
+        assert len(core.threads) == 2
+        core.run(max_cycles=2_000_000)
+        assert core.all_halted
+        # trailing copy re-commits (almost) the whole program
+        assert core.threads[1].committed_count >= length - 1
+
+    def test_srt_iso_partial_redundancy(self, small_program):
+        length = dynamic_length(small_program)
+        core = srt_iso_core([small_program], hw=HW, coverage=0.5,
+                            lengths=[length])
+        core.run(max_cycles=2_000_000)
+        trailing = core.threads[1].committed_count
+        assert trailing == pytest.approx(0.5 * length, rel=0.05)
+
+    def test_srt_slower_and_hungrier_than_baseline(self, small_program):
+        baseline = run_core(small_program)
+        length = dynamic_length(small_program)
+        srt = srt_iso_core([small_program], hw=HW, coverage=1.0,
+                           lengths=[length])
+        srt.run(max_cycles=2_000_000)
+        assert srt.all_halted
+        base_e = EnergyModel().compute(baseline)
+        srt_e = EnergyModel().compute(srt)
+        assert srt.stats.cycles >= baseline.stats.cycles
+        assert srt_e.overhead_vs(base_e) > 0.2  # redundancy is expensive
+
+    def test_trailing_thread_never_misses_or_mispredicts(self, small_program):
+        core = srt_iso_core([small_program], hw=HW, coverage=0.3,
+                            lengths=[dynamic_length(small_program)])
+        core.run(max_cycles=2_000_000)
+        assert core.predictors[1].mispredictions == 0
+        assert core._ideal_hierarchy.l1.stats.miss_rate == 0.0

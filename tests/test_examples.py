@@ -1,0 +1,62 @@
+"""Smoke tests: the shipped examples must run end to end."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def load_example(name):
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart_runs_and_recovers(capsys):
+    module = load_example("quickstart")
+    module.main()
+    out = capsys.readouterr().out
+    assert "fault-free run" in out
+    assert "2080" in out                     # the correct sum appears
+    assert "repaired or masked" in out       # recovery succeeded
+
+
+def test_value_locality_explorer(capsys):
+    module = load_example("value_locality_explorer")
+    module.main()
+    out = capsys.readouterr().out
+    assert "cold install" in out
+    assert "TRIGGER" in out
+    assert "suppressed" in out
+    assert "ALLOWED" in out
+
+
+def test_pipeline_visualizer(capsys):
+    module = load_example("pipeline_visualizer")
+    module.main()
+    out = capsys.readouterr().out
+    assert "uid" in out
+    assert "stage residency" in out
+
+
+def test_fault_injection_campaign_small(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["prog", "gamess", "10"])
+    module = load_example("fault_injection_campaign")
+    module.main()
+    out = capsys.readouterr().out
+    assert "phase A" in out
+    assert "masked" in out
+
+
+def test_all_examples_have_docstrings_and_main():
+    for path in EXAMPLES.glob("*.py"):
+        source = path.read_text()
+        assert source.lstrip().startswith(('#!/usr/bin/env python3', '"""')), \
+            f"{path.name} missing shebang/docstring"
+        assert "def main(" in source, f"{path.name} missing main()"
+        assert '__name__ == "__main__"' in source, path.name

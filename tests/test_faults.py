@@ -1,0 +1,215 @@
+"""Fault model, injector and tandem-classifier tests."""
+
+import random
+
+import pytest
+
+from repro.config import FaultHoundConfig, HardwareConfig, PBFSConfig
+from repro.core import FaultHoundUnit, NullScreeningUnit, PBFSUnit
+from repro.faults import (Campaign, FaultClass, FaultInjector, FaultRecord,
+                          FaultSite, RegStatus, SITE_PROPORTIONS,
+                          TandemClassifier)
+from repro.isa import assemble
+from repro.pipeline import PipelineCore
+
+from .program_gen import random_program
+
+HW = HardwareConfig()
+
+
+def make_core(program, screening=None):
+    return PipelineCore([program], hw=HW, screening=screening)
+
+
+class TestModel:
+    def test_site_proportions_sum_to_one(self):
+        assert sum(SITE_PROPORTIONS.values()) == pytest.approx(1.0)
+
+    def test_record_describe(self):
+        record = FaultRecord(index=0, site=FaultSite.REGFILE,
+                             inject_at_commit=100, bit=5, reg=42)
+        assert "p42" in record.describe()
+        assert "bit5" in record.describe()
+
+
+class TestInjector:
+    def test_plan_is_deterministic(self):
+        a = FaultInjector(9, HW.phys_regs, 1).plan(50, 100, 1000)
+        b = FaultInjector(9, HW.phys_regs, 1).plan(50, 100, 1000)
+        assert [(r.site, r.bit, r.reg) for r in a] == \
+               [(r.site, r.bit, r.reg) for r in b]
+
+    def test_plan_roughly_matches_proportions(self):
+        records = FaultInjector(3, HW.phys_regs, 2).plan(2000, 0, 10_000)
+        counts = {site: 0 for site in FaultSite}
+        for record in records:
+            counts[record.site] += 1
+        assert counts[FaultSite.REGFILE] > counts[FaultSite.RENAME] \
+            > counts[FaultSite.LSQ]
+        assert counts[FaultSite.RENAME] / 2000 == pytest.approx(0.20, abs=0.04)
+
+    def test_plan_sorted_by_time(self):
+        records = FaultInjector(1, HW.phys_regs, 1).plan(100, 0, 5000)
+        times = [r.inject_at_commit for r in records]
+        assert times == sorted(times)
+
+    def test_rename_bits_bounded_by_pointer_width(self):
+        records = FaultInjector(2, HW.phys_regs, 1).plan(500, 0, 100)
+        width = (HW.phys_regs - 1).bit_length()
+        for record in records:
+            if record.site is FaultSite.RENAME:
+                assert record.bit < width
+
+    def test_reg_status_free_vs_committed(self):
+        core = make_core(assemble("movi r1, 7\nhalt"))
+        core.run(max_cycles=10_000)
+        committed_phys = core.threads[0].committed_rat.get(1)
+        assert FaultInjector.reg_status(core, committed_phys) \
+            is RegStatus.COMMITTED
+        free_reg = core.free_list._tags[0]
+        assert FaultInjector.reg_status(core, free_reg) is RegStatus.FREE
+
+    def test_prf_injection_flips_exactly_one_bit(self):
+        core = make_core(assemble("movi r1, 0\nhalt"))
+        reg = 10
+        before = core.prf.read(reg)
+        core.inject_prf_bit(reg, 4)
+        assert core.prf.read(reg) == before ^ 16
+
+    def test_rename_injection_changes_mapping(self):
+        core = make_core(assemble("movi r1, 1\nmovi r1, 2\nhalt"))
+        before = core.threads[0].spec_rat.get(5)
+        core.inject_rat_bit(0, 5, 0)
+        after = core.threads[0].spec_rat.get(5)
+        assert after != before
+        assert 0 <= after < HW.phys_regs
+
+    def test_lsq_injection_requires_resident_entry(self):
+        core = make_core(assemble("movi r1, 1\nhalt"))
+        assert core.inject_lsq_bit(0, 0, "addr", 3) is False
+
+
+class TestClassifier:
+    def _campaign(self, seed=11, n=24, scheme=None, window=100):
+        program = random_program(random.Random(seed), body_len=25,
+                                 iterations=2000)
+        campaign = Campaign(
+            "test", lambda: make_core(program),
+            num_phys_regs=HW.phys_regs, num_threads=1,
+            num_faults=n, seed=seed, warmup_commits=200,
+            window_commits=window, max_window_cycles=30_000)
+        return program, campaign
+
+    def test_characterization_classes_partition(self):
+        _, campaign = self._campaign()
+        result = campaign.characterize()
+        fractions = [result.class_fraction(c) for c in FaultClass]
+        assert sum(fractions) == pytest.approx(1.0)
+        assert result.applied_count() > 0
+
+    def test_most_faults_masked(self):
+        """The paper's headline characterization: a large majority of
+        single-bit faults are masked (~85%)."""
+        _, campaign = self._campaign(n=40)
+        result = campaign.characterize()
+        assert result.class_fraction(FaultClass.MASKED) > 0.5
+
+    def test_faulthound_covers_some_sdc_faults(self):
+        program, campaign = self._campaign(n=40)
+        characterization = campaign.characterize()
+        sdc = sum(1 for r in characterization.characterization
+                  if r.applied and r.fault_class is FaultClass.SDC)
+        if sdc == 0:
+            pytest.skip("campaign produced no SDC faults at this seed")
+        coverage = campaign.run_coverage(
+            "faulthound",
+            lambda: make_core(program, FaultHoundUnit()),
+            characterization)
+        assert coverage.sdc_count == sdc
+        assert 0.0 <= coverage.coverage <= 1.0
+        bins = coverage.breakdown()
+        assert sum(bins.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_null_scheme_covers_nothing_uncorrected(self):
+        """Under the null unit an SDC fault stays SDC: nothing recovers it
+        and nothing detects it."""
+        program, campaign = self._campaign(n=30)
+        characterization = campaign.characterize()
+        sdc = [r for r in characterization.characterization
+               if r.applied and r.fault_class is FaultClass.SDC]
+        if not sdc:
+            pytest.skip("no SDC faults at this seed")
+        coverage = campaign.run_coverage(
+            "baseline", lambda: make_core(program), characterization)
+        recovered = sum(1 for o in coverage.outcomes.values() if o.is_covered)
+        assert recovered == 0
+
+    def test_deterministic_classification(self):
+        _, campaign_a = self._campaign(seed=5, n=12)
+        _, campaign_b = self._campaign(seed=5, n=12)
+        res_a = campaign_a.characterize()
+        res_b = campaign_b.characterize()
+        assert [w.fault_class for w in res_a.characterization] == \
+               [w.fault_class for w in res_b.characterization]
+
+
+class TestDirectedInjection:
+    def test_committed_register_fault_corrupts_stores(self):
+        """A fault in a committed register consumed by later stores is SDC
+        under the baseline — the classic silent-corruption path."""
+        src = """
+            movi r5, 1000
+            movi r2, 0x100
+            movi r1, 50
+            loop:
+            st   r5, 0(r2)
+            addi r2, r2, 8
+            addi r1, r1, -1
+            bne  r1, r0, loop
+            halt
+        """
+        program = assemble(src)
+        golden = make_core(program)
+        golden.run(max_cycles=50_000)
+
+        faulty = make_core(program)
+        # run a few loop iterations, then flip a low bit of r5's register
+        faulty.run_until_commits(20)
+        phys = faulty.threads[0].committed_rat.get(5)
+        faulty.inject_prf_bit(phys, 3)
+        faulty.run(max_cycles=50_000)
+        assert (faulty.threads[0].arch_state_snapshot(faulty.prf)
+                != golden.threads[0].arch_state_snapshot(golden.prf))
+
+    def test_store_lsq_value_fault_detected_by_faulthound(self):
+        """Corrupting a store value in the LSQ after execution: FaultHound's
+        commit-time check triggers a singleton re-execute whose compare
+        recovers the correct value from the register file."""
+        src = """
+            movi r5, 0x12340
+            movi r2, 0x100
+            movi r1, 200
+            loop:
+            st   r5, 0(r2)
+            addi r1, r1, -1
+            bne  r1, r0, loop
+            halt
+        """
+        program = assemble(src)
+        golden = make_core(program, FaultHoundUnit())
+        golden.run(max_cycles=100_000)
+
+        faulty = make_core(program, FaultHoundUnit())
+        faulty.run_until_commits(300)  # warm the filters well
+        injected = False
+        for _ in range(2000):
+            if faulty.inject_lsq_bit(0, 0, "value", 17):
+                injected = True
+                break
+            faulty.step()
+        assert injected
+        faulty.run(max_cycles=100_000)
+        # the corrupted value was off-neighbourhood: recovered via singleton
+        assert (faulty.threads[0].arch_state_snapshot(faulty.prf)
+                == golden.threads[0].arch_state_snapshot(golden.prf))
+        assert faulty.stats.singleton_reexecs >= 1

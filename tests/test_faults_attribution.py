@@ -1,0 +1,78 @@
+"""Unit tests for the Figure 11 outcome attribution logic."""
+
+import pytest
+
+from repro.faults.campaign import _attribute
+from repro.faults.classifier import WindowResult
+from repro.faults.model import (CoverageOutcome, FaultRecord, FaultSite,
+                                RegStatus)
+
+
+def window(site=FaultSite.REGFILE, reg_status=None, **kwargs):
+    record = FaultRecord(index=0, site=site, inject_at_commit=100, bit=4,
+                         reg=10, thread_id=0, reg_status=reg_status)
+    defaults = dict(state_equal=False, extra_exceptions=0, triggers=0,
+                    replays=0, rollbacks=0, singletons=0, declared=0,
+                    suppressions=0)
+    defaults.update(kwargs)
+    return WindowResult(record=record, **defaults)
+
+
+def test_state_equal_is_recovered():
+    assert _attribute(window(state_equal=True)) \
+        is CoverageOutcome.RECOVERED
+
+
+def test_declared_fault_is_detected():
+    assert _attribute(window(declared=1)) is CoverageOutcome.DETECTED
+
+
+def test_extra_exception_is_detected():
+    assert _attribute(window(extra_exceptions=1)) \
+        is CoverageOutcome.DETECTED
+
+
+def test_rename_site_uncovered():
+    result = _attribute(window(site=FaultSite.RENAME, triggers=3,
+                               replays=1))
+    assert result is CoverageOutcome.UNCOVERED_RENAME
+
+
+def test_rename_recovery_beats_rename_bin():
+    result = _attribute(window(site=FaultSite.RENAME, state_equal=True))
+    assert result is CoverageOutcome.RECOVERED
+
+
+def test_no_trigger_bin():
+    assert _attribute(window(triggers=0)) is CoverageOutcome.NO_TRIGGER
+
+
+def test_second_level_masked_bin():
+    result = _attribute(window(triggers=3, suppressions=3))
+    assert result is CoverageOutcome.SECOND_LEVEL_MASKED
+
+
+def test_suppression_with_recovery_action_not_second_level():
+    """If a replay also ran, the loss is not the second-level filter's."""
+    result = _attribute(window(triggers=3, suppressions=2, replays=1,
+                               reg_status=RegStatus.COMMITTED))
+    assert result is CoverageOutcome.COMPLETED_REG
+
+
+def test_completed_reg_bin():
+    result = _attribute(window(triggers=2, replays=2,
+                               reg_status=RegStatus.COMPLETED))
+    assert result is CoverageOutcome.COMPLETED_REG
+
+
+def test_other_bin():
+    result = _attribute(window(triggers=2, replays=2,
+                               reg_status=RegStatus.PENDING))
+    assert result is CoverageOutcome.OTHER
+
+
+def test_is_covered_property():
+    assert CoverageOutcome.RECOVERED.is_covered
+    assert CoverageOutcome.DETECTED.is_covered
+    assert not CoverageOutcome.NO_TRIGGER.is_covered
+    assert not CoverageOutcome.UNCOVERED_RENAME.is_covered

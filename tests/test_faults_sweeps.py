@@ -1,0 +1,60 @@
+"""ConfigSweep tests (small workloads, fast settings)."""
+
+import pytest
+
+from repro.config import FaultHoundConfig, HardwareConfig
+from repro.faults import Campaign
+from repro.faults.sweeps import ConfigSweep
+from repro.pipeline import PipelineCore
+from repro.workloads import PROFILES, build_smt_programs
+
+
+@pytest.fixture(scope="module")
+def programs():
+    return build_smt_programs(PROFILES["volrend"], 3000)
+
+
+@pytest.fixture(scope="module")
+def sweep(programs):
+    return ConfigSweep(programs)
+
+
+def test_fp_rate_sweep_shape(sweep):
+    rows = sweep.fp_rate("tcam_entries", [8, 32])
+    assert set(rows) == {"tcam_entries=8", "tcam_entries=32"}
+    for row in rows.values():
+        assert 0.0 <= row["fp_rate"] < 0.5
+
+
+def test_perf_sweep_uses_shared_baseline(sweep):
+    rows = sweep.perf("second_level", [True, False])
+    assert len(rows) == 2
+    first = sweep.baseline_cycles
+    assert sweep.baseline_cycles == first  # cached
+
+
+def test_custom_metric(sweep):
+    rows = sweep.custom("lsq_check", [True, False],
+                        metric=lambda core: core.stats.singleton_reexecs,
+                        metric_name="singletons")
+    assert rows["lsq_check=False"]["singletons"] == 0
+
+
+def test_coverage_sweep(programs):
+    hw = HardwareConfig()
+    campaign = Campaign(
+        "volrend", lambda: PipelineCore(programs, hw=hw),
+        num_phys_regs=hw.phys_regs, num_threads=len(programs),
+        num_faults=16, seed=5, warmup_commits=200, window_commits=100)
+    characterization = campaign.characterize()
+    sweep = ConfigSweep(programs, hw=hw)
+    rows = sweep.coverage("tcam_entries", [32], campaign, characterization)
+    (row,) = rows.values()
+    assert 0.0 <= row["coverage"] <= 1.0
+
+
+def test_base_config_respected(programs):
+    base = FaultHoundConfig(second_level=False)
+    sweep = ConfigSweep(programs, base_config=base)
+    rows = sweep.fp_rate("tcam_entries", [32])
+    assert rows  # ran with the ablated base config without error

@@ -1,0 +1,34 @@
+"""Figure-module helper tests (ordering, scheme constants)."""
+
+from repro.harness import figures
+from repro.harness.experiment import SCHEMES
+from repro.workloads import PROFILES, SUITES
+
+
+def test_ordered_follows_suite_presentation():
+    ordered = figures._ordered(tuple(PROFILES))
+    assert ordered[:4] == SUITES["specint"]
+    assert ordered[-4:] == SUITES["splash"]
+    assert len(ordered) == 14
+
+
+def test_ordered_respects_subsets():
+    ordered = figures._ordered(("apache", "bzip2"))
+    assert ordered == ["bzip2", "apache"]  # suite order, not input order
+
+
+def test_ordered_falls_back_for_unknown_names():
+    assert figures._ordered(("zzz",)) == ["zzz"]
+
+
+def test_figure_scheme_constants_are_registered():
+    for constant in (figures.FIG8_SCHEMES, figures.FIG9_SCHEMES,
+                     figures.FIG10_SCHEMES):
+        for scheme in constant:
+            assert scheme in SCHEMES
+
+
+def test_fig8_and_fig9_use_the_paper_lineup():
+    assert figures.FIG8_SCHEMES == ("pbfs", "pbfs-biased", "fh-backend",
+                                    "faulthound")
+    assert "fh-backend" in figures.FIG10_SCHEMES

@@ -1,0 +1,115 @@
+"""Harness tests: scheme registry, experiment context caching, figures."""
+
+import pytest
+
+from repro.config import FaultHoundConfig
+from repro.core import FaultHoundUnit, NullScreeningUnit, PBFSUnit
+from repro.harness import (ExperimentConfig, ExperimentContext, SCHEMES,
+                           figures, scheme_unit)
+
+QUICK = ExperimentConfig(benchmarks=("gamess", "bzip2"),
+                         dynamic_target=2_500, num_faults=8,
+                         warmup_commits=200, window_commits=80)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(QUICK)
+
+
+class TestSchemeRegistry:
+    def test_all_figure_schemes_registered(self):
+        for name in ("baseline", "pbfs", "pbfs-biased", "faulthound",
+                     "fh-backend", "fh-be-no2level",
+                     "fh-be-nocluster-no2level", "fh-be-full-rollback",
+                     "fh-be-nolsq"):
+            assert name in SCHEMES
+
+    def test_factories_return_fresh_units(self):
+        a = scheme_unit("faulthound")
+        b = scheme_unit("faulthound")
+        assert a is not b
+        assert isinstance(a, FaultHoundUnit)
+
+    def test_unit_kinds(self):
+        assert isinstance(scheme_unit("baseline"), NullScreeningUnit)
+        assert isinstance(scheme_unit("pbfs"), PBFSUnit)
+        assert scheme_unit("pbfs-biased").config.biased
+
+    def test_ablation_configs(self):
+        assert scheme_unit("fh-backend").config.squash_detection is False
+        assert scheme_unit("fh-be-nolsq").config.lsq_check is False
+        assert scheme_unit("fh-be-nocluster-no2level").config.clustering \
+            is False
+        assert scheme_unit("fh-be-full-rollback").config \
+            .full_rollback_on_trigger is True
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(KeyError, match="unknown scheme"):
+            scheme_unit("nonesuch")
+
+
+class TestExperimentContext:
+    def test_programs_cached(self, ctx):
+        assert ctx.programs("gamess") is ctx.programs("gamess")
+        assert len(ctx.programs("gamess")) == QUICK.smt_copies
+
+    def test_fault_free_run_cached_and_sane(self, ctx):
+        run = ctx.fault_free("gamess", "baseline")
+        assert run is ctx.fault_free("gamess", "baseline")
+        assert run.cycles > 0
+        assert run.committed >= QUICK.dynamic_target
+        assert run.fp_rate == 0.0
+        assert run.energy.total_pj > 0
+
+    def test_scheme_run_has_fp_rate(self, ctx):
+        run = ctx.fault_free("gamess", "faulthound")
+        assert 0.0 <= run.fp_rate < 0.5
+
+    def test_campaign_cached(self, ctx):
+        a = ctx.campaign("gamess")
+        assert a is ctx.campaign("gamess")
+        _, characterization = a
+        assert characterization.applied_count() > 0
+
+    def test_coverage_result(self, ctx):
+        result = ctx.coverage("gamess", "faulthound")
+        assert 0.0 <= result.coverage <= 1.0
+
+    def test_srt_coverage_fixed_mode(self, ctx):
+        assert ctx.srt_coverage("gamess") == QUICK.srt_fixed_coverage
+
+    def test_quick_variant_shrinks(self):
+        cfg = ExperimentConfig().quick()
+        assert cfg.dynamic_target < ExperimentConfig().dynamic_target
+
+
+class TestFigures:
+    def test_table1_and_table2(self):
+        t1 = figures.table1()
+        t2 = figures.table2()
+        assert len(t1["rows"]) == 14
+        assert "Issue Queue size" in t2["rows"]
+        assert "Table 2" in t2["text"]
+
+    def test_fig6_structure(self, ctx):
+        result = figures.fig6(ctx, max_instructions=4_000)
+        assert set(result["fractions"]) == {"load_addr", "store_addr",
+                                            "store_value"}
+        assert all(len(v) == 64 for v in result["fractions"].values())
+
+    def test_fig7_rows_complete(self, ctx):
+        result = figures.fig7(ctx)
+        assert set(result["rows"]) == {"gamess", "bzip2", "MEAN"}
+        for row in result["rows"].values():
+            assert row["masked"] + row["noisy"] + row["sdc"] \
+                == pytest.approx(1.0)
+
+    def test_fig9_includes_srt_column(self, ctx):
+        result = figures.fig9(ctx, schemes=("faulthound",))
+        assert "srt-iso" in result["rows"]["MEAN"]
+
+    def test_fig10_energy_rows(self, ctx):
+        result = figures.fig10(ctx, schemes=("faulthound",),
+                               include_srt=False)
+        assert "faulthound" in result["rows"]["MEAN"]

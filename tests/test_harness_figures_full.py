@@ -1,0 +1,55 @@
+"""Smoke coverage for the campaign-backed figures at tiny scale."""
+
+import pytest
+
+from repro.harness import ExperimentConfig, ExperimentContext, figures
+
+TINY = ExperimentConfig(benchmarks=("gamess", "volrend"),
+                        dynamic_target=2_500, num_faults=10,
+                        warmup_commits=200, window_commits=80)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(TINY)
+
+
+def test_fig8_structure(ctx):
+    result = figures.fig8(ctx, schemes=("pbfs", "faulthound"))
+    assert set(result["coverage"]) == {"gamess", "volrend", "MEAN"}
+    assert set(result["intervals"]) == {"pbfs", "faulthound"}
+    assert "Wilson" in result["text"]
+    for rows in (result["coverage"], result["fp_rate"]):
+        for row in rows.values():
+            for value in row.values():
+                assert 0.0 <= value <= 1.0
+
+
+def test_fig11_structure(ctx):
+    result = figures.fig11(ctx)
+    mean = result["rows"]["MEAN"]
+    assert sum(mean.values()) == pytest.approx(1.0, abs=1e-6)
+    assert set(mean) == {"covered", "second_level_masked",
+                         "completed_committed_reg", "uncovered_rename",
+                         "no_trigger", "other"}
+
+
+def test_fig12_structure(ctx):
+    result = figures.fig12(ctx)
+    assert result["middle"]["FH-BE-full-rollback"]["perf_overhead"] \
+        >= result["middle"]["FH-BE"]["perf_overhead"] - 0.10
+    assert "Figure 12" in result["text"]
+    for table in (result["left"], result["middle"], result["right"]):
+        for row in table.values():
+            for value in row.values():
+                assert isinstance(value, float)
+
+
+def test_fig6_sparkline_lines_present(ctx):
+    result = figures.fig6(ctx, max_instructions=3_000)
+    assert "bit63..bit0" in result["text"]
+
+
+def test_fig9_log_chart_present(ctx):
+    result = figures.fig9(ctx, schemes=("faulthound",), include_srt=False)
+    assert "log scale" in result["text"]

@@ -1,0 +1,108 @@
+"""Assembler unit tests."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa import Opcode, assemble
+from repro.isa.assembler import disassemble
+
+
+def test_assemble_basic_alu():
+    prog = assemble("""
+        movi r1, 5
+        addi r2, r1, 3
+        add  r3, r1, r2
+        halt
+    """)
+    assert len(prog) == 4
+    assert prog.instructions[0].opcode is Opcode.MOVI
+    assert prog.instructions[2].rd == 3
+    assert prog.instructions[2].rs2 == 2
+
+
+def test_assemble_labels_resolve_forward_and_backward():
+    prog = assemble("""
+        top:
+        addi r1, r1, 1
+        beq  r1, r2, done
+        jmp  top
+        done:
+        halt
+    """)
+    beq = prog.instructions[1]
+    jmp = prog.instructions[2]
+    assert beq.imm == 3
+    assert jmp.imm == 0
+    assert prog.labels == {"top": 0, "done": 3}
+
+
+def test_assemble_memory_operands():
+    prog = assemble("""
+        ld r2, 16(r3)
+        st r4, -8(r5)
+        halt
+    """)
+    load, store = prog.instructions[0], prog.instructions[1]
+    assert load.rd == 2 and load.rs1 == 3 and load.imm == 16
+    assert store.rs2 == 4 and store.rs1 == 5 and store.imm == -8
+
+
+def test_assemble_directives_seed_state():
+    prog = assemble("""
+        .word 0x100 42
+        .reg  r7    9
+        halt
+    """)
+    assert prog.initial_memory == {0x100: 42}
+    assert prog.initial_regs == {7: 9}
+
+
+def test_assemble_comments_and_blank_lines_ignored():
+    prog = assemble("""
+        # a comment
+
+        nop   # trailing comment
+        halt
+    """)
+    assert len(prog) == 2
+
+
+@pytest.mark.parametrize("source, fragment", [
+    ("bogus r1, r2, r3\nhalt", "unknown mnemonic"),
+    ("movi r99, 1\nhalt", "out of range"),
+    ("ld r1, r2\nhalt", "offset(base)"),
+    ("add r1, r2\nhalt", "needs rd, rs1, rs2"),
+    ("nop r1\nhalt", "takes no operands"),
+    (".word 5 1\nhalt", "unaligned"),
+    ("x:\nx:\nhalt", "duplicate label"),
+    ("", "empty program"),
+    ("beq r1, r2, 99\nhalt", "outside program"),
+])
+def test_assemble_rejects_bad_source(source, fragment):
+    import re
+    with pytest.raises(AssemblyError, match=re.escape(fragment)):
+        assemble(source)
+
+
+def test_assembly_error_carries_line_number():
+    try:
+        assemble("nop\nbogus\nhalt")
+    except AssemblyError as exc:
+        assert exc.line_number == 2
+    else:
+        pytest.fail("expected AssemblyError")
+
+
+def test_disassemble_round_trip():
+    source = """
+        movi r1, 7
+        ld r2, 0(r1)
+        st r2, 8(r1)
+        beq r1, r2, 4
+        mul r3, r1, r2
+        halt
+    """
+    prog = assemble(source)
+    text = disassemble(prog)
+    reparsed = assemble(text.replace("@", ""))
+    assert reparsed.instructions == prog.instructions

@@ -1,0 +1,113 @@
+"""Binary encoding round-trip tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import Instruction, Opcode, assemble
+from repro.isa.encoding import (EncodingError, MAGIC, decode_instruction,
+                                decode_program, encode_instruction,
+                                encode_program)
+
+from .program_gen import random_program
+
+regs = st.integers(0, 31)
+imms = st.integers(-(1 << 40), (1 << 40) - 1)
+
+
+def instructions():
+    return st.builds(Instruction,
+                     opcode=st.sampled_from(list(Opcode)),
+                     rd=regs, rs1=regs, rs2=regs, imm=imms)
+
+
+class TestInstructionCodec:
+    @settings(max_examples=200)
+    @given(instructions())
+    def test_round_trip(self, inst):
+        assert decode_instruction(encode_instruction(inst)) == inst
+
+    def test_word_is_64_bits(self):
+        word = encode_instruction(Instruction(Opcode.ADD, rd=31, rs1=31,
+                                              rs2=31, imm=-1))
+        assert 0 <= word < (1 << 64)
+
+    def test_negative_immediate(self):
+        inst = Instruction(Opcode.ADDI, rd=1, rs1=2, imm=-8)
+        assert decode_instruction(encode_instruction(inst)).imm == -8
+
+    def test_rejects_oversized_immediate(self):
+        with pytest.raises(EncodingError):
+            encode_instruction(Instruction(Opcode.MOVI, rd=1, imm=1 << 45))
+
+    def test_rejects_unknown_opcode_id(self):
+        with pytest.raises(EncodingError, match="unknown opcode"):
+            decode_instruction(0xFF << 56)
+
+    def test_rejects_non_64_bit(self):
+        with pytest.raises(EncodingError):
+            decode_instruction(1 << 64)
+
+
+class TestProgramCodec:
+    def test_round_trip_assembled_program(self):
+        program = assemble("""
+            .reg r5 123
+            .word 0x100 42
+            movi r1, 7
+            ld   r2, 0(r1)
+            beq  r1, r2, 3
+            halt
+        """, name="codec-test")
+        blob = encode_program(program)
+        back = decode_program(blob)
+        assert back.instructions == program.instructions
+        assert back.initial_regs == program.initial_regs
+        assert back.initial_memory == program.initial_memory
+        assert back.name == "codec-test"
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_round_trip_random_programs(self, seed):
+        program = random_program(random.Random(seed), body_len=15)
+        assert decode_program(encode_program(program)).instructions \
+            == program.instructions
+
+    def test_round_trip_workload_program(self):
+        from repro.workloads import PROFILES, build_program
+        program = build_program(PROFILES["mcf"], 2000)
+        back = decode_program(encode_program(program))
+        assert back.instructions == program.instructions
+        assert back.initial_memory == program.initial_memory
+
+    def test_magic_checked(self):
+        with pytest.raises(EncodingError, match="magic"):
+            decode_program(b"JUNK" + b"\x00" * 20)
+
+    def test_version_checked(self):
+        blob = bytearray(encode_program(assemble("halt")))
+        blob[4] = 99
+        with pytest.raises(EncodingError, match="version"):
+            decode_program(bytes(blob))
+
+    def test_trailing_bytes_rejected(self):
+        blob = encode_program(assemble("halt")) + b"\x00"
+        with pytest.raises(EncodingError, match="trailing"):
+            decode_program(blob)
+
+    def test_decoded_program_executes_identically(self):
+        from repro.isa.interpreter import run_program
+        program = assemble("""
+            movi r1, 10
+            loop:
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+        """)
+        back = decode_program(encode_program(program))
+        assert run_program(back).snapshot() == run_program(program).snapshot()
+
+    def test_magic_constant(self):
+        assert encode_program(assemble("halt")).startswith(MAGIC)

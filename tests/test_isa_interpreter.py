@@ -1,0 +1,177 @@
+"""Golden-interpreter unit tests."""
+
+import pytest
+
+from repro.config import VALUE_MASK
+from repro.isa import Interpreter, Opcode, assemble
+from repro.isa.interpreter import run_program
+from repro.isa.semantics import MEMORY_LIMIT, alu_result, branch_taken
+
+
+def run(src, **kwargs):
+    return run_program(assemble(src), **kwargs)
+
+
+def test_movi_and_add():
+    state = run("""
+        movi r1, 11
+        movi r2, 31
+        add  r3, r1, r2
+        halt
+    """)
+    assert state.regs[3] == 42
+    assert state.halted
+
+
+def test_r0_is_hardwired_zero():
+    state = run("""
+        movi r0, 123
+        add  r1, r0, r0
+        halt
+    """)
+    assert state.regs[0] == 0
+    assert state.regs[1] == 0
+
+
+def test_arithmetic_wraps_64_bits():
+    state = run("""
+        movi r1, -1
+        addi r2, r1, 1
+        halt
+    """)
+    assert state.regs[1] == VALUE_MASK
+    assert state.regs[2] == 0
+
+
+def test_load_store_round_trip():
+    state = run("""
+        movi r1, 0x1000
+        movi r2, 77
+        st   r2, 0(r1)
+        ld   r3, 0(r1)
+        halt
+    """)
+    assert state.regs[3] == 77
+    assert state.memory[0x1000] == 77
+
+
+def test_uninitialized_memory_reads_zero():
+    state = run("""
+        movi r1, 0x2000
+        ld   r2, 0(r1)
+        halt
+    """)
+    assert state.regs[2] == 0
+
+
+def test_loop_with_backward_branch():
+    state = run("""
+        movi r1, 10
+        movi r2, 0
+        loop:
+        add  r2, r2, r1
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+    """)
+    assert state.regs[2] == sum(range(1, 11))
+
+
+def test_branch_comparisons_are_unsigned():
+    assert branch_taken(Opcode.BLT, 1, VALUE_MASK)
+    assert not branch_taken(Opcode.BLT, VALUE_MASK, 1)
+    assert branch_taken(Opcode.BGE, VALUE_MASK, 1)
+
+
+def test_shift_amount_masked_to_six_bits():
+    assert alu_result(Opcode.SLL, 1, 64, 0) == 1
+    assert alu_result(Opcode.SLLI, 1, 0, 65) == 2
+
+
+def test_misaligned_access_is_noisy_exception():
+    interp = Interpreter(assemble("""
+        movi r1, 3
+        ld   r2, 0(r1)
+        halt
+    """))
+    interp.run()
+    assert len(interp.exceptions) == 1
+    assert interp.exceptions[0].address == 3
+    assert interp.state.halted
+
+
+def test_out_of_segment_access_is_noisy_exception():
+    interp = Interpreter(assemble(f"""
+        movi r1, {MEMORY_LIMIT}
+        st   r1, 0(r1)
+        halt
+    """))
+    interp.run()
+    assert len(interp.exceptions) == 1
+
+
+def test_run_respects_max_instructions():
+    state = run("""
+        loop:
+        addi r1, r1, 1
+        jmp loop
+        halt
+    """, max_instructions=25)
+    assert not state.halted
+    assert state.instret == 25
+
+
+def test_running_off_program_end_halts():
+    state = run_program(assemble("nop\nnop"))
+    assert state.halted
+
+
+def test_mem_trace_records_load_store_streams():
+    interp = Interpreter(assemble("""
+        movi r1, 0x800
+        movi r2, 5
+        st   r2, 0(r1)
+        ld   r3, 0(r1)
+        halt
+    """))
+    interp.trace_memory_ops = True
+    interp.run()
+    kinds = [kind for kind, _ in interp.mem_trace]
+    assert kinds == ["store_addr", "store_value", "load_addr"]
+
+
+def test_snapshot_equal_for_equal_states():
+    src = """
+        movi r1, 2
+        movi r2, 0x100
+        st   r1, 0(r2)
+        halt
+    """
+    assert run(src).snapshot() == run(src).snapshot()
+
+
+def test_snapshot_ignores_zero_memory_words():
+    zeroed = run("""
+        movi r1, 0x100
+        st   r0, 0(r1)
+        movi r1, 0
+        halt
+    """)
+    untouched = run("""
+        movi r1, 0
+        nop
+        nop
+        halt
+    """)
+    assert zeroed.snapshot() == untouched.snapshot()
+
+
+def test_initial_state_seeding():
+    state = run("""
+        .reg r5 1000
+        .word 0x40 7
+        ld r6, 0x40(r0)
+        halt
+    """)
+    assert state.regs[5] == 1000
+    assert state.regs[6] == 7

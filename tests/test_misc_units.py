@@ -1,0 +1,102 @@
+"""Assorted unit tests for small behaviours not covered elsewhere."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.isa import Instruction, Opcode, assemble
+from repro.isa.interpreter import ArchState, Interpreter
+from repro.pipeline import PipelineCore
+from repro.pipeline.trace import PipelineTracer
+from repro.pipeline.uops import MicroOp, OpState
+
+
+class TestArchState:
+    def test_copy_is_deep_for_memory(self):
+        state = ArchState()
+        state.write_mem(0x10, 5)
+        clone = state.copy()
+        clone.write_mem(0x10, 9)
+        assert state.read_mem(0x10) == 5
+
+    def test_r0_write_ignored(self):
+        state = ArchState()
+        state.write_reg(0, 99)
+        assert state.read_reg(0) == 0
+
+    def test_exception_record_fields(self):
+        interp = Interpreter(assemble("""
+            movi r1, 1
+            ld   r2, 0(r1)
+            halt
+        """))
+        interp.run()
+        (record,) = interp.exceptions
+        assert record.pc == 1
+        assert record.instret == 1
+        assert record.address == 1
+
+
+class TestCoreConstruction:
+    def test_rejects_no_programs(self):
+        with pytest.raises(SimulationError):
+            PipelineCore([])
+
+    def test_arch_snapshot_tuple_per_thread(self):
+        core = PipelineCore([assemble("halt"), assemble("halt")])
+        core.run(max_cycles=5_000)
+        snapshot = core.arch_snapshot()
+        assert len(snapshot) == 2
+
+    def test_stats_summary_keys(self):
+        core = PipelineCore([assemble("movi r1, 1\nhalt")])
+        core.run(max_cycles=5_000)
+        summary = core.stats.summary()
+        for key in ("cycles", "committed", "ipc", "replay_events",
+                    "rollback_events", "exceptions"):
+            assert key in summary
+
+
+class TestTraceStages:
+    def make_op(self, **times):
+        op = MicroOp(1, 0, 0, Instruction(Opcode.ADD, rd=1),
+                     cycle_fetched=times.get("fetched", 5),
+                     dispatch_ready_at=times.get("ready", 8))
+        op.cycle_issued = times.get("issued", -1)
+        op.cycle_completed = times.get("completed", -1)
+        op.cycle_committed = times.get("committed", -1)
+        return op
+
+    def test_lane_progression(self):
+        op = self.make_op(issued=10, completed=13, committed=20)
+        stage = PipelineTracer._stage_at
+        assert stage(op, 4) == " "      # before fetch
+        assert stage(op, 6) == "F"
+        assert stage(op, 9) == "w"
+        assert stage(op, 11) == "E"
+        assert stage(op, 15) == "c"
+        assert stage(op, 20) == "R"
+        assert stage(op, 25) == " "
+
+    def test_squashed_lane(self):
+        op = self.make_op(issued=10)
+        op.state = OpState.SQUASHED
+        assert PipelineTracer._stage_at(op, 12) == "x"
+
+    def test_repr_smoke(self):
+        op = self.make_op()
+        assert "uop" in repr(op)
+
+
+class TestInstructionStr:
+    @pytest.mark.parametrize("inst, expected", [
+        (Instruction(Opcode.LD, rd=1, rs1=2, imm=8), "ld r1, 8(r2)"),
+        (Instruction(Opcode.ST, rs2=3, rs1=4, imm=0), "st r3, 0(r4)"),
+        (Instruction(Opcode.JMP, imm=7), "jmp @7"),
+        (Instruction(Opcode.MOVI, rd=2, imm=5), "movi r2, 5"),
+        (Instruction(Opcode.NOP), "nop"),
+        (Instruction(Opcode.ADDI, rd=1, rs1=1, imm=-1), "addi r1, r1, -1"),
+        (Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3), "add r1, r2, r3"),
+        (Instruction(Opcode.BNE, rs1=1, rs2=0, imm=2), "bne r1, r0, @2"),
+    ])
+    def test_rendering(self, inst, expected):
+        assert str(inst) == expected

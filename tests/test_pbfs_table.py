@@ -1,0 +1,75 @@
+"""PC-indexed filter-table tests (the PBFS substrate shared with the
+no-clustering ablation)."""
+
+import pytest
+
+from repro.core.pbfs import PCIndexedFilterTable
+
+
+class TestPCIndexedTable:
+    def test_cold_install_no_trigger(self):
+        table = PCIndexedFilterTable(16, "sticky")
+        triggered, mask = table.check(pc=3, value=0x40)
+        assert not triggered and mask == 0
+        assert table.lookups == 1 and table.triggers == 0
+
+    def test_mismatch_reports_mask(self):
+        table = PCIndexedFilterTable(16, "sticky")
+        table.check(3, 0b0000)
+        triggered, mask = table.check(3, 0b0101)
+        assert triggered and mask == 0b0101
+        assert table.triggers == 1
+
+    def test_pc_aliasing_shares_entries(self):
+        """PCs congruent modulo the table size collide — the conflict
+        behaviour real PBFS tables have."""
+        table = PCIndexedFilterTable(8, "sticky")
+        table.check(pc=1, value=0)
+        triggered, _ = table.check(pc=9, value=0xFF00)   # same entry
+        assert triggered
+
+    def test_distinct_pcs_learn_independently(self):
+        """The spreading weakness: the same value stream must be learned
+        once per static instruction."""
+        table = PCIndexedFilterTable(64, "biased")
+        triggers = 0
+        for pc in (1, 2, 3):
+            table.check(pc, 0b00)
+            triggered, _ = table.check(pc, 0b01)
+            triggers += triggered
+        assert triggers == 3
+
+    def test_sticky_saturation_blinds_the_bit(self):
+        table = PCIndexedFilterTable(8, "sticky")
+        table.check(1, 0b0)
+        table.check(1, 0b1)            # trigger + saturate bit 0
+        table.check(1, 0b0)
+        triggered, _ = table.check(1, 0b1)
+        assert not triggered           # bit 0 is dead until flash clear
+
+    def test_flash_clear_rearms(self):
+        table = PCIndexedFilterTable(8, "sticky")
+        table.check(1, 0b0)
+        table.check(1, 0b1)
+        table.flash_clear()
+        table.check(1, 0b1)            # re-learn the (new) previous value
+        triggered, _ = table.check(1, 0b0)
+        assert triggered
+
+    def test_biased_bank_decays_instead_of_sticking(self):
+        table = PCIndexedFilterTable(8, "biased")
+        table.check(1, 0b0)
+        table.check(1, 0b1)            # trigger; bit 0 -> changing
+        table.check(1, 0b1)            # quiet
+        table.check(1, 0b1)            # quiet -> re-armed
+        triggered, _ = table.check(1, 0b0)
+        assert triggered
+
+    def test_standard_bank_supported(self):
+        table = PCIndexedFilterTable(8, "standard", changing_states=3)
+        table.check(1, 0)
+        triggered, _ = table.check(1, 1)
+        assert triggered
+
+    def test_len(self):
+        assert len(PCIndexedFilterTable(32, "sticky")) == 32

@@ -1,0 +1,271 @@
+"""Pipeline functional tests: single-thread correctness."""
+
+import pytest
+
+from repro.config import HardwareConfig
+from repro.isa import assemble
+from repro.isa.interpreter import run_program
+from repro.pipeline import PipelineCore
+
+
+def run_pipeline(src, hw=None, **kwargs):
+    program = assemble(src)
+    core = PipelineCore([program], hw=hw or HardwareConfig(), **kwargs)
+    core.run(max_cycles=100_000)
+    assert core.all_halted, "pipeline did not finish"
+    return core
+
+
+def arch_regs(core, thread=0):
+    t = core.threads[thread]
+    return [t.arch_reg_value(r, core.prf) for r in range(32)]
+
+
+def test_simple_alu_chain():
+    core = run_pipeline("""
+        movi r1, 11
+        movi r2, 31
+        add  r3, r1, r2
+        sub  r4, r3, r1
+        halt
+    """)
+    regs = arch_regs(core)
+    assert regs[3] == 42
+    assert regs[4] == 31
+
+
+def test_matches_interpreter_on_loop():
+    src = """
+        movi r1, 20
+        movi r2, 0
+        loop:
+        add  r2, r2, r1
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+    """
+    core = run_pipeline(src)
+    golden = run_program(assemble(src))
+    assert core.threads[0].arch_state_snapshot(core.prf) == golden.snapshot()
+
+
+def test_load_store_through_memory():
+    core = run_pipeline("""
+        movi r1, 0x1000
+        movi r2, 99
+        st   r2, 0(r1)
+        ld   r3, 0(r1)
+        addi r3, r3, 1
+        halt
+    """)
+    assert arch_regs(core)[3] == 100
+    assert core.threads[0].memory.read(0x1000) == 99
+
+
+def test_store_to_load_forwarding_value_correct():
+    # the store has not committed when the load executes: must forward
+    core = run_pipeline("""
+        movi r1, 0x2000
+        movi r2, 7
+        st   r2, 0(r1)
+        ld   r3, 0(r1)
+        st   r3, 8(r1)
+        ld   r4, 8(r1)
+        halt
+    """)
+    assert arch_regs(core)[4] == 7
+
+
+def test_branch_misprediction_recovers_state():
+    # data-dependent branch pattern the bimodal predictor must miss at
+    # least once; wrong-path work must leave no architectural residue.
+    src = """
+        movi r1, 30
+        movi r2, 0
+        movi r5, 0x100
+        loop:
+        andi r3, r1, 1
+        beq  r3, r0, skip
+        addi r2, r2, 5
+        st   r2, 0(r5)
+        skip:
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+    """
+    core = run_pipeline(src)
+    golden = run_program(assemble(src))
+    assert core.threads[0].arch_state_snapshot(core.prf) == golden.snapshot()
+    assert core.stats.branch_mispredicts > 0
+
+
+def test_exception_halts_thread_precisely():
+    src = """
+        movi r1, 3
+        movi r2, 5
+        ld   r3, 0(r1)
+        movi r2, 100
+        halt
+    """
+    core = run_pipeline(src)
+    thread = core.threads[0]
+    assert len(thread.exceptions) == 1
+    assert thread.exceptions[0][2] == 3        # faulting address
+    # the instruction after the fault never committed
+    assert arch_regs(core)[2] == 5
+    golden_state = run_program(assemble(src))
+    assert thread.arch_state_snapshot(core.prf) == golden_state.snapshot()
+
+
+def test_program_without_halt_runs_off_end():
+    core = run_pipeline("""
+        movi r1, 4
+        nop
+    """)
+    assert arch_regs(core)[1] == 4
+    assert core.threads[0].halted
+
+
+def test_mul_and_fp_latencies_respected():
+    core = run_pipeline("""
+        movi r1, 6
+        movi r2, 7
+        mul  r3, r1, r2
+        fadd r4, r3, r1
+        fmul r5, r4, r2
+        halt
+    """)
+    regs = arch_regs(core)
+    assert regs[3] == 42
+    assert regs[4] == 48
+    assert regs[5] == 336
+
+
+def test_r0_never_written():
+    core = run_pipeline("""
+        movi r0, 55
+        add  r1, r0, r0
+        halt
+    """)
+    assert arch_regs(core)[0] == 0
+    assert arch_regs(core)[1] == 0
+
+
+def test_stats_accumulate():
+    core = run_pipeline("""
+        movi r1, 5
+        addi r1, r1, 1
+        halt
+    """)
+    stats = core.stats
+    assert stats.committed == 3
+    assert stats.cycles > 0
+    assert stats.fetched >= 3
+    assert stats.ipc > 0
+    assert stats.thread_committed(0) == 3
+
+
+def test_two_smt_threads_both_finish():
+    prog_a = assemble("""
+        movi r1, 100
+        loop:
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+    """)
+    prog_b = assemble("""
+        movi r2, 0x400
+        movi r3, 17
+        st   r3, 0(r2)
+        ld   r4, 0(r2)
+        halt
+    """)
+    core = PipelineCore([prog_a, prog_b])
+    core.run(max_cycles=100_000)
+    assert core.all_halted
+    assert core.threads[0].arch_reg_value(1, core.prf) == 0
+    assert core.threads[1].arch_reg_value(4, core.prf) == 17
+    assert core.threads[1].memory.read(0x400) == 17
+
+
+def test_smt_threads_isolated_memory():
+    prog = assemble("""
+        movi r1, 0x800
+        movi r2, 1
+        st   r2, 0(r1)
+        halt
+    """)
+    core = PipelineCore([prog, assemble("halt")])
+    core.run(max_cycles=50_000)
+    assert core.threads[0].memory.read(0x800) == 1
+    assert core.threads[1].memory.read(0x800) == 0
+
+
+def test_run_until_commits():
+    program = assemble("""
+        movi r1, 1000
+        loop:
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+    """)
+    core = PipelineCore([program])
+    done = core.run_until_commits(50)
+    assert done >= 50
+    assert not core.all_halted
+
+
+def test_max_commits_halts_thread():
+    program = assemble("""
+        movi r1, 100000
+        loop:
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+    """)
+    core = PipelineCore([program],
+                        thread_options=[{"max_commits": 200}])
+    core.run(max_cycles=50_000)
+    assert core.all_halted
+    assert core.threads[0].committed_count == 200
+
+
+def test_ideal_branch_thread_never_mispredicts():
+    src = """
+        movi r1, 40
+        movi r2, 0
+        loop:
+        andi r3, r1, 1
+        beq  r3, r0, skip
+        addi r2, r2, 5
+        skip:
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+    """
+    core = PipelineCore([assemble(src)],
+                        thread_options=[{"ideal_branch": True}])
+    core.run(max_cycles=100_000)
+    assert core.all_halted
+    assert core.stats.branch_mispredicts == 0
+    golden = run_program(assemble(src))
+    assert core.threads[0].arch_state_snapshot(core.prf) == golden.snapshot()
+
+
+def test_ideal_memory_thread_all_l1_hits():
+    src = """
+        movi r1, 0
+        movi r2, 200
+        loop:
+        ld   r3, 0x10000(r1)
+        addi r1, r1, 4096
+        addi r2, r2, -1
+        bne  r2, r0, loop
+        halt
+    """
+    real = PipelineCore([assemble(src)])
+    real.run(max_cycles=500_000)
+    ideal = PipelineCore([assemble(src)],
+                         thread_options=[{"ideal_memory": True}])
+    ideal.run(max_cycles=500_000)
+    assert ideal.stats.cycles < real.stats.cycles

@@ -1,0 +1,110 @@
+"""Pipeline debugger tests."""
+
+import pytest
+
+from repro.core import FaultHoundUnit
+from repro.isa import assemble
+from repro.pipeline import PipelineCore
+from repro.pipeline.debugger import PipelineDebugger
+
+SRC = """
+    movi r1, 30
+    movi r2, 0x800
+loop:
+    st   r1, 0(r2)
+    ld   r3, 0(r2)
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    halt
+"""
+
+
+def make_debugger(screening=None):
+    return PipelineDebugger(
+        PipelineCore([assemble(SRC)], screening=screening))
+
+
+class TestBreakpoints:
+    def test_break_at_pc_stops_on_first_commit(self):
+        dbg = make_debugger()
+        dbg.break_at_pc(4)          # the addi
+        hit = dbg.cont()
+        assert hit is not None
+        assert not dbg.core.all_halted
+        # the loop's addi committed exactly once so far
+        assert (0, 4) in dbg.core.stats.recent_commits
+        assert dbg.core.threads[0].committed_count <= 8
+
+    def test_break_on_event_replay(self):
+        dbg = make_debugger(FaultHoundUnit())
+        bp = dbg.break_on_event("replay")
+        hit = dbg.cont(max_cycles=200_000)
+        if hit is not None:          # replays occur during cold learning
+            assert hit is bp
+            assert dbg.core.stats.replay_events >= 1
+
+    def test_break_on_unknown_event(self):
+        dbg = make_debugger()
+        with pytest.raises(ValueError, match="unknown event"):
+            dbg.break_on_event("earthquake")
+
+    def test_custom_condition(self):
+        dbg = make_debugger()
+        dbg.break_when("50 committed",
+                       lambda core: core.stats.committed >= 50)
+        dbg.cont()
+        assert dbg.core.stats.committed >= 50
+        assert dbg.last_stop == "50 committed"
+
+    def test_cont_runs_to_halt_without_breakpoints(self):
+        dbg = make_debugger()
+        assert dbg.cont() is None
+        assert dbg.core.all_halted
+        assert dbg.last_stop == "halted"
+
+    def test_clear_breakpoints(self):
+        dbg = make_debugger()
+        dbg.break_at_pc(2)
+        dbg.clear_breakpoints()
+        dbg.cont()
+        assert dbg.core.all_halted
+
+
+class TestInspection:
+    def test_where_shows_threads(self):
+        dbg = make_debugger()
+        dbg.step(20)
+        text = dbg.where()
+        assert "cycle 20" in text
+        assert "t0:" in text
+
+    def test_registers_renders_hex(self):
+        dbg = make_debugger()
+        dbg.cont()
+        text = dbg.registers()
+        assert "r1 =0x0" in text or "r1 =0x0".replace(" ", "") in \
+            text.replace(" ", "")
+        assert "r2" in text
+
+    def test_in_flight_lists_rob(self):
+        dbg = make_debugger()
+        dbg.step(12)
+        text = dbg.in_flight()
+        assert "uid=" in text
+
+    def test_in_flight_empty(self):
+        dbg = make_debugger()
+        dbg.cont()
+        assert "(nothing in flight)" in dbg.in_flight()
+
+    def test_screening_state(self):
+        dbg = make_debugger(FaultHoundUnit())
+        dbg.step(200)
+        text = dbg.screening_state()
+        assert "faulthound" in text
+        assert "address TCAM" in text
+
+    def test_stats_passthrough(self):
+        dbg = make_debugger()
+        dbg.cont()
+        assert dbg.stats()["committed"] > 0

@@ -1,0 +1,137 @@
+"""Edge-case pipeline tests: late exceptions, corrupted commits, caps."""
+
+import pytest
+
+from repro.config import FaultHoundConfig, HardwareConfig
+from repro.core import FaultHoundUnit
+from repro.isa import assemble
+from repro.isa.semantics import MEMORY_LIMIT
+from repro.pipeline import PipelineCore
+from repro.pipeline.core import FETCH_BUFFER_CAP
+
+
+STORE_LOOP = """
+    movi r1, 300
+    movi r2, 0x1000
+    movi r5, 9
+loop:
+    st   r5, 0(r2)
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    halt
+"""
+
+
+class TestLateStoreExceptions:
+    def test_lsq_corrupted_store_address_faults_at_commit(self):
+        """Corrupting a store's LSQ address to an illegal value after
+        execution must surface as a precise commit-time exception (the
+        baseline has no commit check to catch it earlier)."""
+        core = PipelineCore([assemble(STORE_LOOP)])
+        core.run_until_commits(50)
+        injected = False
+        for _ in range(2000):
+            entries = core.threads[0].lsq.executed_entries()
+            stores = [op for op in entries if op.is_store]
+            if stores:
+                stores[0].eff_addr = MEMORY_LIMIT + 8  # out of segment
+                injected = True
+                break
+            core.step()
+        assert injected
+        core.run(max_cycles=100_000)
+        assert core.stats.exceptions == 1
+        assert core.threads[0].halted
+        assert core.threads[0].exceptions[0][2] == MEMORY_LIMIT + 8
+
+    def test_singleton_reexec_recovers_corrupted_store_address(self):
+        """With FaultHound, the same corruption is caught at commit: the
+        singleton re-execute recomputes the address from the register
+        file, declares the mismatch, and execution continues cleanly."""
+        core = PipelineCore([assemble(STORE_LOOP)],
+                            screening=FaultHoundUnit())
+        core.run_until_commits(100)
+        injected = False
+        for _ in range(4000):
+            stores = [op for op in
+                      core.threads[0].lsq.executed_entries()
+                      if op.is_store and not op.lsq_checked]
+            if stores:
+                stores[0].eff_addr ^= 1 << 45
+                injected = True
+                break
+            core.step()
+        assert injected
+        core.run(max_cycles=200_000)
+        assert core.stats.exceptions == 0
+        assert core.stats.singleton_mismatch_detections >= 1
+        assert core.declared_faults
+
+
+class TestStructuralCaps:
+    def test_fetch_buffer_bounded(self):
+        # a dispatch-stalling program (free-list pressure is hard to craft;
+        # instead stall dispatch by filling the IQ with dependent loads)
+        core = PipelineCore([assemble(STORE_LOOP)])
+        for _ in range(300):
+            core.step()
+            for buffer in core._fetch_buffers:
+                assert len(buffer) <= FETCH_BUFFER_CAP
+
+    def test_issue_suspension_during_singleton(self):
+        hw = HardwareConfig(singleton_reexec_cycles=2)
+        core = PipelineCore([assemble(STORE_LOOP)],
+                            hw=hw, screening=FaultHoundUnit())
+        core.run_until_commits(80)
+        # force a commit-time trigger by corrupting an unchecked store
+        for _ in range(4000):
+            stores = [op for op in
+                      core.threads[0].lsq.executed_entries()
+                      if op.is_store and not op.lsq_checked]
+            if stores:
+                stores[0].eff_addr ^= 1 << 40
+                break
+            core.step()
+        before = core.stats.issued
+        suspended_at = None
+        for _ in range(3000):
+            core.step()
+            if core._issue_suspended_until > core.cycle:
+                suspended_at = core.cycle
+                break
+        assert suspended_at is not None
+        assert core.stats.singleton_reexecs >= 1
+
+
+class TestOracleEdges:
+    def test_ideal_branch_oracle_exhaustion_is_safe(self):
+        """If fetch outruns the oracle (cannot happen on the fault-free
+        path, but must not crash), prediction falls back to not-taken."""
+        program = assemble("""
+            movi r1, 10
+            loop:
+            addi r1, r1, -1
+            bne  r1, r0, loop
+            halt
+        """)
+        core = PipelineCore([program],
+                            thread_options=[{"ideal_branch": True}])
+        core._branch_oracles[0].clear()  # simulate exhaustion
+        core.run(max_cycles=50_000)
+        assert core.all_halted
+        assert core.threads[0].arch_reg_value(1, core.prf) == 0
+
+
+class TestReplaySuppression:
+    def test_post_rollback_checks_are_suppressed(self):
+        """After a screening rollback, the re-executed loads/stores must
+        not re-trigger ("re-computed values are deemed final")."""
+        core = PipelineCore([assemble(STORE_LOOP)],
+                            screening=FaultHoundUnit())
+        core.run_until_commits(60)
+        thread = core.threads[0]
+        core._screening_rollback(thread)
+        assert thread.screen_suppress_remaining > 0
+        remaining = thread.screen_suppress_remaining
+        core.run_until_commits(remaining + 20)
+        assert thread.screen_suppress_remaining == 0

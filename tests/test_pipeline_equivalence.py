@@ -1,0 +1,87 @@
+"""Differential property tests: the out-of-order pipeline must commit the
+golden interpreter's architectural state for any program, with any
+screening scheme active (fault-free runs)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import FaultHoundConfig, PBFSConfig
+from repro.core import FaultHoundUnit, NullScreeningUnit, PBFSUnit
+from repro.isa.interpreter import Interpreter
+from repro.pipeline import PipelineCore
+
+from .program_gen import random_program
+
+
+def golden_snapshot(program):
+    interp = Interpreter(program)
+    interp.run(max_instructions=500_000)
+    return interp.state.snapshot()
+
+
+def pipeline_snapshot(program, screening=None):
+    core = PipelineCore([program], screening=screening)
+    core.run(max_cycles=500_000)
+    assert core.all_halted, "pipeline deadlocked"
+    return core.threads[0].arch_state_snapshot(core.prf)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_pipeline_equals_interpreter(seed):
+    program = random_program(random.Random(seed))
+    assert pipeline_snapshot(program) == golden_snapshot(program)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_pipeline_with_faulthound_equals_interpreter(seed):
+    """False positives cause replays/rollbacks but never change state."""
+    program = random_program(random.Random(seed))
+    unit = FaultHoundUnit()
+    assert pipeline_snapshot(program, unit) == golden_snapshot(program)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_pipeline_with_pbfs_equals_interpreter(seed):
+    program = random_program(random.Random(seed))
+    unit = PBFSUnit(PBFSConfig(biased=True))
+    assert pipeline_snapshot(program, unit) == golden_snapshot(program)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_pipeline_with_full_rollback_ablation_equals_interpreter(seed):
+    program = random_program(random.Random(seed))
+    unit = FaultHoundUnit(FaultHoundConfig(full_rollback_on_trigger=True))
+    assert pipeline_snapshot(program, unit) == golden_snapshot(program)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=5_000),
+       st.integers(min_value=5_001, max_value=9_999))
+def test_smt_pair_each_matches_own_golden(seed_a, seed_b):
+    prog_a = random_program(random.Random(seed_a), body_len=12)
+    prog_b = random_program(random.Random(seed_b), body_len=12)
+    core = PipelineCore([prog_a, prog_b])
+    core.run(max_cycles=500_000)
+    assert core.all_halted
+    assert (core.threads[0].arch_state_snapshot(core.prf)
+            == golden_snapshot(prog_a))
+    assert (core.threads[1].arch_state_snapshot(core.prf)
+            == golden_snapshot(prog_b))
+
+
+def test_determinism_same_seed_same_cycles():
+    program = random_program(random.Random(7))
+    runs = []
+    for _ in range(2):
+        core = PipelineCore([program], screening=FaultHoundUnit())
+        core.run(max_cycles=500_000)
+        runs.append((core.stats.cycles, core.stats.committed,
+                     core.threads[0].arch_state_snapshot(core.prf)))
+    assert runs[0] == runs[1]

@@ -1,0 +1,117 @@
+"""SMT-specific pipeline behaviour: fairness, shared-structure caps."""
+
+import pytest
+
+from repro.config import HardwareConfig
+from repro.isa import assemble
+from repro.pipeline import PipelineCore
+from repro.workloads import PROFILES, build_smt_programs
+
+
+def spin_program(n):
+    return assemble(f"""
+        movi r1, {n}
+        loop:
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+    """)
+
+
+def memory_bound_program(n):
+    return assemble(f"""
+        movi r1, {n}
+        movi r3, 0x100000
+        loop:
+        ld   r3, 0(r3)
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+    """)
+
+
+class TestFairness:
+    def test_both_threads_progress_together(self):
+        core = PipelineCore([spin_program(2000), spin_program(2000)])
+        core.run_until_commits(2000)
+        a = core.threads[0].committed_count
+        b = core.threads[1].committed_count
+        assert min(a, b) > 0.3 * max(a, b), "ICOUNT must keep threads fair"
+
+    def test_stalled_thread_does_not_starve_sibling(self):
+        """A pointer-chasing thread that misses constantly must not
+        prevent a compute thread from committing at a healthy rate."""
+        chaser = memory_bound_program(3000)
+        # build a pointer ring so the chase has real misses
+        import random
+        from repro.workloads import pointer_ring
+        chaser.initial_memory.update(
+            pointer_ring(random.Random(0), 0x100000, 1 << 12))
+        spinner = spin_program(8000)
+        pair = PipelineCore([chaser, spinner])
+        pair.run_until_commits(6000, max_cycles=400_000)
+
+        solo = PipelineCore([spinner])
+        solo.run(max_cycles=400_000)
+        solo_ipc = solo.stats.committed / solo.stats.cycles
+        paired_ipc = (pair.threads[1].committed_count
+                      / pair.stats.cycles)
+        assert paired_ipc > 0.3 * solo_ipc
+
+
+class TestSharedStructures:
+    def test_aggregate_rob_cap_respected(self):
+        hw = HardwareConfig()
+        core = PipelineCore([spin_program(5000), spin_program(5000)], hw=hw)
+        for _ in range(400):
+            core.step()
+            total = sum(len(t.rob) for t in core.threads)
+            assert total <= hw.rob_size
+
+    def test_aggregate_lsq_cap_respected(self):
+        hw = HardwareConfig()
+        programs = build_smt_programs(PROFILES["bzip2"], 3000)
+        core = PipelineCore(programs, hw=hw)
+        for _ in range(500):
+            core.step()
+            total = sum(len(t.lsq) for t in core.threads)
+            assert total <= hw.lsq_size
+
+    def test_issue_queue_cap_respected(self):
+        hw = HardwareConfig()
+        programs = build_smt_programs(PROFILES["apache"], 3000)
+        core = PipelineCore(programs, hw=hw)
+        for _ in range(500):
+            core.step()
+            assert len(core.iq) <= hw.issue_queue_size
+
+    def test_physical_registers_never_oversubscribed(self):
+        hw = HardwareConfig()
+        programs = build_smt_programs(PROFILES["perl"], 2000)
+        core = PipelineCore(programs, hw=hw)
+        for _ in range(400):
+            core.step()
+            in_flight = sum(1 for t in core.threads for op in t.rob
+                            if op.phys_dest is not None)
+            assert in_flight + len(core.free_list) \
+                + 32 * len(core.threads) == hw.phys_regs
+
+
+class TestHeterogeneousThreads:
+    def test_threads_may_halt_at_different_times(self):
+        core = PipelineCore([spin_program(100), spin_program(5000)])
+        core.run(max_cycles=200_000)
+        assert core.all_halted
+        assert core.threads[0].committed_count < \
+            core.threads[1].committed_count
+
+    def test_single_program_on_two_way_core(self):
+        core = PipelineCore([spin_program(500)])
+        core.run(max_cycles=100_000)
+        assert core.all_halted
+
+    def test_too_many_programs_rejected(self):
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError):
+            PipelineCore([spin_program(1)] * 3,
+                         hw=HardwareConfig(smt_contexts=2))

@@ -1,0 +1,86 @@
+"""Pipeline tracer tests."""
+
+from repro.core import FaultHoundUnit
+from repro.isa import assemble
+from repro.pipeline import PipelineCore
+from repro.pipeline.trace import PipelineTracer
+
+SRC = """
+    movi r1, 20
+    movi r2, 0x400
+loop:
+    st   r1, 0(r2)
+    ld   r3, 0(r2)
+    add  r4, r3, r1
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    halt
+"""
+
+
+def traced_core(screening=None, cycles=400):
+    core = PipelineCore([assemble(SRC)], screening=screening)
+    tracer = PipelineTracer(core)
+    tracer.run(cycles)
+    return core, tracer
+
+
+def test_tracer_collects_ops():
+    core, tracer = traced_core()
+    assert len(tracer.traced_ops) > 20
+    uids = [op.uid for op in tracer.traced_ops]
+    assert uids == sorted(uids)
+
+
+def test_render_contains_lanes_and_stages():
+    _, tracer = traced_core()
+    text = tracer.render(limit=15)
+    assert "uid" in text
+    assert "|" in text
+    assert "R" in text          # something retired
+    assert "E" in text          # something executed
+
+
+def test_render_respects_first_uid_and_limit():
+    _, tracer = traced_core()
+    text = tracer.render(first_uid=10, limit=5)
+    rows = [l for l in text.splitlines()[1:] if l.strip()]
+    assert len(rows) <= 5
+    first = int(rows[0].split()[0])
+    assert first >= 10
+
+
+def test_render_empty_window():
+    core = PipelineCore([assemble("halt")])
+    tracer = PipelineTracer(core)
+    assert tracer.render() == "(no ops traced)"
+
+
+def test_stage_histogram_keys_and_sanity():
+    _, tracer = traced_core()
+    histogram = tracer.stage_histogram()
+    assert set(histogram) == {"frontend", "wait", "execute", "commit_wait"}
+    assert histogram["frontend"] >= 1.0
+    assert histogram["execute"] >= 1.0
+
+
+def test_commit_cycle_recorded():
+    core, tracer = traced_core()
+    committed = [op for op in tracer.traced_ops if op.cycle_committed >= 0]
+    assert committed
+    for op in committed:
+        assert op.cycle_committed >= op.cycle_completed >= op.cycle_issued
+
+
+def test_tracer_with_screening_shows_replays():
+    core, tracer = traced_core(screening=FaultHoundUnit())
+    assert core.stats.committed > 0
+    # the render must not crash with replayed/rolled-back ops in the log
+    assert tracer.render(limit=40)
+
+
+def test_max_ops_cap():
+    core = PipelineCore([assemble(SRC)])
+    tracer = PipelineTracer(core, max_ops=5)
+    tracer.run(200)
+    assert len(tracer.traced_ops) <= 5

@@ -1,0 +1,101 @@
+"""Pure-data record tests: actions, campaign results, energy records."""
+
+import pytest
+
+from repro.core.actions import CheckAction, CheckKind, CheckResult
+from repro.energy import EnergyBreakdown
+from repro.faults import CoverageOutcome, FaultClass, FaultRecord, FaultSite
+from repro.faults.campaign import CampaignResult
+from repro.faults.classifier import WindowResult
+
+
+class TestActions:
+    def test_kind_table_routing(self):
+        assert CheckKind.LOAD_ADDR.uses_address_table
+        assert CheckKind.STORE_ADDR.uses_address_table
+        assert not CheckKind.STORE_VALUE.uses_address_table
+
+    def test_action_is_trigger(self):
+        assert not CheckAction.NONE.is_trigger
+        for action in (CheckAction.SUPPRESSED, CheckAction.REPLAY,
+                       CheckAction.SQUASH, CheckAction.SINGLETON):
+            assert action.is_trigger
+
+    def test_result_none_factory(self):
+        result = CheckResult.none(CheckKind.STORE_VALUE)
+        assert result.action is CheckAction.NONE
+        assert not result.triggered
+        assert result.lookup is None
+
+
+def record(index=0, site=FaultSite.REGFILE):
+    return FaultRecord(index=index, site=site, inject_at_commit=10, bit=1,
+                       reg=5, thread_id=0, lsq_slot=0, lsq_field="addr")
+
+
+def window(rec, fault_class, applied=True):
+    result = WindowResult(record=rec, applied=applied)
+    result.fault_class = fault_class
+    rec.fault_class = fault_class
+    return result
+
+
+class TestCampaignResult:
+    def make(self):
+        records = [record(i) for i in range(4)]
+        result = CampaignResult("bench", "scheme", records)
+        result.characterization = [
+            window(records[0], FaultClass.MASKED),
+            window(records[1], FaultClass.NOISY),
+            window(records[2], FaultClass.SDC),
+            window(records[3], None, applied=False),
+        ]
+        return result
+
+    def test_class_fractions_over_applied_only(self):
+        result = self.make()
+        assert result.applied_count() == 3
+        assert result.class_fraction(FaultClass.MASKED) \
+            == pytest.approx(1 / 3)
+        assert result.class_fraction(FaultClass.SDC) == pytest.approx(1 / 3)
+
+    def test_empty_result_fractions(self):
+        result = CampaignResult("b", "s", [])
+        assert result.class_fraction(FaultClass.MASKED) == 0.0
+        assert result.coverage == 0.0
+        assert result.outcome_fraction(CoverageOutcome.RECOVERED) == 0.0
+
+    def test_coverage_and_breakdown(self):
+        result = CampaignResult("b", "s", [])
+        result.outcomes = {0: CoverageOutcome.RECOVERED,
+                           1: CoverageOutcome.DETECTED,
+                           2: CoverageOutcome.NO_TRIGGER,
+                           3: CoverageOutcome.UNCOVERED_RENAME}
+        assert result.coverage == pytest.approx(0.5)
+        assert result.covered_count == 2
+        bins = result.breakdown()
+        assert bins["covered"] == pytest.approx(0.5)
+        assert sum(bins.values()) == pytest.approx(1.0)
+
+    def test_coverage_interval(self):
+        result = CampaignResult("b", "s", [])
+        result.outcomes = {i: CoverageOutcome.RECOVERED for i in range(8)}
+        interval = result.coverage_interval()
+        assert interval.point == 1.0
+        assert interval.low > 0.6
+
+    def test_describe_lsq_record(self):
+        rec = record(site=FaultSite.LSQ)
+        assert "addr[0]" in rec.describe()
+
+
+class TestEnergyBreakdown:
+    def test_zero_baseline_overhead(self):
+        a = EnergyBreakdown(pipeline_pj=10)
+        zero = EnergyBreakdown()
+        assert a.overhead_vs(zero) == 0.0
+
+    def test_overhead_math(self):
+        a = EnergyBreakdown(pipeline_pj=100)
+        b = EnergyBreakdown(pipeline_pj=125)
+        assert b.overhead_vs(a) == pytest.approx(0.25)

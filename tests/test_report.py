@@ -1,0 +1,107 @@
+"""Report-builder tests (EXPERIMENTS.md generation)."""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.report import (PAPER_HEADLINES, SHAPE_CLAIMS,
+                                   ShapeClaim, build_experiments_md)
+from repro.harness.store import ResultStore
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    store = ResultStore(tmp_path)
+    store.save("fig7", {
+        "rows": {"bzip2": {"masked": 0.9, "noisy": 0.03, "sdc": 0.07},
+                 "MEAN": {"masked": 0.88, "noisy": 0.04, "sdc": 0.08}},
+    })
+    (tmp_path / "fig7.txt").write_text("Figure 7 table here\n")
+    store.save("fig9", {
+        "rows": {"MEAN": {"pbfs": 0.01, "pbfs-biased": 0.4,
+                          "fh-backend": 0.02, "faulthound": 0.12,
+                          "srt-iso": 0.15}},
+    })
+    (tmp_path / "fig9.txt").write_text("Figure 9 table here\n")
+    (tmp_path / "ablation_extra.txt").write_text("extra ablation\n")
+    store.save("ablation_extra", {"rows": {}})
+    return tmp_path
+
+
+class TestShapeClaim:
+    def test_pass_and_miss(self):
+        claim = ShapeClaim("x > 0", lambda p: p["x"] > 0)
+        assert "PASS" in claim.verdict({"x": 1})
+        assert "MISS" in claim.verdict({"x": -1})
+
+    def test_missing_data(self):
+        claim = ShapeClaim("needs key", lambda p: p["absent"] > 0)
+        assert "?" in claim.verdict({})
+
+
+class TestBuildReport:
+    def test_includes_present_figures_only(self, results_dir):
+        text = build_experiments_md(results_dir)
+        assert "Figure 7 — fault characterisation" in text
+        assert "Figure 9 — performance degradation" in text
+        assert "Figure 10" not in text          # no data saved
+        assert "Figure 7 table here" in text
+
+    def test_embeds_paper_headlines(self, results_dir):
+        text = build_experiments_md(results_dir)
+        assert PAPER_HEADLINES["fig7"] in text
+
+    def test_checks_shape_claims(self, results_dir):
+        text = build_experiments_md(results_dir)
+        assert "PASS: a large majority of faults are masked" in text
+        assert "PASS: PBFS-biased costs a multiple" in text
+
+    def test_extra_ablations_appended(self, results_dir):
+        text = build_experiments_md(results_dir)
+        assert "Additional ablations" in text
+        assert "extra ablation" in text
+
+    def test_commentary_injected(self, results_dir):
+        text = build_experiments_md(
+            results_dir, commentary={"fig7": "NOTE: custom commentary."})
+        assert "NOTE: custom commentary." in text
+
+    def test_claim_tables_reference_known_figures(self):
+        for figure in SHAPE_CLAIMS:
+            assert figure in PAPER_HEADLINES
+
+
+class TestHeadline:
+    def test_absent_without_all_three_figures(self, results_dir):
+        from repro.analysis.report import headline_table
+        from repro.harness.store import ResultStore
+        assert headline_table(ResultStore(results_dir)) is None
+
+    def test_synthesized_when_present(self, tmp_path):
+        from repro.analysis.report import headline_table
+        from repro.harness.store import ResultStore
+        store = ResultStore(tmp_path)
+        store.save("fig8", {
+            "coverage": {"MEAN": {"pbfs": 0.55, "pbfs-biased": 0.7,
+                                  "faulthound": 0.8}},
+            "fp_rate": {"MEAN": {"pbfs": 0.001, "pbfs-biased": 0.07,
+                                 "faulthound": 0.03}}})
+        store.save("fig9", {"rows": {"MEAN": {"pbfs": 0.01,
+                                              "pbfs-biased": 0.35,
+                                              "faulthound": 0.12,
+                                              "srt-iso": 0.1}}})
+        store.save("fig10", {"rows": {"MEAN": {"faulthound": 0.3,
+                                               "srt-iso": 0.4}}})
+        text = headline_table(store)
+        assert "| faulthound | 80.0% (75%)" in text
+        assert "| srt-iso | -" in text
+
+
+def test_cli_report_command(results_dir, tmp_path, capsys):
+    from repro.cli import main
+    output = tmp_path / "EXPERIMENTS.md"
+    code = main(["report", "--results", str(results_dir),
+                 "--output", str(output)])
+    assert code == 0
+    assert output.exists()
+    assert "paper vs. measured" in output.read_text()

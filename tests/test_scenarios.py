@@ -1,0 +1,135 @@
+"""End-to-end scenario tests: multi-phase narratives through the full
+stack, the way a user of the library would drive it."""
+
+import pytest
+
+from repro.analysis.metrics import fp_rate, perf_overhead
+from repro.config import FaultHoundConfig, HardwareConfig
+from repro.core import FaultHoundUnit
+from repro.core.actions import CheckAction
+from repro.energy import EnergyModel
+from repro.isa import assemble
+from repro.pipeline import PipelineCore
+
+
+class TestLearningCurve:
+    """The unit's false-positive rate must fall as the filters learn."""
+
+    def test_trigger_rate_decays_over_phases(self):
+        program = assemble("""
+            movi r1, 1500
+            movi r2, 0x1000
+            movi r5, 1
+        loop:
+            ld   r4, 0(r2)
+            add  r5, r5, r4
+            andi r5, r5, 255
+            st   r5, 0(r2)
+            addi r2, r2, 8
+            andi r2, r2, 0x3FF8
+            ori  r2, r2, 0x1000
+            addi r1, r1, -1
+            bne  r1, r0, loop
+            halt
+        """)
+        core = PipelineCore([program], screening=FaultHoundUnit())
+        unit = core.screening
+
+        def window_triggers(commits):
+            before = unit.trigger_count
+            core.run_until_commits(commits)
+            return unit.trigger_count - before
+
+        early = window_triggers(800)
+        late = window_triggers(800)
+        assert late <= early, "filters must learn, not thrash"
+        # raw triggers include second-level-suppressed ones; the actions
+        # that actually cost anything must be rare at steady state
+        actions = (unit.count(CheckAction.REPLAY)
+                   + unit.count(CheckAction.SQUASH)
+                   + unit.count(CheckAction.SINGLETON))
+        assert actions / max(1, unit.checks) < 0.10
+
+
+class TestSchemeLifecycle:
+    """Baseline -> attach FaultHound -> inject -> recover -> account."""
+
+    SRC = """
+        movi r1, 600
+        movi r2, 0x2000
+        movi r5, 11
+    loop:
+        st   r5, 0(r2)
+        ld   r4, 0(r2)
+        addi r2, r2, 8
+        andi r2, r2, 0x3FF8
+        ori  r2, r2, 0x2000
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+    """
+
+    def test_full_lifecycle(self):
+        hw = HardwareConfig()
+        program = assemble(self.SRC)
+
+        baseline = PipelineCore([program], hw=hw)
+        baseline.run(max_cycles=500_000)
+        golden = baseline.threads[0].output_snapshot()
+
+        core = PipelineCore([program], hw=hw, screening=FaultHoundUnit())
+        core.run_until_commits(900)
+        # corrupt the architectural store-value register in a stable bit
+        victim = core.threads[0].committed_rat.get(5)
+        core.inject_prf_bit(victim, bit=50)
+        core.run(max_cycles=500_000)
+
+        assert core.all_halted
+        detected_or_recovered = (
+            core.threads[0].output_snapshot() == golden
+            or core.declared_faults
+            or core.stats.rollback_events > 0)
+        assert detected_or_recovered
+
+        # timing and energy accounting remain self-consistent
+        overhead = perf_overhead(core.stats.cycles, baseline.stats.cycles)
+        assert -0.2 < overhead < 2.0
+        energy = EnergyModel().compute(core)
+        assert energy.screening_pj > 0
+        rate = fp_rate(core.screening, core.stats.committed)
+        assert 0.0 <= rate < 0.2
+
+
+class TestConfigurationMatrix:
+    """Every FaultHoundConfig ablation combination must run clean on a
+    small workload (no crashes, no architectural divergence)."""
+
+    SRC = """
+        movi r1, 120
+        movi r2, 0x400
+    loop:
+        st   r1, 0(r2)
+        ld   r3, 0(r2)
+        addi r2, r2, 8
+        andi r2, r2, 0x7F8
+        ori  r2, r2, 0x400
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+    """
+
+    @pytest.mark.parametrize("clustering", [True, False])
+    @pytest.mark.parametrize("second_level", [True, False])
+    @pytest.mark.parametrize("lsq_check", [True, False])
+    def test_ablation_matrix(self, clustering, second_level, lsq_check):
+        from repro.isa.interpreter import run_program
+        cfg = FaultHoundConfig(clustering=clustering,
+                               second_level=second_level,
+                               lsq_check=lsq_check,
+                               squash_detection=clustering)
+        program = assemble(self.SRC)
+        core = PipelineCore([program], screening=FaultHoundUnit(cfg))
+        core.run(max_cycles=300_000)
+        assert core.all_halted
+        assert (core.threads[0].arch_state_snapshot(core.prf)
+                == run_program(program).snapshot())

@@ -1,0 +1,84 @@
+"""Composition properties of the second-level filter and squash machines
+driven through the FaultHound unit's arbitration (Section 3's cascade)."""
+
+import pytest
+
+from repro.config import FaultHoundConfig
+from repro.core import CheckAction, CheckKind, FaultHoundUnit
+
+
+def warm(unit, value=0x4000, n=4, pc=1):
+    for _ in range(n):
+        unit.check_at_complete(CheckKind.LOAD_ADDR, value, pc)
+
+
+class TestCascadePriorities:
+    def test_suppression_beats_squash(self):
+        """A trigger the second-level filter suppresses must not squash,
+        even with every squash machine armed (the paper's priority 1)."""
+        unit = FaultHoundUnit()
+        warm(unit)
+        # make bit 3 delinquent: trigger on it once via a fresh value
+        unit.check_at_complete(CheckKind.LOAD_ADDR, 0x4008, 1)
+        # decay bit 3 in the first level (two quiet matches)
+        unit.check_at_complete(CheckKind.LOAD_ADDR, 0x4008, 1)
+        unit.check_at_complete(CheckKind.LOAD_ADDR, 0x4008, 1)
+        # same bit alarms again within 7 triggers: suppressed, not squashed
+        result = unit.check_at_complete(CheckKind.LOAD_ADDR, 0x4000, 1)
+        assert result.action is CheckAction.SUPPRESSED
+
+    def test_squash_beats_replay(self):
+        """An allowed trigger whose closest filter is squash-armed rolls
+        back rather than replaying (priority 2 over 3)."""
+        unit = FaultHoundUnit()
+        warm(unit)
+        result = unit.check_at_complete(CheckKind.LOAD_ADDR, 0x4000 ^ (1 << 30), 1)
+        assert result.action is CheckAction.SQUASH
+
+    def test_replay_is_the_default_action(self):
+        unit = FaultHoundUnit()
+        warm(unit)
+        # exhaust the squash machine with a first trigger...
+        unit.check_at_complete(CheckKind.LOAD_ADDR, 0x4000 ^ (1 << 30), 1)
+        warm(unit, 0x4000 ^ (1 << 30), n=3)
+        # ...then a fresh bit position triggers: allowed but not squashed
+        result = unit.check_at_complete(
+            CheckKind.LOAD_ADDR, (0x4000 ^ (1 << 30)) ^ (1 << 45), 1)
+        assert result.action is CheckAction.REPLAY
+
+
+class TestCrossDomainIsolation:
+    def test_value_triggers_do_not_consume_address_machines(self):
+        """Each domain has its own second-level filter and squash bank —
+        value-side noise must not desensitise address-side detection."""
+        unit = FaultHoundUnit()
+        warm(unit)                                        # address domain
+        for i in range(12):                                # value noise
+            unit.check_at_complete(CheckKind.STORE_VALUE, i * 0x101, 2)
+        result = unit.check_at_complete(
+            CheckKind.LOAD_ADDR, 0x4000 ^ (1 << 22), 1)
+        assert result.action in (CheckAction.SQUASH, CheckAction.REPLAY)
+        assert result.action is not CheckAction.SUPPRESSED
+
+
+class TestCommitPathIsolation:
+    def test_commit_triggers_never_squash(self):
+        """Commit-time (LSQ) triggers map to singleton re-execution even
+        when the squash machinery is fully armed."""
+        unit = FaultHoundUnit()
+        warm(unit)
+        result = unit.check_at_commit(
+            CheckKind.LOAD_ADDR, 0x4000 ^ (1 << 33), 1)
+        assert result.action is CheckAction.SINGLETON
+
+    def test_commit_triggers_share_second_level(self):
+        """The second-level filter is per TCAM, shared by completion and
+        commit checks: a bit made delinquent at completion suppresses the
+        same bit's commit-time alarm."""
+        unit = FaultHoundUnit()
+        warm(unit)
+        unit.check_at_complete(CheckKind.LOAD_ADDR, 0x4000 ^ (1 << 9), 1)
+        unit.check_at_complete(CheckKind.LOAD_ADDR, 0x4000 ^ (1 << 9), 1)
+        unit.check_at_complete(CheckKind.LOAD_ADDR, 0x4000 ^ (1 << 9), 1)
+        result = unit.check_at_commit(CheckKind.LOAD_ADDR, 0x4000, 1)
+        assert result.action is CheckAction.SUPPRESSED

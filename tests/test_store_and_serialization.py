@@ -1,0 +1,81 @@
+"""Result persistence and configuration serialisation tests."""
+
+import pytest
+
+from repro.config import (FaultHoundConfig, HardwareConfig, PBFSConfig,
+                          config_from_dict, config_to_dict)
+from repro.errors import ConfigurationError
+from repro.harness import ExperimentConfig
+from repro.harness.store import ResultStore
+
+
+class TestConfigSerialization:
+    @pytest.mark.parametrize("cls", [FaultHoundConfig, PBFSConfig,
+                                     HardwareConfig])
+    def test_round_trip(self, cls):
+        original = cls()
+        data = config_to_dict(original)
+        rebuilt = config_from_dict(cls, data)
+        assert rebuilt == original
+
+    def test_round_trip_non_default(self):
+        original = FaultHoundConfig(tcam_entries=16, second_level=False)
+        rebuilt = config_from_dict(FaultHoundConfig,
+                                   config_to_dict(original))
+        assert rebuilt.tcam_entries == 16
+        assert not rebuilt.second_level
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            config_from_dict(FaultHoundConfig, {"bogus": 1})
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_to_dict("not a config")
+        with pytest.raises(ConfigurationError):
+            config_from_dict(dict, {})
+
+
+class TestResultStore:
+    def test_save_and_load(self, tmp_path):
+        store = ResultStore(tmp_path / "results")
+        payload = {"rows": {"mcf": {"coverage": 0.8}}, "text": "table"}
+        path = store.save("fig8", payload, config=ExperimentConfig())
+        assert path.exists()
+        document = store.load("fig8")
+        assert document["payload"]["rows"]["mcf"]["coverage"] == 0.8
+        assert document["config"]["num_faults"] == \
+            ExperimentConfig().num_faults
+
+    def test_names_and_exists(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert not store.exists("a")
+        store.save("a", {"x": 1})
+        store.save("b", {"x": 2})
+        assert store.names() == ["a", "b"]
+        assert store.exists("a")
+
+    def test_delete(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save("gone", {})
+        store.delete("gone")
+        assert not store.exists("gone")
+        store.delete("gone")  # idempotent
+
+    def test_bad_names_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.save("../escape", {})
+        with pytest.raises(ValueError):
+            store.save(".hidden", {})
+
+    def test_jsonable_conversion(self, tmp_path):
+        from repro.core.actions import CheckAction
+        store = ResultStore(tmp_path)
+        store.save("enumy", {"action": CheckAction.REPLAY,
+                             "tuple": (1, 2),
+                             "nested": {"config": FaultHoundConfig()}})
+        doc = store.load("enumy")
+        assert doc["payload"]["action"] == "replay"
+        assert doc["payload"]["tuple"] == [1, 2]
+        assert doc["payload"]["nested"]["config"]["tcam_entries"] == 32

@@ -1,0 +1,125 @@
+"""Differential test: the production TCAM vs a deliberately naive
+reference implementation (explicit machine objects, no bitboards)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TCAM
+from repro.core.state_machines import BiasedMachine
+
+MASK64 = (1 << 64) - 1
+
+
+class ReferenceFilter:
+    """One filter, spelled out bit by bit."""
+
+    def __init__(self):
+        self.machines = [BiasedMachine(2) for _ in range(64)]
+        self.previous = 0
+        self.valid = False
+
+    def changing_mask(self):
+        mask = 0
+        for bit, machine in enumerate(self.machines):
+            if machine.is_changing:
+                mask |= 1 << bit
+        return mask
+
+    def mismatch_mask(self, value):
+        return ~self.changing_mask() & (value ^ self.previous) & MASK64
+
+    def install(self, value):
+        self.machines = [BiasedMachine(2) for _ in range(64)]
+        self.previous = value
+        self.valid = True
+
+    def update(self, value):
+        diff = value ^ self.previous
+        for bit, machine in enumerate(self.machines):
+            machine.observe(bool(diff >> bit & 1))
+        self.previous = value
+
+
+class ReferenceTCAM:
+    """Linear-search nearest-neighbour with the same policies."""
+
+    def __init__(self, entries, threshold):
+        self.entries = [ReferenceFilter() for _ in range(entries)]
+        self.threshold = threshold
+        self.lru = list(range(entries))
+
+    def touch(self, index):
+        self.lru.remove(index)
+        self.lru.insert(0, index)
+
+    def lookup(self, value):
+        value &= MASK64
+        closest, best_count = -1, 65
+        for index, entry in enumerate(self.entries):
+            if not entry.valid:
+                continue
+            count = entry.mismatch_mask(value).bit_count()
+            if count < best_count:
+                closest, best_count = index, count
+                if count == 0:
+                    break
+        if closest >= 0 and best_count == 0:
+            self.entries[closest].update(value)
+            self.touch(closest)
+            return False, closest, 0
+        if closest < 0:
+            index = self.lru[-1]
+            self.entries[index].install(value)
+            self.touch(index)
+            return False, index, 0
+        if best_count <= self.threshold:
+            self.entries[closest].update(value)
+            self.touch(closest)
+            return True, closest, best_count
+        victim = next((i for i in reversed(self.lru)
+                       if not self.entries[i].valid), self.lru[-1])
+        self.entries[victim].install(value)
+        self.touch(victim)
+        return True, closest, best_count
+
+
+# value streams with reuse (pure random never matches anything)
+def streams():
+    base_values = st.lists(st.integers(0, MASK64), min_size=2, max_size=5)
+    picks = st.lists(st.tuples(st.integers(0, 4),
+                               st.integers(0, 15)),
+                     min_size=1, max_size=50)
+    return st.tuples(base_values, picks)
+
+
+@settings(max_examples=40, deadline=None)
+@given(streams())
+def test_production_tcam_matches_reference(data):
+    bases, picks = data
+    production = TCAM(entries=4, loosen_threshold=4)
+    reference = ReferenceTCAM(entries=4, threshold=4)
+    for which, jitter in picks:
+        value = (bases[which % len(bases)] ^ jitter) & MASK64
+        result = production.lookup(value)
+        triggered, closest, count = reference.lookup(value)
+        assert result.triggered == triggered
+        assert result.closest_index == closest
+        assert result.mismatch_count == count
+
+
+@settings(max_examples=30, deadline=None)
+@given(streams())
+def test_internal_state_tracks_reference(data):
+    bases, picks = data
+    production = TCAM(entries=3, loosen_threshold=4)
+    reference = ReferenceTCAM(entries=3, threshold=4)
+    for which, jitter in picks:
+        value = (bases[which % len(bases)] ^ jitter) & MASK64
+        production.lookup(value)
+        reference.lookup(value)
+    for prod, ref in zip(production.entries, reference.entries):
+        assert prod.valid == ref.valid
+        if prod.valid:
+            assert prod.previous == ref.previous
+            assert prod.changing_mask == ref.changing_mask()

@@ -1,0 +1,41 @@
+"""Integration: every Table 1 benchmark runs on the pipeline and commits
+exactly the golden interpreter's architectural state, with and without
+FaultHound attached."""
+
+import pytest
+
+from repro.core import FaultHoundUnit
+from repro.isa.interpreter import Interpreter
+from repro.pipeline import PipelineCore
+from repro.workloads import PROFILES, build_program
+
+DYNAMIC = 2_500
+
+
+def golden(program):
+    interp = Interpreter(program)
+    interp.run(max_instructions=2_000_000)
+    assert interp.state.halted
+    return interp.state.snapshot()
+
+
+@pytest.mark.parametrize("name", sorted(PROFILES))
+def test_profile_pipeline_matches_interpreter(name):
+    program = build_program(PROFILES[name], DYNAMIC)
+    core = PipelineCore([program])
+    core.run(max_cycles=3_000_000)
+    assert core.all_halted, f"{name}: pipeline did not finish"
+    assert core.threads[0].arch_state_snapshot(core.prf) == golden(program)
+
+
+@pytest.mark.parametrize("name", ["mcf", "apache", "leslie3d", "gamess"])
+def test_profile_with_faulthound_matches_interpreter(name):
+    """False positives (and the outlier events that cause them) must
+    never change architectural results."""
+    program = build_program(PROFILES[name], DYNAMIC)
+    core = PipelineCore([program], screening=FaultHoundUnit())
+    core.run(max_cycles=3_000_000)
+    assert core.all_halted
+    assert core.threads[0].arch_state_snapshot(core.prf) == golden(program)
+    # the outlier machinery must actually have exercised the filters
+    assert core.screening.trigger_count > 0

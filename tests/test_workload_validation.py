@@ -1,0 +1,51 @@
+"""Profile-validation pins: the characteristics each figure depends on."""
+
+import pytest
+
+from repro.workloads import PROFILES
+from repro.workloads.validation import validate_profile
+
+
+@pytest.fixture(scope="module")
+def reports():
+    wanted = ("mcf", "gamess", "oltp", "bzip2", "leslie3d")
+    return {name: validate_profile(PROFILES[name], 5_000)
+            for name in wanted}
+
+
+def test_memory_intensity_split(reports):
+    """mcf/oltp must be memory-bound relative to gamess (Figure 9's
+    'commercial workloads hide recovery under misses')."""
+    assert reports["mcf"].l1_miss_rate > reports["gamess"].l1_miss_rate + 0.1
+    assert reports["oltp"].l1_miss_rate > reports["gamess"].l1_miss_rate + 0.1
+    assert reports["gamess"].baseline_ipc > reports["mcf"].baseline_ipc
+
+
+def test_branchiness_split(reports):
+    assert reports["oltp"].branch_mispredict_rate \
+        > reports["gamess"].branch_mispredict_rate
+
+
+def test_value_width_split(reports):
+    """leslie3d's wide value model is the widest store-value profile
+    (its low coverage in Figure 8a)."""
+    assert reports["leslie3d"].store_value_bits_changed \
+        > reports["bzip2"].store_value_bits_changed
+
+def test_load_store_mix_plausible(reports):
+    for name, report in reports.items():
+        assert 0.03 < report.load_fraction < 0.5, name
+        assert 0.01 < report.store_fraction < 0.4, name
+
+
+def test_neighbourhood_locality_high_everywhere(reports):
+    """Every profile's store values must be highly neighbourhood-local —
+    the property the whole scheme exploits (Figure 6)."""
+    for name, report in reports.items():
+        assert report.store_value_neighbourhood_hits > 0.8, name
+        assert report.quiet_value_bits >= 34, name
+
+
+def test_report_as_dict(reports):
+    d = reports["mcf"].as_dict()
+    assert "l1_miss_rate" in d and "baseline_ipc" in d

@@ -1,0 +1,142 @@
+"""Workload generator tests: structure, determinism, locality character."""
+
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.isa.interpreter import Interpreter
+from repro.pipeline import PipelineCore
+from repro.workloads import (PROFILES, SUITES, WorkloadProfile,
+                             build_program, build_smt_programs, pointer_ring,
+                             region_bases)
+
+
+class TestValueModels:
+    def test_pointer_ring_is_one_cycle(self):
+        ring = pointer_ring(random.Random(1), base=0x1000, words=64)
+        assert len(ring) == 64
+        seen = set()
+        addr = 0x1000
+        for _ in range(64):
+            assert addr not in seen
+            seen.add(addr)
+            addr = ring[addr]
+        assert addr == 0x1000  # closed cycle visiting every slot
+
+    def test_pointer_ring_aligned(self):
+        ring = pointer_ring(random.Random(2), base=0x2000, words=16)
+        assert all(a % 8 == 0 and v % 8 == 0 for a, v in ring.items())
+
+    def test_pointer_ring_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            pointer_ring(random.Random(0), 0, 1)
+
+    def test_region_bases_disjoint(self):
+        bases = region_bases(0x1000, 4, 128)
+        assert len(set(bases)) == 4
+        assert bases[1] - bases[0] == 8 * 128
+
+
+class TestProfiles:
+    def test_all_table1_benchmarks_present(self):
+        expected = {"perl", "bzip2", "mcf", "astar", "dealII", "gamess",
+                    "leslie3d", "apache", "specjbb", "oltp", "ocean",
+                    "raytrace", "volrend", "water-nsquared"}
+        assert set(PROFILES) == expected
+
+    def test_suites_partition_profiles(self):
+        names = [n for members in SUITES.values() for n in members]
+        assert sorted(names) == sorted(PROFILES)
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="x", suite="s", value_model="bogus")
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="x", suite="s", pointer_chase=1.5)
+
+
+class TestGenerator:
+    def test_build_is_deterministic(self):
+        a = build_program(PROFILES["mcf"], 5000)
+        b = build_program(PROFILES["mcf"], 5000)
+        assert a.instructions == b.instructions
+        assert a.initial_memory == b.initial_memory
+
+    def test_copies_differ(self):
+        a = build_program(PROFILES["bzip2"], 5000, copy_index=0)
+        b = build_program(PROFILES["bzip2"], 5000, copy_index=1)
+        assert a.initial_regs != b.initial_regs or \
+            a.initial_memory != b.initial_memory
+
+    def test_smt_builder_returns_two_copies(self):
+        programs = build_smt_programs(PROFILES["perl"], 4000)
+        assert len(programs) == 2
+        assert programs[0].name == "perl.0"
+
+    @pytest.mark.parametrize("name", sorted(PROFILES))
+    def test_every_profile_interprets_cleanly(self, name):
+        """Every benchmark must run exception-free on the golden model and
+        commit at least its dynamic target."""
+        program = build_program(PROFILES[name], 3000)
+        interp = Interpreter(program)
+        interp.run(max_instructions=20_000)
+        assert not interp.exceptions
+        assert interp.state.instret >= 3000
+
+    def test_dynamic_target_respected(self):
+        program = build_program(PROFILES["gamess"], 8000)
+        interp = Interpreter(program)
+        interp.run(max_instructions=100_000)
+        assert interp.state.halted
+        assert interp.state.instret >= 8000
+
+    def test_pointer_chase_profile_reads_ring(self):
+        program = build_program(PROFILES["mcf"], 2000)
+        assert len(program.initial_memory) > 1000  # the chase ring
+
+    def test_rejects_non_power_of_two_working_set(self):
+        profile = WorkloadProfile(name="x", suite="s",
+                                  working_set_words=3000)
+        with pytest.raises(WorkloadError):
+            build_program(profile, 1000)
+
+
+class TestLocalityCharacter:
+    def _store_value_bits_changed(self, name, n=400):
+        """Average changed bits per consecutive store value."""
+        program = build_program(PROFILES[name], 6000)
+        interp = Interpreter(program)
+        interp.trace_memory_ops = True
+        interp.run(max_instructions=30_000)
+        values = [v for k, v in interp.mem_trace if k == "store_value"]
+        values = values[:n]
+        assert len(values) > 50
+        flips = [(a ^ b).bit_count() for a, b in zip(values, values[1:])]
+        return sum(flips) / len(flips)
+
+    def test_counter_model_changes_few_bits(self):
+        assert self._store_value_bits_changed("bzip2") < 6
+
+    def test_wide_model_changes_many_bits(self):
+        narrow = self._store_value_bits_changed("bzip2")
+        wide = self._store_value_bits_changed("leslie3d")
+        assert wide > narrow + 4
+
+    def test_branchy_profile_mispredicts_more(self):
+        def mispredict_rate(name):
+            program = build_program(PROFILES[name], 4000)
+            core = PipelineCore([program])
+            core.run_until_commits(4000)
+            return core.predictors[0].misprediction_rate
+
+        assert mispredict_rate("oltp") > mispredict_rate("gamess") + 0.02
+
+    def test_memory_intensive_profile_misses_more(self):
+        def l1_miss_rate(name):
+            program = build_program(PROFILES[name], 4000)
+            core = PipelineCore([program])
+            core.run_until_commits(4000)
+            return core.hierarchy.l1.stats.miss_rate
+
+        assert l1_miss_rate("mcf") > l1_miss_rate("gamess") + 0.02

@@ -10,6 +10,13 @@ Scale is controlled by the ``REPRO_SCALE`` environment variable:
 - ``default`` — all 14 benchmarks at laptop scale (the shipped results);
 - ``full``    — larger fault counts and longer runs (closer to the paper;
   expect a long wall-clock).
+
+Execution is controlled by two more environment variables:
+
+- ``REPRO_JOBS``     — worker processes for campaign/figure fan-out
+  (default: all CPUs; 1 = the reference serial path);
+- ``REPRO_NO_CACHE`` — when set (non-empty), skip the persistent artifact
+  cache under ``benchmarks/.cache/`` and recompute everything.
 """
 
 from __future__ import annotations
@@ -19,7 +26,7 @@ import pathlib
 
 import pytest
 
-from repro.harness import ExperimentConfig, ExperimentContext
+from repro.harness import ArtifactCache, ExperimentConfig, ExperimentContext
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -46,9 +53,22 @@ def _scale() -> ExperimentConfig:
             f"REPRO_SCALE={name!r}; choose from {sorted(_SCALES)}") from None
 
 
+def _jobs():
+    value = os.environ.get("REPRO_JOBS", "").strip()
+    return int(value) if value else None
+
+
+def _cache():
+    if os.environ.get("REPRO_NO_CACHE"):
+        return None
+    return ArtifactCache(RESULTS_DIR.parent / ".cache")
+
+
 @pytest.fixture(scope="session")
 def ctx() -> ExperimentContext:
-    return ExperimentContext(_scale())
+    context = ExperimentContext(_scale(), jobs=_jobs(), cache=_cache())
+    yield context
+    print(f"\n[repro] {context.metrics.summary()}")
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,60 @@
+"""Campaign-throughput benches: the parallel execution layer must be
+faster than serial where cores allow, and *identical* always.
+
+These time a small characterisation + coverage campaign serially and
+with a 2-worker pool, and assert the two produce bit-for-bit equal
+results (the tentpole contract: workers re-derive state from explicit
+seeds, so fan-out is pure mechanism, never policy). A separate bench
+times the warm-cache path, which should be near-instant regardless of
+scale.
+"""
+
+import pathlib
+import tempfile
+
+from repro.harness import ArtifactCache, ExperimentConfig, ExperimentContext
+
+#: One small benchmark keeps this a guard, not a soak test.
+_CFG = ExperimentConfig(benchmarks=("mcf",), dynamic_target=4_000,
+                        num_faults=16, warmup_commits=250,
+                        window_commits=110)
+
+
+def _campaign_results(jobs, cache=None):
+    ctx = ExperimentContext(_CFG, jobs=jobs, cache=cache)
+    _, characterization = ctx.campaign("mcf")
+    coverage = ctx.coverage("mcf", "faulthound")
+    return ctx, characterization, coverage
+
+
+def test_campaign_serial_throughput(benchmark):
+    _, characterization, _ = benchmark.pedantic(
+        lambda: _campaign_results(jobs=1), rounds=1, iterations=1)
+    assert characterization.throughput is not None
+    assert characterization.throughput.windows_per_sec > 0
+
+
+def test_campaign_parallel_matches_serial(benchmark):
+    _, serial_char, serial_cov = _campaign_results(jobs=1)
+    _, par_char, par_cov = benchmark.pedantic(
+        lambda: _campaign_results(jobs=2), rounds=1, iterations=1)
+    # bit-for-bit: same windows, same outcomes, same coverage number
+    assert par_char.characterization == serial_char.characterization
+    assert par_cov.coverage_results == serial_cov.coverage_results
+    assert par_cov.outcomes == serial_cov.outcomes
+    assert par_cov.coverage == serial_cov.coverage
+
+
+def test_campaign_warm_cache_throughput(benchmark):
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ArtifactCache(pathlib.Path(tmp))
+        _, cold_char, cold_cov = _campaign_results(jobs=1, cache=cache)
+
+        ctx, warm_char, warm_cov = benchmark.pedantic(
+            lambda: _campaign_results(jobs=1, cache=cache),
+            rounds=1, iterations=1)
+        assert ctx.metrics.cache_hits > 0
+        assert ctx.metrics.cache_misses == 0
+        assert warm_char.throughput.from_cache
+        assert warm_char.characterization == cold_char.characterization
+        assert warm_cov.outcomes == cold_cov.outcomes

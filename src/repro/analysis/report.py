@@ -234,6 +234,16 @@ Absolute magnitudes are not expected to transfer from the authors'
 testbed; the *shapes* — who wins, by roughly what factor, where the
 crossovers fall — are the reproduction target, and each figure below ends
 with its machine-checked shape claims.
+
+**Scaling & parallel execution.** `REPRO_SCALE` picks the scale
+(`quick`/`default`/`full`); `REPRO_JOBS` (or `repro figure --jobs N`)
+fans independent runs, campaigns and fault windows across a process
+pool, bit-for-bit identical to serial because every worker re-derives
+its state from the explicit seeds. Finished artefacts persist in
+`benchmarks/.cache/<kind>/<digest>.pkl`, keyed by the configs plus a
+code-version salt over the package source, so reruns are incremental and
+any simulator change invalidates the cache automatically (`REPRO_NO_CACHE=1`
+or `--no-cache` forces recomputation).
 """
 
 

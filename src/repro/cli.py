@@ -24,8 +24,9 @@ from .analysis.metrics import fp_rate
 from .config import HardwareConfig
 from .energy import EnergyModel
 from .errors import ReproError
-from .faults import Campaign, FaultClass
-from .harness import ExperimentConfig, ExperimentContext, SCHEMES, figures
+from .faults import FaultClass
+from .harness import (ArtifactCache, ExperimentConfig, ExperimentContext,
+                      SCHEMES, figures)
 from .harness.experiment import scheme_unit
 from .isa import assemble
 from .pipeline import PipelineCore
@@ -49,6 +50,20 @@ _SCALES = {
                               warmup_commits=300, window_commits=120),
     "default": ExperimentConfig(),
 }
+
+
+def _add_exec_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--jobs", type=int, default=None,
+                     help="worker processes for campaign/figure fan-out "
+                          "(default: all CPUs; 1 = serial)")
+    sub.add_argument("--no-cache", action="store_true",
+                     help="recompute everything instead of using the "
+                          "persistent artifact cache")
+
+
+def _make_context(cfg: ExperimentConfig, args) -> ExperimentContext:
+    cache = None if args.no_cache else ArtifactCache.default()
+    return ExperimentContext(cfg, jobs=args.jobs, cache=cache)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -77,10 +92,12 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=sorted(SCHEMES))
     campaign.add_argument("--faults", type=int, default=60)
     campaign.add_argument("--seed", type=int, default=3)
+    _add_exec_flags(campaign)
 
     figure = sub.add_parser("figure", help="regenerate a paper table/figure")
     figure.add_argument("which", choices=sorted(_FIGURES))
     figure.add_argument("--scale", default="quick", choices=sorted(_SCALES))
+    _add_exec_flags(figure)
 
     report = sub.add_parser(
         "report", help="rebuild EXPERIMENTS.md from benchmarks/results/")
@@ -151,36 +168,33 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_campaign(args) -> int:
-    hw = HardwareConfig()
     window = 150
-    dynamic = 400 + (args.faults + 2) * window
-    programs = build_smt_programs(PROFILES[args.name], dynamic)
-    campaign = Campaign(
-        args.name, lambda: PipelineCore(programs, hw=hw),
-        num_phys_regs=hw.phys_regs, num_threads=len(programs),
+    cfg = ExperimentConfig(
+        benchmarks=(args.name,),
+        dynamic_target=400 + (args.faults + 2) * window,
         num_faults=args.faults, seed=args.seed,
-        warmup_commits=400, window_commits=window)
-    characterization = campaign.characterize()
+        warmup_commits=400, window_commits=window,
+        max_window_cycles=60_000)
+    ctx = _make_context(cfg, args)
+    _, characterization = ctx.campaign(args.name)
     print(f"{characterization.applied_count()} faults applied:")
     for fault_class in FaultClass:
         print(f"  {fault_class.value:8s} "
               f"{100 * characterization.class_fraction(fault_class):5.1f}%")
-    coverage = campaign.run_coverage(
-        args.scheme,
-        lambda: PipelineCore(programs, hw=hw,
-                             screening=scheme_unit(args.scheme)),
-        characterization)
+    coverage = ctx.coverage(args.name, args.scheme)
     print(f"\n{args.scheme} vs {coverage.sdc_count} SDC faults: "
           f"coverage {100 * coverage.coverage:.1f}%")
     for bin_name, fraction in coverage.breakdown().items():
         print(f"  {bin_name:24s} {100 * fraction:5.1f}%")
+    print(ctx.metrics.summary(), file=sys.stderr)
     return 0
 
 
 def _cmd_figure(args) -> int:
-    ctx = ExperimentContext(_SCALES[args.scale])
+    ctx = _make_context(_SCALES[args.scale], args)
     result = _FIGURES[args.which](ctx)
     print(result["text"])
+    print(ctx.metrics.summary(), file=sys.stderr)
     return 0
 
 

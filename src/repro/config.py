@@ -66,6 +66,9 @@ class FaultHoundConfig:
         if self.second_level_states < 2 or self.squash_states < 2:
             raise ConfigurationError("biased machines need >= 2 states")
 
+    def __deepcopy__(self, memo) -> "FaultHoundConfig":
+        return self    # frozen: shared by tandem-classifier core forks
+
 
 @dataclass(frozen=True)
 class PBFSConfig:
@@ -104,6 +107,9 @@ class PBFSConfig:
             raise ConfigurationError("biased=True conflicts with counter=")
         object.__setattr__(self, "counter", resolved)
         object.__setattr__(self, "biased", resolved == "biased")
+
+    def __deepcopy__(self, memo) -> "PBFSConfig":
+        return self    # frozen: shared by tandem-classifier core forks
 
 
 @dataclass(frozen=True)
@@ -189,6 +195,9 @@ class HardwareConfig:
                 raise ConfigurationError(f"{name} must be positive")
         if self.bypass_depth < 0:
             raise ConfigurationError("bypass_depth must be >= 0")
+
+    def __deepcopy__(self, memo) -> "HardwareConfig":
+        return self    # frozen: shared by tandem-classifier core forks
 
 
 def config_to_dict(config) -> Dict[str, object]:

@@ -9,6 +9,7 @@ the paper's uncovered categories.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -21,6 +22,24 @@ from .model import (CoverageOutcome, FaultClass, FaultRecord, FaultSite,
 
 
 @dataclass
+class ThroughputRecord:
+    """How fast one campaign phase ran (surfaced in campaign results so
+    parallel/cache speedups are measurable, not anecdotal)."""
+
+    phase: str                  # "characterize" | "coverage" | ...
+    windows: int = 0
+    wall_seconds: float = 0.0
+    jobs: int = 1
+    from_cache: bool = False
+
+    @property
+    def windows_per_sec(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.windows / self.wall_seconds
+
+
+@dataclass
 class CampaignResult:
     """Aggregated outcome of one (workload, scheme) campaign."""
 
@@ -30,6 +49,9 @@ class CampaignResult:
     characterization: List[WindowResult] = field(default_factory=list)
     coverage_results: List[WindowResult] = field(default_factory=list)
     outcomes: Dict[int, CoverageOutcome] = field(default_factory=dict)
+    #: Execution-speed instrumentation for the phase that produced this
+    #: result (None for results assembled outside the harness).
+    throughput: Optional[ThroughputRecord] = None
 
     # -- Figure 7 ----------------------------------------------------------
     def applied_count(self) -> int:
@@ -116,7 +138,9 @@ class Campaign:
             record.inject_at_commit = (self.warmup_commits
                                        + i * self.window_commits)
 
-    def _classifier(self, factory) -> TandemClassifier:
+    def classifier(self, factory) -> TandemClassifier:
+        """A tandem classifier over this campaign's window geometry (also
+        used by parallel window-chunk workers)."""
         return TandemClassifier(factory, self.injector,
                                 window_commits=self.window_commits,
                                 max_window_cycles=self.max_window_cycles)
@@ -125,7 +149,7 @@ class Campaign:
     def characterize(self) -> CampaignResult:
         """Phase A: masked / noisy / SDC binning on the baseline core."""
         result = CampaignResult(self.benchmark, "baseline", self.records)
-        result.characterization = self._classifier(
+        result.characterization = self.classifier(
             self.baseline_factory).run(self.records)
         return result
 
@@ -133,12 +157,32 @@ class Campaign:
                      scheme_factory: Callable[[], PipelineCore],
                      characterization: CampaignResult) -> CampaignResult:
         """Phase B: rerun this campaign's SDC faults under a scheme."""
-        sdc_records = [r.record for r in characterization.characterization
-                       if r.applied and r.fault_class is FaultClass.SDC]
-        result = CampaignResult(self.benchmark, scheme_name, sdc_records)
+        sdc_records = self.sdc_records(characterization)
+        windows = self.classifier(scheme_factory).run(sdc_records)
+        return self.collect_coverage(scheme_name, characterization, windows)
+
+    @staticmethod
+    def sdc_records(characterization: CampaignResult) -> List[FaultRecord]:
+        """The SDC subset a coverage phase replays, in injection order.
+
+        Returned as fresh copies: the replay re-applies each fault and
+        mutates its record, and the characterisation must stay pristine so
+        serial, parallel and cache-hit paths agree bit-for-bit.
+        """
+        return [copy.deepcopy(r.record)
+                for r in characterization.characterization
+                if r.applied and r.fault_class is FaultClass.SDC]
+
+    def collect_coverage(self, scheme_name: str,
+                         characterization: CampaignResult,
+                         windows: Sequence[WindowResult]) -> CampaignResult:
+        """Assemble a coverage result from already-classified windows (the
+        serial tail of :meth:`run_coverage`; also the merge point for
+        window chunks classified by parallel workers)."""
+        result = CampaignResult(self.benchmark, scheme_name,
+                                [w.record for w in windows])
         result.characterization = characterization.characterization
-        windows = self._classifier(scheme_factory).run(sdc_records)
-        result.coverage_results = windows
+        result.coverage_results = list(windows)
         for window in windows:
             if not window.applied:
                 continue
@@ -167,4 +211,4 @@ def _attribute(window: WindowResult) -> CoverageOutcome:
     return CoverageOutcome.OTHER
 
 
-__all__ = ["Campaign", "CampaignResult"]
+__all__ = ["Campaign", "CampaignResult", "ThroughputRecord"]

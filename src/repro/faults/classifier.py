@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..pipeline.core import PipelineCore
 from .injector import FaultInjector
@@ -81,15 +81,64 @@ class TandemClassifier:
         self.lsq_wait_cycles = lsq_wait_cycles
 
     # ------------------------------------------------------------------
-    def run(self, records: List[FaultRecord]) -> List[WindowResult]:
-        """Classify every fault in *records* (must be sorted by
-        ``inject_at_commit``; plan() guarantees it)."""
+    def run(self, records: List[FaultRecord],
+            skip: Sequence[FaultRecord] = ()) -> List[WindowResult]:
+        """Classify every fault in *records*.
+
+        The one golden core serves every window, which is only sound
+        because the injection plan never asks it to rewind — asserted
+        here as a cheap monotonicity check on ``inject_at_commit``
+        (``Campaign._space_records`` guarantees it) instead of
+        re-deriving golden state per window.
+
+        *skip* is the fast-forward prefix used by parallel window
+        chunks: the golden core replays those windows (advance + capture,
+        no fault, no tandem copy) so it reaches bit-for-bit the same
+        state the serial classifier would carry into ``records[0]``.
+        """
+        self._check_contract(skip, records)
         golden = self.core_factory()
+        for record in skip:
+            self._skip_window(golden, record)
         results = []
         for record in records:
             result = self._classify_one(golden, record)
             results.append(result)
         return results
+
+    @staticmethod
+    def _check_contract(skip: Sequence[FaultRecord],
+                        records: Sequence[FaultRecord]) -> None:
+        previous = None
+        for record in (*skip, *records):
+            if previous is not None and record.inject_at_commit < previous:
+                raise ValueError(
+                    "fault records must be sorted by inject_at_commit: "
+                    "the shared golden core never rewinds")
+            previous = record.inject_at_commit
+
+    def _skip_window(self, golden: PipelineCore, record: FaultRecord) -> None:
+        """Advance the golden core through one window without classifying.
+
+        Mirrors exactly the golden-side stepping of
+        :meth:`_classify_one` (advance to the injection commit, arm the
+        snapshot targets, run to capture) so a chunk worker's golden core
+        is indistinguishable from the serial one. When the serial run
+        would have failed to land the fault it leaves golden parked at
+        the injection commit; only LSQ faults can fail, and the decision
+        depends on faulty-side stepping, so those are probed on a
+        throwaway copy.
+        """
+        if not self._advance_to(golden, record.inject_at_commit):
+            return
+        if record.site is FaultSite.LSQ:
+            probe = copy.deepcopy(golden)
+            if not self._apply_with_retry(probe, record):
+                return
+        targets = {t.thread_id: t.committed_count + self.window_commits
+                   for t in golden.threads}
+        golden.set_snapshot_targets(targets)
+        self._run_to_capture(golden)
 
     def _advance_to(self, core: PipelineCore, total_commits: int) -> bool:
         """Advance *core* until its total committed count reaches

@@ -1,14 +1,21 @@
 """Experiment harness: one entry point per paper table/figure."""
 
+from ..faults.campaign import ThroughputRecord
+from .cache import ArtifactCache
 from .experiment import (ExperimentConfig, ExperimentContext, FaultFreeRun,
                          SCHEMES, scheme_unit)
+from .parallel import ContextMetrics, ParallelExecutor
 from . import figures
 
 __all__ = [
+    "ArtifactCache",
+    "ContextMetrics",
     "ExperimentConfig",
     "ExperimentContext",
     "FaultFreeRun",
+    "ParallelExecutor",
     "SCHEMES",
+    "ThroughputRecord",
     "scheme_unit",
     "figures",
 ]

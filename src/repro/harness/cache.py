@@ -1,0 +1,182 @@
+"""Persistent, content-addressed artifact cache for experiment results.
+
+Campaigns and fault-free timing runs dominate figure-regeneration
+wall-clock, yet they are pure functions of the experiment configuration
+(design decision #10: every stochastic choice flows from an explicit
+seed). The cache therefore keys each artefact by a SHA-256 digest of
+
+- the artefact kind (``fault_free`` / ``characterize`` / ``coverage`` /
+  ``srt``),
+- every semantic coordinate (benchmark, scheme, coverage, ...),
+- the full :class:`~repro.harness.experiment.ExperimentConfig` and
+  :class:`~repro.config.HardwareConfig`, and
+- a *code-version salt* derived from the source bytes of the ``repro``
+  package, so any simulator change invalidates the whole cache
+  automatically (no stale-results footgun).
+
+Artefacts are pickled dataclasses stored under
+``benchmarks/.cache/<kind>/<digest>.pkl`` (override the root with
+``REPRO_CACHE_DIR``). Writes are atomic (tmp file + ``os.replace``) so
+concurrent workers racing on the same key are safe; unreadable or
+corrupt entries degrade to misses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import pickle
+import tempfile
+from typing import Any, Optional
+
+_SALT: Optional[str] = None
+
+
+def code_version_salt() -> str:
+    """Digest of the ``repro`` package's source bytes (cached per process).
+
+    ``REPRO_CACHE_SALT`` overrides the computed value — useful in tests
+    and for forcing a cold cache without deleting anything.
+    """
+    global _SALT
+    if _SALT is None:
+        override = os.environ.get("REPRO_CACHE_SALT")
+        if override:
+            _SALT = override
+        else:
+            package_root = pathlib.Path(__file__).resolve().parents[1]
+            digest = hashlib.sha256()
+            for path in sorted(package_root.rglob("*.py")):
+                digest.update(str(path.relative_to(package_root)).encode())
+                digest.update(path.read_bytes())
+            _SALT = digest.hexdigest()[:16]
+    return _SALT
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce *value* to JSON-stable primitives for key derivation."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _canonical(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, float):
+        return repr(value)          # full precision, no str() truncation
+    if isinstance(value, (int, str, bool)) or value is None:
+        return value
+    if hasattr(value, "value"):     # enums
+        return value.value
+    return repr(value)
+
+
+def default_cache_root() -> pathlib.Path:
+    """``REPRO_CACHE_DIR``, else ``<repo>/benchmarks/.cache`` when the
+    repository layout is recognisable, else ``./benchmarks/.cache``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return pathlib.Path(override)
+    repo = pathlib.Path(__file__).resolve().parents[3]
+    if (repo / "benchmarks").is_dir():
+        return repo / "benchmarks" / ".cache"
+    return pathlib.Path("benchmarks") / ".cache"
+
+
+class ArtifactCache:
+    """A directory of pickled experiment artefacts, addressed by content key.
+
+    The cache never raises out of ``get``/``put``: any filesystem or
+    deserialisation problem silently degrades to a miss (the artefact is
+    recomputed), keeping the cache a pure accelerator.
+    """
+
+    def __init__(self, root: str | os.PathLike | None = None):
+        self.root = pathlib.Path(root) if root else default_cache_root()
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def default(cls) -> "ArtifactCache":
+        return cls(default_cache_root())
+
+    # -- keys ----------------------------------------------------------
+    def key(self, kind: str, **parts: Any) -> str:
+        """Content key for one artefact: kind + coordinates + code salt."""
+        document = {
+            "kind": kind,
+            "salt": code_version_salt(),
+            "parts": _canonical(parts),
+        }
+        blob = json.dumps(document, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()[:32]
+
+    def _path(self, kind: str, key: str) -> pathlib.Path:
+        return self.root / kind / f"{key}.pkl"
+
+    # -- access --------------------------------------------------------
+    def get(self, kind: str, key: str) -> Optional[Any]:
+        """The cached artefact, or ``None`` on a miss (counted)."""
+        path = self._path(kind, key)
+        try:
+            with open(path, "rb") as handle:
+                artefact = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, ValueError):
+            if path.exists():
+                # corrupt entry: drop it so the rewrite starts clean
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return artefact
+
+    def put(self, kind: str, key: str, artefact: Any) -> bool:
+        """Persist *artefact* atomically; False when the write failed."""
+        path = self._path(kind, key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{key}.", suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(artefact, handle,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except (OSError, pickle.PicklingError, TypeError):
+            return False
+        return True
+
+    # -- maintenance ---------------------------------------------------
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.rglob("*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def entry_count(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.rglob("*.pkl"))
+
+
+__all__ = ["ArtifactCache", "code_version_salt", "default_cache_root"]

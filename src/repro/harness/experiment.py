@@ -12,18 +12,23 @@ faults per benchmark); the paper's scale (50M-instruction SimPoints,
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..config import FaultHoundConfig, HardwareConfig, PBFSConfig
 from ..core import FaultHoundUnit, NullScreeningUnit, PBFSUnit
 from ..core.screening import ScreeningUnit
 from ..energy import EnergyBreakdown, EnergyModel
 from ..faults import Campaign, CampaignResult
+from ..faults.campaign import ThroughputRecord
 from ..analysis.metrics import fp_rate
 from ..pipeline import PipelineCore
 from ..redundancy import dynamic_length, srt_iso_core
 from ..workloads import PROFILES, build_smt_programs
+from .cache import ArtifactCache
+from . import parallel as _parallel
+from .parallel import ContextMetrics, ParallelExecutor
 
 # ----------------------------------------------------------------------
 # scheme registry
@@ -112,12 +117,28 @@ class FaultFreeRun:
 
 
 class ExperimentContext:
-    """Caches programs, runs and campaigns across figure regenerations."""
+    """Caches programs, runs and campaigns across figure regenerations.
+
+    ``jobs`` sizes the worker pool for campaign/figure fan-out (default
+    ``os.cpu_count()``; ``jobs=1`` is the reference serial path — the
+    parallel paths produce bit-for-bit identical results). ``cache`` is
+    an optional persistent :class:`~repro.harness.cache.ArtifactCache`;
+    when given, fault-free runs, campaigns and coverage phases are
+    reloaded from disk instead of recomputed (the key includes a
+    code-version salt, so stale entries are impossible).
+    """
 
     def __init__(self, cfg: ExperimentConfig | None = None,
-                 hw: HardwareConfig | None = None):
+                 hw: HardwareConfig | None = None,
+                 jobs: Optional[int] = None,
+                 cache: Optional[ArtifactCache] = None):
         self.cfg = cfg or ExperimentConfig()
         self.hw = hw or HardwareConfig()
+        self.jobs = max(1, jobs if jobs is not None
+                        else _parallel.default_jobs())
+        self.cache = cache
+        self.metrics = ContextMetrics()
+        self._executor = ParallelExecutor(self.jobs)
         self._programs: Dict[str, List] = {}
         self._lengths: Dict[str, List[int]] = {}
         self._fault_free: Dict[Tuple[str, str], FaultFreeRun] = {}
@@ -125,6 +146,24 @@ class ExperimentContext:
         self._campaigns: Dict[str, Tuple[Campaign, CampaignResult]] = {}
         self._coverage: Dict[Tuple[str, str], CampaignResult] = {}
         self._energy_model = EnergyModel()
+
+    # -- persistent cache plumbing ---------------------------------------
+    def _cache_get(self, kind: str, **parts: Any):
+        if self.cache is None:
+            return None
+        key = self.cache.key(kind, cfg=self.cfg, hw=self.hw, **parts)
+        artefact = self.cache.get(kind, key)
+        if artefact is None:
+            self.metrics.cache_misses += 1
+        else:
+            self.metrics.cache_hits += 1
+        return artefact
+
+    def _cache_put(self, kind: str, artefact: Any, **parts: Any) -> None:
+        if self.cache is None:
+            return
+        key = self.cache.key(kind, cfg=self.cfg, hw=self.hw, **parts)
+        self.cache.put(kind, key, artefact)
 
     # -- workloads ------------------------------------------------------
     def programs(self, benchmark: str) -> List:
@@ -148,7 +187,16 @@ class ExperimentContext:
     def fault_free(self, benchmark: str, scheme: str) -> FaultFreeRun:
         key = (benchmark, scheme)
         if key not in self._fault_free:
-            self._fault_free[key] = self._run_fault_free(benchmark, scheme)
+            run = self._cache_get("fault_free", benchmark=benchmark,
+                                  scheme=scheme)
+            if run is None:
+                started = time.perf_counter()
+                run = self._run_fault_free(benchmark, scheme)
+                self.metrics.note_phase("fault_free",
+                                        time.perf_counter() - started)
+                self._cache_put("fault_free", run, benchmark=benchmark,
+                                scheme=scheme)
+            self._fault_free[key] = run
         return self._fault_free[key]
 
     def _run_fault_free(self, benchmark: str, scheme: str) -> FaultFreeRun:
@@ -180,25 +228,47 @@ class ExperimentContext:
             ipc=core.stats.ipc)
 
     # -- SRT-iso ----------------------------------------------------------
+    @staticmethod
+    def _srt_key(benchmark: str, coverage: float) -> Tuple[str, float]:
+        """Semantic cache key for one SRT-iso run.
+
+        The benchmark is part of the key *derivation*, not an accident of
+        tuple position, and the coverage is kept at full precision: the
+        old ``round(coverage, 3)`` could alias two distinct "measured"
+        coverages onto one cached run.
+        """
+        return (benchmark, float(coverage))
+
     def srt_run(self, benchmark: str,
                 coverage: Optional[float] = None) -> FaultFreeRun:
         if coverage is None:
             coverage = self.srt_coverage(benchmark)
-        coverage = round(coverage, 3)
-        key = (benchmark, coverage)
+        key = self._srt_key(benchmark, coverage)
         if key not in self._srt:
-            core = srt_iso_core(self.programs(benchmark), hw=self.hw,
-                                coverage=coverage,
-                                lengths=self.lengths(benchmark))
-            core.run(max_cycles=8_000_000)
-            self._srt[key] = FaultFreeRun(
-                benchmark=benchmark, scheme=f"srt-iso@{coverage}",
-                cycles=core.stats.cycles, committed=core.stats.committed,
-                fp_rate=0.0, energy=self._energy_model.compute(core),
-                replay_events=0, rollback_events=0, singleton_reexecs=0,
-                branch_mispredicts=core.stats.branch_mispredicts,
-                ipc=core.stats.ipc)
+            run = self._cache_get("srt", benchmark=benchmark,
+                                  coverage=coverage)
+            if run is None:
+                started = time.perf_counter()
+                run = self._run_srt(benchmark, coverage)
+                self.metrics.note_phase("srt",
+                                        time.perf_counter() - started)
+                self._cache_put("srt", run, benchmark=benchmark,
+                                coverage=coverage)
+            self._srt[key] = run
         return self._srt[key]
+
+    def _run_srt(self, benchmark: str, coverage: float) -> FaultFreeRun:
+        core = srt_iso_core(self.programs(benchmark), hw=self.hw,
+                            coverage=coverage,
+                            lengths=self.lengths(benchmark))
+        core.run(max_cycles=8_000_000)
+        return FaultFreeRun(
+            benchmark=benchmark, scheme=f"srt-iso@{round(coverage, 3)}",
+            cycles=core.stats.cycles, committed=core.stats.committed,
+            fp_rate=0.0, energy=self._energy_model.compute(core),
+            replay_events=0, rollback_events=0, singleton_reexecs=0,
+            branch_mispredicts=core.stats.branch_mispredicts,
+            ipc=core.stats.ipc)
 
     def srt_coverage(self, benchmark: str) -> float:
         if self.cfg.srt_coverage_mode == "measured":
@@ -206,19 +276,50 @@ class ExperimentContext:
         return self.cfg.srt_fixed_coverage
 
     # -- campaigns --------------------------------------------------------
+    def build_campaign(self, benchmark: str) -> Campaign:
+        """A freshly planned (not yet run) campaign for *benchmark* —
+        cheap, deterministic in the config seed."""
+        cfg = self.cfg
+        return Campaign(
+            benchmark,
+            lambda: self.make_core(benchmark, "baseline"),
+            num_phys_regs=self.hw.phys_regs,
+            num_threads=self.cfg.smt_copies,
+            num_faults=cfg.num_faults, seed=cfg.seed,
+            warmup_commits=cfg.warmup_commits,
+            window_commits=cfg.window_commits,
+            max_window_cycles=cfg.max_window_cycles)
+
     def campaign(self, benchmark: str) -> Tuple[Campaign, CampaignResult]:
         if benchmark not in self._campaigns:
-            cfg = self.cfg
-            campaign = Campaign(
-                benchmark,
-                lambda: self.make_core(benchmark, "baseline"),
-                num_phys_regs=self.hw.phys_regs,
-                num_threads=self.cfg.smt_copies,
-                num_faults=cfg.num_faults, seed=cfg.seed,
-                warmup_commits=cfg.warmup_commits,
-                window_commits=cfg.window_commits,
-                max_window_cycles=cfg.max_window_cycles)
-            characterization = campaign.characterize()
+            campaign = self.build_campaign(benchmark)
+            started = time.perf_counter()
+            characterization = self._cache_get("characterize",
+                                               benchmark=benchmark)
+            from_cache = characterization is not None
+            if not from_cache:
+                if self.jobs > 1 and len(campaign.records) > 1:
+                    windows = _parallel.classify_windows_parallel(
+                        self.cfg, self.hw, benchmark, None,
+                        campaign.records, self._executor)
+                    characterization = CampaignResult(
+                        benchmark, "baseline",
+                        [w.record for w in windows])
+                    characterization.characterization = windows
+                else:
+                    characterization = campaign.characterize()
+                self._cache_put("characterize", characterization,
+                                benchmark=benchmark)
+            # keep record identity consistent with the result we serve
+            campaign.records = characterization.records
+            elapsed = time.perf_counter() - started
+            windows = len(characterization.characterization)
+            characterization.throughput = ThroughputRecord(
+                phase="characterize", windows=windows,
+                wall_seconds=elapsed, jobs=self.jobs,
+                from_cache=from_cache)
+            self.metrics.note_phase("characterize", elapsed,
+                                    windows=0 if from_cache else windows)
             self._campaigns[benchmark] = (campaign, characterization)
         return self._campaigns[benchmark]
 
@@ -226,10 +327,182 @@ class ExperimentContext:
         key = (benchmark, scheme)
         if key not in self._coverage:
             campaign, characterization = self.campaign(benchmark)
-            self._coverage[key] = campaign.run_coverage(
-                scheme, lambda: self.make_core(benchmark, scheme),
-                characterization)
+            started = time.perf_counter()
+            result = self._cache_get("coverage", benchmark=benchmark,
+                                     scheme=scheme)
+            from_cache = result is not None
+            if from_cache:
+                # re-link to this context's characterisation windows
+                result.characterization = characterization.characterization
+            else:
+                sdc_records = Campaign.sdc_records(characterization)
+                if self.jobs > 1 and len(sdc_records) > 1:
+                    windows = _parallel.classify_windows_parallel(
+                        self.cfg, self.hw, benchmark, scheme,
+                        sdc_records, self._executor)
+                    result = campaign.collect_coverage(
+                        scheme, characterization, windows)
+                else:
+                    result = campaign.run_coverage(
+                        scheme, lambda: self.make_core(benchmark, scheme),
+                        characterization)
+                self._cache_put("coverage", result, benchmark=benchmark,
+                                scheme=scheme)
+            elapsed = time.perf_counter() - started
+            windows = len(result.coverage_results)
+            result.throughput = ThroughputRecord(
+                phase="coverage", windows=windows, wall_seconds=elapsed,
+                jobs=self.jobs, from_cache=from_cache)
+            self.metrics.note_phase("coverage", elapsed,
+                                    windows=0 if from_cache else windows)
+            self._coverage[key] = result
         return self._coverage[key]
+
+    # -- batch fan-out ----------------------------------------------------
+    def prefetch(self, fault_free: Sequence[str] = (),
+                 coverage: Sequence[str] = (),
+                 campaigns: bool = False, srt: bool = False,
+                 benchmarks: Optional[Sequence[str]] = None) -> None:
+        """Fan missing artefacts out across the worker pool.
+
+        Figures call this up front with everything they are about to
+        read, so independent (benchmark, scheme) runs and campaigns
+        compute concurrently; the figure logic then proceeds through the
+        warm in-memory caches unchanged. With ``jobs=1`` this is a no-op
+        — the pull path computes identical artefacts on demand.
+        """
+        if self.jobs <= 1:
+            return
+        benchmarks = tuple(benchmarks or self.cfg.benchmarks)
+        cfg, hw = self.cfg, self.hw
+
+        def fan_out(phase: str, task_fn, jobs_args: List[Tuple],
+                    store: Callable[[Tuple, Any], None]) -> None:
+            if not jobs_args:
+                return
+            started = time.perf_counter()
+            results = self._executor.map(task_fn, jobs_args)
+            self.metrics.note_phase(f"prefetch:{phase}",
+                                    time.perf_counter() - started)
+            for args, result in zip(jobs_args, results):
+                store(args, result)
+
+        # fault-free timing/energy runs
+        todo = []
+        for scheme in fault_free:
+            for benchmark in benchmarks:
+                if (benchmark, scheme) in self._fault_free:
+                    continue
+                run = self._cache_get("fault_free", benchmark=benchmark,
+                                      scheme=scheme)
+                if run is not None:
+                    self._fault_free[(benchmark, scheme)] = run
+                else:
+                    todo.append((cfg, hw, benchmark, scheme))
+
+        def store_fault_free(args: Tuple, run: FaultFreeRun) -> None:
+            _, _, benchmark, scheme = args
+            self._fault_free[(benchmark, scheme)] = run
+            self._cache_put("fault_free", run, benchmark=benchmark,
+                            scheme=scheme)
+
+        fan_out("fault_free", _parallel.fault_free_task, todo,
+                store_fault_free)
+
+        # characterisation campaigns
+        need_campaigns = (campaigns or bool(coverage)
+                          or (srt and self.cfg.srt_coverage_mode
+                              == "measured"))
+        if need_campaigns:
+            todo = []
+            for benchmark in benchmarks:
+                if benchmark in self._campaigns:
+                    continue
+                cached = self._cache_get("characterize",
+                                         benchmark=benchmark)
+                if cached is not None:
+                    self._adopt_characterization(benchmark, cached,
+                                                 from_cache=True)
+                else:
+                    todo.append((cfg, hw, benchmark))
+
+            def store_campaign(args: Tuple,
+                               characterization: CampaignResult) -> None:
+                _, _, benchmark = args
+                self._cache_put("characterize", characterization,
+                                benchmark=benchmark)
+                self._adopt_characterization(benchmark, characterization,
+                                             from_cache=False)
+
+            fan_out("characterize", _parallel.characterize_task, todo,
+                    store_campaign)
+
+        # coverage phases (needs characterisations, computed above)
+        todo = []
+        for scheme in coverage:
+            for benchmark in benchmarks:
+                if (benchmark, scheme) in self._coverage:
+                    continue
+                cached = self._cache_get("coverage", benchmark=benchmark,
+                                         scheme=scheme)
+                if cached is not None:
+                    self._adopt_coverage(benchmark, scheme, cached,
+                                         from_cache=True)
+                else:
+                    _, characterization = self.campaign(benchmark)
+                    todo.append((cfg, hw, benchmark, scheme,
+                                 characterization))
+
+        def store_coverage(args: Tuple, result: CampaignResult) -> None:
+            _, _, benchmark, scheme, _ = args
+            self._cache_put("coverage", result, benchmark=benchmark,
+                            scheme=scheme)
+            self._adopt_coverage(benchmark, scheme, result,
+                                 from_cache=False)
+
+        fan_out("coverage", _parallel.coverage_task, todo, store_coverage)
+
+        # SRT-iso runs (coverage values need campaigns in measured mode)
+        if srt:
+            todo = []
+            for benchmark in benchmarks:
+                value = self.srt_coverage(benchmark)
+                if self._srt_key(benchmark, value) in self._srt:
+                    continue
+                run = self._cache_get("srt", benchmark=benchmark,
+                                      coverage=value)
+                if run is not None:
+                    self._srt[self._srt_key(benchmark, value)] = run
+                else:
+                    todo.append((cfg, hw, benchmark, value))
+
+            def store_srt(args: Tuple, run: FaultFreeRun) -> None:
+                _, _, benchmark, value = args
+                self._srt[self._srt_key(benchmark, value)] = run
+                self._cache_put("srt", run, benchmark=benchmark,
+                                coverage=value)
+
+            fan_out("srt", _parallel.srt_task, todo, store_srt)
+
+    def _adopt_characterization(self, benchmark: str,
+                                characterization: CampaignResult,
+                                from_cache: bool) -> None:
+        campaign = self.build_campaign(benchmark)
+        campaign.records = characterization.records
+        characterization.throughput = ThroughputRecord(
+            phase="characterize",
+            windows=len(characterization.characterization),
+            jobs=self.jobs, from_cache=from_cache)
+        self._campaigns[benchmark] = (campaign, characterization)
+
+    def _adopt_coverage(self, benchmark: str, scheme: str,
+                        result: CampaignResult, from_cache: bool) -> None:
+        _, characterization = self.campaign(benchmark)
+        result.characterization = characterization.characterization
+        result.throughput = ThroughputRecord(
+            phase="coverage", windows=len(result.coverage_results),
+            jobs=self.jobs, from_cache=from_cache)
+        self._coverage[(benchmark, scheme)] = result
 
 
 __all__ = ["ExperimentConfig", "ExperimentContext", "FaultFreeRun",

@@ -91,6 +91,7 @@ def fig6(ctx: ExperimentContext, max_instructions: int = 30_000) -> Dict:
 # ----------------------------------------------------------------------
 def fig7(ctx: ExperimentContext) -> Dict:
     """Masked / noisy / SDC fractions per benchmark (plus overall mean)."""
+    ctx.prefetch(campaigns=True)
     rows = {}
     for name in _ordered(ctx.cfg.benchmarks):
         _, characterization = ctx.campaign(name)
@@ -116,6 +117,7 @@ FIG8_SCHEMES = ("pbfs", "pbfs-biased", "fh-backend", "faulthound")
 def fig8(ctx: ExperimentContext,
          schemes: Sequence[str] = FIG8_SCHEMES) -> Dict:
     """(a) SDC coverage and (b) false-positive rate per scheme."""
+    ctx.prefetch(fault_free=schemes, coverage=schemes)
     coverage_rows: Dict[str, Dict[str, float]] = {}
     fp_rows: Dict[str, Dict[str, float]] = {}
     for name in _ordered(ctx.cfg.benchmarks):
@@ -163,6 +165,7 @@ def fig9(ctx: ExperimentContext,
          include_srt: bool = True) -> Dict:
     """Performance degradation over the no-fault-tolerance baseline
     (log-Y in the paper); SRT-iso is thinned to FaultHound's coverage."""
+    ctx.prefetch(fault_free=("baseline",) + tuple(schemes), srt=include_srt)
     rows: Dict[str, Dict[str, float]] = {}
     for name in _ordered(ctx.cfg.benchmarks):
         base = ctx.fault_free(name, "baseline")
@@ -193,6 +196,7 @@ def fig10(ctx: ExperimentContext,
           schemes: Sequence[str] = FIG10_SCHEMES,
           include_srt: bool = True) -> Dict:
     """Energy overhead over the no-fault-tolerance baseline."""
+    ctx.prefetch(fault_free=("baseline",) + tuple(schemes), srt=include_srt)
     rows: Dict[str, Dict[str, float]] = {}
     for name in _ordered(ctx.cfg.benchmarks):
         base = ctx.fault_free(name, "baseline").energy
@@ -216,6 +220,7 @@ def fig10(ctx: ExperimentContext,
 # ----------------------------------------------------------------------
 def fig11(ctx: ExperimentContext, scheme: str = "faulthound") -> Dict:
     """Where FaultHound's SDC coverage goes (six outcome bins)."""
+    ctx.prefetch(coverage=(scheme,))
     rows = {}
     for name in _ordered(ctx.cfg.benchmarks):
         rows[name] = ctx.coverage(name, scheme).breakdown()
@@ -234,6 +239,10 @@ def fig11(ctx: ExperimentContext, scheme: str = "faulthound") -> Dict:
 def fig12(ctx: ExperimentContext) -> Dict:
     """Three ablations: clustering/second-level on FP rate, replay vs full
     rollback on performance, LSQ check on coverage."""
+    ctx.prefetch(
+        fault_free=("baseline", "fh-backend", "fh-be-no2level",
+                    "fh-be-nocluster-no2level", "fh-be-full-rollback"),
+        coverage=("fh-be-nolsq", "fh-backend"))
     benchmarks = _ordered(ctx.cfg.benchmarks)
 
     def mean_fp(scheme):

@@ -1,0 +1,229 @@
+"""Process-parallel execution layer for campaigns and figure artefacts.
+
+Two fan-out granularities, both bit-for-bit identical to serial
+execution because every worker re-derives its state from the explicit
+seeds in :class:`~repro.harness.experiment.ExperimentConfig` (design
+decision #10 in DESIGN.md — nothing is shared between workers except the
+immutable configuration):
+
+- **artefact level** — whole fault-free timing runs, SRT-iso runs,
+  characterisation campaigns and (benchmark, scheme) coverage phases
+  are independent given the configuration; :meth:`ExperimentContext.
+  prefetch` fans them out across a worker pool;
+- **window level** — inside one campaign, the planned fault list is
+  split into contiguous chunks; each worker fast-forwards a fresh golden
+  core through the preceding windows (golden-only replay, no tandem
+  copies) and classifies only its chunk. The serial golden core never
+  rewinds, so the replayed prefix reaches exactly the state the serial
+  classifier would carry into the chunk.
+
+Workers are plain processes (``concurrent.futures.ProcessPoolExecutor``,
+fork start method where available); each keeps a private serial
+``ExperimentContext`` memoised per (config, hardware) pair so repeated
+tasks for the same configuration share generated programs. If a pool
+cannot be created (restricted sandboxes), execution silently degrades to
+the serial path — same results, no parallelism.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from ..config import HardwareConfig
+from ..faults import CampaignResult
+from ..faults.classifier import WindowResult
+from ..faults.model import FaultRecord
+
+# ----------------------------------------------------------------------
+# instrumentation
+# ----------------------------------------------------------------------
+@dataclass
+class ContextMetrics:
+    """Per-context execution instrumentation (cache traffic, per-phase
+    wall-clock, window throughput) — the evidence behind any claimed
+    speedup."""
+
+    cache_hits: int = 0
+    cache_misses: int = 0
+    windows: int = 0
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def note_phase(self, phase: str, seconds: float,
+                   windows: int = 0) -> None:
+        self.phase_seconds[phase] = (self.phase_seconds.get(phase, 0.0)
+                                     + seconds)
+        self.windows += windows
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.phase_seconds.values())
+
+    def summary(self) -> str:
+        phases = " ".join(f"{name}={seconds:.2f}s" for name, seconds
+                          in sorted(self.phase_seconds.items()))
+        rate = (self.windows / self.total_seconds
+                if self.total_seconds > 0 else 0.0)
+        return (f"cache {self.cache_hits} hits / {self.cache_misses} misses"
+                f" | {self.windows} windows ({rate:.1f}/s)"
+                f" | {phases or 'no phases timed'}")
+
+
+# ----------------------------------------------------------------------
+# pool plumbing
+# ----------------------------------------------------------------------
+def default_jobs() -> int:
+    return os.cpu_count() or 1
+
+
+def chunk_bounds(count: int, chunks: int) -> List[Tuple[int, int]]:
+    """Split ``range(count)`` into at most *chunks* contiguous,
+    near-equal ``(lo, hi)`` slices covering every index exactly once."""
+    if count <= 0:
+        return []
+    chunks = max(1, min(chunks, count))
+    base, extra = divmod(count, chunks)
+    bounds = []
+    lo = 0
+    for i in range(chunks):
+        hi = lo + base + (1 if i < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def _mp_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:      # platforms without fork
+        return multiprocessing.get_context("spawn")
+
+
+class ParallelExecutor:
+    """A thin, deterministic fan-out wrapper over a process pool.
+
+    ``map`` preserves task order, so merged results are positionally
+    identical to the serial loop. With ``jobs == 1`` (or one task, or a
+    pool that fails to start) it degrades to in-process execution.
+    """
+
+    def __init__(self, jobs: int | None = None):
+        self.jobs = max(1, jobs if jobs is not None else default_jobs())
+        self._pool_broken = False
+
+    def map(self, fn: Callable[[Any], Any],
+            tasks: Sequence[Any]) -> List[Any]:
+        tasks = list(tasks)
+        if self.jobs == 1 or len(tasks) <= 1 or self._pool_broken:
+            return [fn(task) for task in tasks]
+        workers = min(self.jobs, len(tasks))
+        try:
+            with ProcessPoolExecutor(max_workers=workers,
+                                     mp_context=_mp_context()) as pool:
+                return list(pool.map(fn, tasks, chunksize=1))
+        except (OSError, PermissionError) as exc:
+            # Restricted environment (no fork/semaphores): fall back to
+            # the serial path, once, loudly.
+            print(f"repro: process pool unavailable ({exc}); "
+                  f"running serially", file=sys.stderr)
+            self._pool_broken = True
+            return [fn(task) for task in tasks]
+
+
+# ----------------------------------------------------------------------
+# worker-side context (one per process, memoised per configuration)
+# ----------------------------------------------------------------------
+_WORKER_CONTEXTS: Dict[Tuple[Any, HardwareConfig], Any] = {}
+
+
+def _worker_context(cfg, hw: HardwareConfig):
+    """A serial, cache-less ExperimentContext private to this worker.
+
+    Memoised per (config, hardware) so consecutive tasks for the same
+    campaign share generated programs; bounded so a long-lived pool
+    cannot accumulate contexts.
+    """
+    from .experiment import ExperimentContext    # local: avoid cycle
+    key = (cfg, hw)
+    ctx = _WORKER_CONTEXTS.get(key)
+    if ctx is None:
+        if len(_WORKER_CONTEXTS) >= 4:
+            _WORKER_CONTEXTS.clear()
+        ctx = ExperimentContext(cfg, hw, jobs=1, cache=None)
+        _WORKER_CONTEXTS[key] = ctx
+    return ctx
+
+
+# ----------------------------------------------------------------------
+# artefact-level tasks (whole runs / campaigns per worker)
+# ----------------------------------------------------------------------
+def fault_free_task(args) -> Any:
+    cfg, hw, benchmark, scheme = args
+    return _worker_context(cfg, hw).fault_free(benchmark, scheme)
+
+
+def srt_task(args) -> Any:
+    cfg, hw, benchmark, coverage = args
+    return _worker_context(cfg, hw).srt_run(benchmark, coverage)
+
+
+def characterize_task(args) -> CampaignResult:
+    cfg, hw, benchmark = args
+    _, characterization = _worker_context(cfg, hw).campaign(benchmark)
+    return characterization
+
+
+def coverage_task(args) -> CampaignResult:
+    cfg, hw, benchmark, scheme, characterization = args
+    ctx = _worker_context(cfg, hw)
+    campaign = ctx.build_campaign(benchmark)
+    return campaign.run_coverage(
+        scheme, lambda: ctx.make_core(benchmark, scheme), characterization)
+
+
+# ----------------------------------------------------------------------
+# window-level tasks (chunks of one campaign per worker)
+# ----------------------------------------------------------------------
+def window_chunk_task(args) -> List[WindowResult]:
+    """Classify ``records[lo:hi]`` after a golden-only fast-forward
+    through ``records[:lo]`` (scheme None = baseline characterisation)."""
+    cfg, hw, benchmark, scheme, records, lo, hi = args
+    ctx = _worker_context(cfg, hw)
+    campaign = ctx.build_campaign(benchmark)
+    if scheme is None:
+        factory = campaign.baseline_factory
+    else:
+        factory = lambda: ctx.make_core(benchmark, scheme)
+    classifier = campaign.classifier(factory)
+    return classifier.run(records[lo:hi], skip=records[:lo])
+
+
+def classify_windows_parallel(cfg, hw, benchmark: str, scheme,
+                              records: Sequence[FaultRecord],
+                              executor: ParallelExecutor
+                              ) -> List[WindowResult]:
+    """Fan one campaign's fault windows out across the pool; results are
+    positionally identical to ``classifier.run(records)``."""
+    records = list(records)
+    tasks = [(cfg, hw, benchmark, scheme, records, lo, hi)
+             for lo, hi in chunk_bounds(len(records), executor.jobs)]
+    chunks = executor.map(window_chunk_task, tasks)
+    return [window for chunk in chunks for window in chunk]
+
+
+__all__ = [
+    "ContextMetrics",
+    "ParallelExecutor",
+    "chunk_bounds",
+    "classify_windows_parallel",
+    "default_jobs",
+    "fault_free_task",
+    "srt_task",
+    "characterize_task",
+    "coverage_task",
+    "window_chunk_task",
+]

@@ -39,6 +39,9 @@ class Instruction:
             if not 0 <= reg < 32:
                 raise ValueError(f"{name}={reg} outside r0-r31")
 
+    def __deepcopy__(self, memo) -> "Instruction":
+        return self    # frozen: shared by deep copies of in-flight ops
+
     @property
     def op_class(self) -> OpClass:
         return op_class(self.opcode)

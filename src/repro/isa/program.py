@@ -43,6 +43,12 @@ class Program:
     def __iter__(self) -> Iterator[Instruction]:
         return iter(self.instructions)
 
+    def __deepcopy__(self, memo) -> "Program":
+        # Programs are immutable after construction, so the tandem
+        # classifier's per-window core fork shares them instead of
+        # re-copying thousands of instructions per injected fault.
+        return self
+
     def fetch(self, pc: int) -> Optional[Instruction]:
         """Instruction at *pc*, or ``None`` when *pc* runs off the end."""
         if 0 <= pc < len(self.instructions):

@@ -51,6 +51,8 @@ _SEVERITY = {
     CheckAction.SINGLETON: 3,
     CheckAction.SQUASH: 4,
 }
+#: Hoisted bound method: the screening path runs once per memory op.
+_SEVERITY_OF = _SEVERITY.__getitem__
 
 
 class PipelineCore:
@@ -404,7 +406,12 @@ class PipelineCore:
                 self._executing.remove(op)
 
     def _sources_ready(self, op: MicroOp) -> bool:
-        return all(self.prf.is_ready(p) for p in op.phys_srcs)
+        # hot path: direct ready-bit indexing, no generator / method calls
+        ready = self.prf.ready
+        for phys in op.phys_srcs:
+            if not ready[phys]:
+                return False
+        return True
 
     def _bounce(self, op: MicroOp) -> None:
         """Return an op whose operands became unready (producer replay) to
@@ -520,15 +527,13 @@ class PipelineCore:
         check = unit.check_at_commit if at_commit else unit.check_at_complete
         try:
             if op.is_load:
-                results = [check(CheckKind.LOAD_ADDR, op.eff_addr, op.pc)]
-            else:
-                results = [
-                    check(CheckKind.STORE_ADDR, op.eff_addr, op.pc),
-                    check(CheckKind.STORE_VALUE, op.store_value, op.pc),
-                ]
+                # single check: no max() needed
+                return check(CheckKind.LOAD_ADDR, op.eff_addr, op.pc).action
+            addr = check(CheckKind.STORE_ADDR, op.eff_addr, op.pc).action
+            value = check(CheckKind.STORE_VALUE, op.store_value, op.pc).action
         finally:
             unit.replaying = saved
-        return max((r.action for r in results), key=_SEVERITY.__getitem__)
+        return addr if _SEVERITY_OF(addr) >= _SEVERITY_OF(value) else value
 
     def _screen_completion(self, thread: ThreadContext, op: MicroOp,
                            force_suppress: bool = False) -> None:
@@ -681,6 +686,8 @@ class PipelineCore:
     # dispatch stage
     # ------------------------------------------------------------------
     def _dispatch_stage(self) -> None:
+        if not any(self._fetch_buffers):
+            return    # nothing to dispatch: skip the occupancy sums too
         budget = self.hw.decode_width
         # snapshot aggregate occupancies once per cycle; dispatches below
         # update the running totals
@@ -804,9 +811,14 @@ class PipelineCore:
         return best
 
     def _thread_order(self) -> List[ThreadContext]:
-        n = len(self.threads)
+        threads = self.threads
+        n = len(threads)
+        if n == 1:
+            return threads
         start = self.cycle % n
-        return [self.threads[(start + i) % n] for i in range(n)]
+        if start == 0:
+            return threads
+        return threads[start:] + threads[:start]
 
 
 __all__ = ["PipelineCore", "FRONTEND_DEPTH"]

@@ -16,7 +16,9 @@ Execution is controlled by two more environment variables:
 - ``REPRO_JOBS``     — worker processes for campaign/figure fan-out
   (default: all CPUs; 1 = the reference serial path);
 - ``REPRO_NO_CACHE`` — when set (non-empty), skip the persistent artifact
-  cache under ``benchmarks/.cache/`` and recompute everything.
+  cache under ``benchmarks/.cache/`` and recompute everything;
+- ``REPRO_EVENTS``   — when set, stream the structured JSONL event log
+  (``repro.obs``) of the whole benchmark session to this path.
 """
 
 from __future__ import annotations
@@ -27,6 +29,8 @@ import pathlib
 import pytest
 
 from repro.harness import ArtifactCache, ExperimentConfig, ExperimentContext
+from repro.obs import (EventLog, NULL_LOG, build_manifest,
+                       manifest_path_for, write_manifest)
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -64,18 +68,38 @@ def _cache():
     return ArtifactCache(RESULTS_DIR.parent / ".cache")
 
 
+def _events():
+    path = os.environ.get("REPRO_EVENTS", "").strip()
+    return EventLog(path) if path else NULL_LOG
+
+
 @pytest.fixture(scope="session")
 def ctx() -> ExperimentContext:
-    context = ExperimentContext(_scale(), jobs=_jobs(), cache=_cache())
+    events = _events()
+    context = ExperimentContext(_scale(), jobs=_jobs(), cache=_cache(),
+                                events=events)
     yield context
+    if events.enabled:
+        events.close()
+        write_manifest(
+            manifest_path_for(events.path),
+            build_manifest("run", context.cfg, context.hw,
+                           jobs=context.jobs,
+                           phase_seconds=context.metrics.phase_seconds,
+                           metrics={
+                               "cache_hits": context.metrics.cache_hits,
+                               "cache_misses": context.metrics.cache_misses,
+                               "windows": context.metrics.windows,
+                           }))
     print(f"\n[repro] {context.metrics.summary()}")
 
 
 @pytest.fixture(scope="session")
-def record_figure():
+def record_figure(ctx):
     """Persist a figure's rendered text (and, when given, its structured
     payload as JSON) under benchmarks/results/, echoing the text so
-    ``pytest -s`` shows the series inline."""
+    ``pytest -s`` shows the series inline. A provenance manifest lands
+    next to each figure."""
     from repro.harness.store import ResultStore
 
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -87,6 +111,10 @@ def record_figure():
             slim = {k: v for k, v in payload.items()
                     if k not in ("text", "fractions")}
             store.save(name, slim, config=_scale())
+        write_manifest(
+            manifest_path_for(RESULTS_DIR / f"{name}.txt"),
+            build_manifest("figure", ctx.cfg, ctx.hw,
+                           parts={"name": name}, jobs=ctx.jobs))
         print(f"\n{text}\n")
 
     return _record

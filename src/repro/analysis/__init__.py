@@ -1,5 +1,13 @@
-"""Analysis utilities: locality characterisation, metrics, reporting."""
+"""Analysis utilities: locality characterisation, metrics, reporting.
 
+The audit-trail aggregations (recovery mix, detection-latency histogram)
+live in :mod:`repro.obs.audit` but are analysis views, so they are
+re-exported here.
+"""
+
+from ..obs.audit import (aggregates_from_events, audit_aggregates,
+                         audit_records, detection_latency_histogram,
+                         recovery_mix)
 from .locality import bit_change_fractions, collect_mem_streams
 from .metrics import fp_rate, perf_overhead, arithmetic_mean, geo_mean
 from .tables import format_table, format_series
@@ -13,4 +21,9 @@ __all__ = [
     "geo_mean",
     "format_table",
     "format_series",
+    "aggregates_from_events",
+    "audit_aggregates",
+    "audit_records",
+    "detection_latency_histogram",
+    "recovery_mix",
 ]

@@ -244,6 +244,17 @@ its state from the explicit seeds. Finished artefacts persist in
 code-version salt over the package source, so reruns are incremental and
 any simulator change invalidates the cache automatically (`REPRO_NO_CACHE=1`
 or `--no-cache` forces recomputation).
+
+**Observability.** Any campaign/figure command accepts `--emit-events
+PATH` (`REPRO_EVENTS=PATH` for the benchmark suite) to stream a typed
+JSONL event log — nested spans around every phase and figure step, cache
+hits/misses, worker lifecycle, and one `fault_audit` record per injected
+fault (site, filter trigger, recovery action, detection latency,
+outcome). `repro report --events PATH` validates the log against the
+schema, verifies the run manifest's config digest, and prints a summary;
+`--profile` adds a cProfile dump. Provenance manifests
+(`*.manifest.json`) sit next to every cached artefact and recorded
+figure. See `docs/observability.md`.
 """
 
 

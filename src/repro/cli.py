@@ -12,13 +12,21 @@ Subcommands
     Fault-injection campaign: characterisation plus scheme coverage.
 ``repro figure {table1,table2,fig6..fig12} [--scale SCALE]``
     Regenerate one paper table/figure.
+
+Observability: ``--emit-events PATH`` streams a structured JSONL event
+log (spans, cache traffic, fault audit trail) from any campaign/figure
+command; ``--profile`` wraps the command in cProfile; ``repro report
+--events PATH`` validates and summarises a recorded log.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
-from typing import List, Optional
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
 
 from .analysis.metrics import fp_rate
 from .config import HardwareConfig
@@ -29,6 +37,10 @@ from .harness import (ArtifactCache, ExperimentConfig, ExperimentContext,
                       SCHEMES, figures)
 from .harness.experiment import scheme_unit
 from .isa import assemble
+from .obs import (EventLog, NULL_LOG, build_manifest, format_stage_seconds,
+                  load_manifest, manifest_path_for, profiled, read_events,
+                  summarize_events, validate_events, verify_manifest,
+                  write_manifest)
 from .pipeline import PipelineCore
 from .workloads import PROFILES, build_smt_programs
 
@@ -59,11 +71,44 @@ def _add_exec_flags(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--no-cache", action="store_true",
                      help="recompute everything instead of using the "
                           "persistent artifact cache")
+    sub.add_argument("--emit-events", metavar="PATH", default=None,
+                     help="write a structured JSONL event log (spans, "
+                          "cache traffic, fault audit trail) to PATH")
+    sub.add_argument("--profile", action="store_true",
+                     help="cProfile the command and print the hottest "
+                          "entries to stderr")
 
 
-def _make_context(cfg: ExperimentConfig, args) -> ExperimentContext:
+def _make_context(cfg: ExperimentConfig, args,
+                  events=None) -> ExperimentContext:
     cache = None if args.no_cache else ArtifactCache.default()
-    return ExperimentContext(cfg, jobs=args.jobs, cache=cache)
+    return ExperimentContext(cfg, jobs=args.jobs, cache=cache,
+                             events=events)
+
+
+@contextmanager
+def _session(cfg: ExperimentConfig, args) -> Iterator[ExperimentContext]:
+    """An ExperimentContext wired to the requested observability: event
+    log opened/closed around the command, optional cProfile, and a
+    run-level manifest written next to the event log on exit."""
+    events = (EventLog(args.emit_events)
+              if getattr(args, "emit_events", None) else NULL_LOG)
+    ctx = _make_context(cfg, args, events=events)
+    try:
+        with profiled(getattr(args, "profile", False)):
+            yield ctx
+    finally:
+        if events.enabled:
+            events.close()
+            manifest = build_manifest(
+                "run", ctx.cfg, ctx.hw, jobs=ctx.jobs,
+                phase_seconds=ctx.metrics.phase_seconds,
+                metrics={"cache_hits": ctx.metrics.cache_hits,
+                         "cache_misses": ctx.metrics.cache_misses,
+                         "windows": ctx.metrics.windows,
+                         "events": str(events.path)})
+            write_manifest(manifest_path_for(events.path), manifest)
+            print(f"events: {events.path}", file=sys.stderr)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -85,6 +130,9 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=sorted(SCHEMES))
     bench.add_argument("--instructions", type=int, default=8_000,
                        help="dynamic target per SMT thread")
+    bench.add_argument("--profile", action="store_true",
+                       help="cProfile the run and report per-pipeline-"
+                            "stage wall-clock")
 
     campaign = sub.add_parser("campaign", help="fault-injection campaign")
     campaign.add_argument("name", choices=sorted(PROFILES))
@@ -100,9 +148,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_exec_flags(figure)
 
     report = sub.add_parser(
-        "report", help="rebuild EXPERIMENTS.md from benchmarks/results/")
+        "report", help="rebuild EXPERIMENTS.md from benchmarks/results/, "
+                       "or validate a recorded event log")
     report.add_argument("--results", default="benchmarks/results")
     report.add_argument("--output", default="EXPERIMENTS.md")
+    report.add_argument("--events", metavar="PATH", default=None,
+                        help="validate and summarise a JSONL event log "
+                             "instead of rebuilding EXPERIMENTS.md")
+    report.add_argument("--manifest", metavar="PATH", default=None,
+                        help="with --events: the run manifest to verify "
+                             "(default: PATH's conventional sibling)")
 
     validate = sub.add_parser(
         "validate", help="measure a workload profile's achieved character")
@@ -144,10 +199,14 @@ def _cmd_run(args) -> int:
 def _cmd_bench(args) -> int:
     hw = HardwareConfig()
     programs = build_smt_programs(PROFILES[args.name], args.instructions)
-    baseline = PipelineCore(programs, hw=hw)
-    baseline.run(max_cycles=20_000_000)
-    core = PipelineCore(programs, hw=hw, screening=scheme_unit(args.scheme))
-    core.run(max_cycles=20_000_000)
+    with profiled(args.profile):
+        baseline = PipelineCore(programs, hw=hw)
+        baseline.run(max_cycles=20_000_000)
+        core = PipelineCore(programs, hw=hw,
+                            screening=scheme_unit(args.scheme))
+        if args.profile:
+            core.enable_stage_profiling()
+        core.run(max_cycles=20_000_000)
     model = EnergyModel()
     base_energy = model.compute(baseline)
     energy = model.compute(core)
@@ -164,6 +223,9 @@ def _cmd_bench(args) -> int:
           f"{100 * energy.overhead_vs(base_energy):.1f}%")
     print(f"replays/rollbacks    {core.stats.replay_events}/"
           f"{core.stats.rollback_events}")
+    if args.profile:
+        print(f"stage wall-clock     "
+              f"{format_stage_seconds(core.stage_seconds)}")
     return 0
 
 
@@ -175,36 +237,64 @@ def _cmd_campaign(args) -> int:
         num_faults=args.faults, seed=args.seed,
         warmup_commits=400, window_commits=window,
         max_window_cycles=60_000)
-    ctx = _make_context(cfg, args)
-    _, characterization = ctx.campaign(args.name)
-    print(f"{characterization.applied_count()} faults applied:")
-    for fault_class in FaultClass:
-        print(f"  {fault_class.value:8s} "
-              f"{100 * characterization.class_fraction(fault_class):5.1f}%")
-    coverage = ctx.coverage(args.name, args.scheme)
-    print(f"\n{args.scheme} vs {coverage.sdc_count} SDC faults: "
-          f"coverage {100 * coverage.coverage:.1f}%")
-    for bin_name, fraction in coverage.breakdown().items():
-        print(f"  {bin_name:24s} {100 * fraction:5.1f}%")
-    print(ctx.metrics.summary(), file=sys.stderr)
+    with _session(cfg, args) as ctx:
+        _, characterization = ctx.campaign(args.name)
+        print(f"{characterization.applied_count()} faults applied:")
+        for fault_class in FaultClass:
+            print(f"  {fault_class.value:8s} "
+                  f"{100 * characterization.class_fraction(fault_class):5.1f}%")
+        coverage = ctx.coverage(args.name, args.scheme)
+        print(f"\n{args.scheme} vs {coverage.sdc_count} SDC faults: "
+              f"coverage {100 * coverage.coverage:.1f}%")
+        for bin_name, fraction in coverage.breakdown().items():
+            print(f"  {bin_name:24s} {100 * fraction:5.1f}%")
+        print(ctx.metrics.summary(), file=sys.stderr)
     return 0
 
 
 def _cmd_figure(args) -> int:
-    ctx = _make_context(_SCALES[args.scale], args)
-    result = _FIGURES[args.which](ctx)
-    print(result["text"])
-    print(ctx.metrics.summary(), file=sys.stderr)
+    with _session(_SCALES[args.scale], args) as ctx:
+        result = _FIGURES[args.which](ctx)
+        print(result["text"])
+        print(ctx.metrics.summary(), file=sys.stderr)
     return 0
 
 
 def _cmd_report(args) -> int:
+    if args.events:
+        return _report_events(args)
     from .analysis.report import build_experiments_md
     text = build_experiments_md(args.results)
     with open(args.output, "w") as handle:
         handle.write(text)
     print(f"wrote {args.output} from {args.results}/")
     return 0
+
+
+def _report_events(args) -> int:
+    """Validate an event log (and its run manifest); nonzero on any
+    schema or provenance error — the CI smoke job's check."""
+    try:
+        events = read_events(args.events)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    errors = validate_events(events)
+    manifest_path = args.manifest or manifest_path_for(args.events)
+    if args.manifest or pathlib.Path(manifest_path).exists():
+        try:
+            manifest = load_manifest(manifest_path)
+        except (OSError, ValueError, TypeError) as exc:
+            errors.append(f"manifest {manifest_path}: unreadable ({exc})")
+        else:
+            errors.extend(f"manifest {manifest_path}: {e}"
+                          for e in verify_manifest(manifest))
+    summary = summarize_events(events)
+    summary["schema_errors"] = len(errors)
+    print(json.dumps(summary, indent=2))
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    return 1 if errors else 0
 
 
 def _cmd_validate(args) -> int:

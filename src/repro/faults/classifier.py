@@ -41,6 +41,12 @@ class WindowResult:
     declared: int = 0
     suppressions: int = 0
     triggers: int = 0
+    #: Audit-trail coordinates: the faulty core's cycle when the fault
+    #: landed, the cycle of the first screening filter trigger at or
+    #: after injection, and their difference (-1 = no trigger observed).
+    inject_cycle: int = -1
+    first_trigger_cycle: int = -1
+    detection_latency: int = -1
 
 
 @dataclass
@@ -164,6 +170,8 @@ class TandemClassifier:
             result.applied = False
             return result
         before = _EventBaseline.of(faulty)
+        result.inject_cycle = faulty.cycle
+        triggers_before = len(faulty.screen_trigger_cycles)
 
         # Arm both cores to capture each thread's state one run-window of
         # commits past the injection point.
@@ -199,6 +207,17 @@ class TandemClassifier:
         result.suppressions = max(
             0, delta.suppressions - golden_before_delta.suppressions)
         result.triggers = max(0, delta.triggers - golden_before_delta.triggers)
+
+        # Detection latency: injection to the faulty core's first filter
+        # trigger afterwards. The series may include the same background
+        # false positives the golden run shows, but the first trigger in
+        # a window that *did* react to the fault is overwhelmingly the
+        # fault's own (the FP rate is a few per thousand commits).
+        new_triggers = faulty.screen_trigger_cycles[triggers_before:]
+        if new_triggers:
+            result.first_trigger_cycle = new_triggers[0]
+            result.detection_latency = max(
+                0, new_triggers[0] - result.inject_cycle)
 
         if result.extra_exceptions or (faulty.all_halted
                                        and not golden.all_halted):

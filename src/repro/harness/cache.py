@@ -117,6 +117,11 @@ class ArtifactCache:
     def _path(self, kind: str, key: str) -> pathlib.Path:
         return self.root / kind / f"{key}.pkl"
 
+    def artifact_path(self, kind: str, key: str) -> pathlib.Path:
+        """Where the artefact for (kind, key) lives (or would live) —
+        the anchor next to which run manifests are written."""
+        return self._path(kind, key)
+
     # -- access --------------------------------------------------------
     def get(self, kind: str, key: str) -> Optional[Any]:
         """The cached artefact, or ``None`` on a miss (counted)."""

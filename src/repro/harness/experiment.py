@@ -23,6 +23,9 @@ from ..energy import EnergyBreakdown, EnergyModel
 from ..faults import Campaign, CampaignResult
 from ..faults.campaign import ThroughputRecord
 from ..analysis.metrics import fp_rate
+from ..obs.audit import audit_records
+from ..obs.events import NULL_LOG
+from ..obs.manifest import build_manifest, manifest_path_for, write_manifest
 from ..pipeline import PipelineCore
 from ..redundancy import dynamic_length, srt_iso_core
 from ..workloads import PROFILES, build_smt_programs
@@ -131,14 +134,18 @@ class ExperimentContext:
     def __init__(self, cfg: ExperimentConfig | None = None,
                  hw: HardwareConfig | None = None,
                  jobs: Optional[int] = None,
-                 cache: Optional[ArtifactCache] = None):
+                 cache: Optional[ArtifactCache] = None,
+                 events=None):
         self.cfg = cfg or ExperimentConfig()
         self.hw = hw or HardwareConfig()
         self.jobs = max(1, jobs if jobs is not None
                         else _parallel.default_jobs())
         self.cache = cache
+        #: Structured event log (``repro.obs``); defaults to the no-op
+        #: sink, so phases span/emit unconditionally at zero cost.
+        self.events = events if events is not None else NULL_LOG
         self.metrics = ContextMetrics()
-        self._executor = ParallelExecutor(self.jobs)
+        self._executor = ParallelExecutor(self.jobs, events=self.events)
         self._programs: Dict[str, List] = {}
         self._lengths: Dict[str, List[int]] = {}
         self._fault_free: Dict[Tuple[str, str], FaultFreeRun] = {}
@@ -157,13 +164,21 @@ class ExperimentContext:
             self.metrics.cache_misses += 1
         else:
             self.metrics.cache_hits += 1
+        self.events.cache_event(kind, key, hit=artefact is not None)
         return artefact
 
     def _cache_put(self, kind: str, artefact: Any, **parts: Any) -> None:
         if self.cache is None:
             return
         key = self.cache.key(kind, cfg=self.cfg, hw=self.hw, **parts)
-        self.cache.put(kind, key, artefact)
+        if self.cache.put(kind, key, artefact):
+            # provenance next to the artefact: which exact configuration
+            # and code version produced this cache entry
+            manifest = build_manifest(kind, self.cfg, self.hw, parts=parts,
+                                      key=key, jobs=self.jobs)
+            write_manifest(
+                manifest_path_for(self.cache.artifact_path(kind, key)),
+                manifest)
 
     # -- workloads ------------------------------------------------------
     def programs(self, benchmark: str) -> List:
@@ -187,15 +202,17 @@ class ExperimentContext:
     def fault_free(self, benchmark: str, scheme: str) -> FaultFreeRun:
         key = (benchmark, scheme)
         if key not in self._fault_free:
-            run = self._cache_get("fault_free", benchmark=benchmark,
-                                  scheme=scheme)
-            if run is None:
-                started = time.perf_counter()
-                run = self._run_fault_free(benchmark, scheme)
-                self.metrics.note_phase("fault_free",
-                                        time.perf_counter() - started)
-                self._cache_put("fault_free", run, benchmark=benchmark,
-                                scheme=scheme)
+            with self.events.span("phase:fault_free", benchmark=benchmark,
+                                  scheme=scheme):
+                run = self._cache_get("fault_free", benchmark=benchmark,
+                                      scheme=scheme)
+                if run is None:
+                    started = time.perf_counter()
+                    run = self._run_fault_free(benchmark, scheme)
+                    self.metrics.note_phase("fault_free",
+                                            time.perf_counter() - started)
+                    self._cache_put("fault_free", run, benchmark=benchmark,
+                                    scheme=scheme)
             self._fault_free[key] = run
         return self._fault_free[key]
 
@@ -245,15 +262,17 @@ class ExperimentContext:
             coverage = self.srt_coverage(benchmark)
         key = self._srt_key(benchmark, coverage)
         if key not in self._srt:
-            run = self._cache_get("srt", benchmark=benchmark,
-                                  coverage=coverage)
-            if run is None:
-                started = time.perf_counter()
-                run = self._run_srt(benchmark, coverage)
-                self.metrics.note_phase("srt",
-                                        time.perf_counter() - started)
-                self._cache_put("srt", run, benchmark=benchmark,
-                                coverage=coverage)
+            with self.events.span("phase:srt", benchmark=benchmark,
+                                  coverage=coverage):
+                run = self._cache_get("srt", benchmark=benchmark,
+                                      coverage=coverage)
+                if run is None:
+                    started = time.perf_counter()
+                    run = self._run_srt(benchmark, coverage)
+                    self.metrics.note_phase("srt",
+                                            time.perf_counter() - started)
+                    self._cache_put("srt", run, benchmark=benchmark,
+                                    coverage=coverage)
             self._srt[key] = run
         return self._srt[key]
 
@@ -292,34 +311,37 @@ class ExperimentContext:
 
     def campaign(self, benchmark: str) -> Tuple[Campaign, CampaignResult]:
         if benchmark not in self._campaigns:
-            campaign = self.build_campaign(benchmark)
-            started = time.perf_counter()
-            characterization = self._cache_get("characterize",
-                                               benchmark=benchmark)
-            from_cache = characterization is not None
-            if not from_cache:
-                if self.jobs > 1 and len(campaign.records) > 1:
-                    windows = _parallel.classify_windows_parallel(
-                        self.cfg, self.hw, benchmark, None,
-                        campaign.records, self._executor)
-                    characterization = CampaignResult(
-                        benchmark, "baseline",
-                        [w.record for w in windows])
-                    characterization.characterization = windows
-                else:
-                    characterization = campaign.characterize()
-                self._cache_put("characterize", characterization,
-                                benchmark=benchmark)
-            # keep record identity consistent with the result we serve
-            campaign.records = characterization.records
-            elapsed = time.perf_counter() - started
-            windows = len(characterization.characterization)
-            characterization.throughput = ThroughputRecord(
-                phase="characterize", windows=windows,
-                wall_seconds=elapsed, jobs=self.jobs,
-                from_cache=from_cache)
-            self.metrics.note_phase("characterize", elapsed,
-                                    windows=0 if from_cache else windows)
+            with self.events.span("phase:characterize",
+                                  benchmark=benchmark):
+                campaign = self.build_campaign(benchmark)
+                started = time.perf_counter()
+                characterization = self._cache_get("characterize",
+                                                   benchmark=benchmark)
+                from_cache = characterization is not None
+                if not from_cache:
+                    if self.jobs > 1 and len(campaign.records) > 1:
+                        windows = _parallel.classify_windows_parallel(
+                            self.cfg, self.hw, benchmark, None,
+                            campaign.records, self._executor)
+                        characterization = CampaignResult(
+                            benchmark, "baseline",
+                            [w.record for w in windows])
+                        characterization.characterization = windows
+                    else:
+                        characterization = campaign.characterize()
+                    self._cache_put("characterize", characterization,
+                                    benchmark=benchmark)
+                # keep record identity consistent with the result we serve
+                campaign.records = characterization.records
+                elapsed = time.perf_counter() - started
+                windows = len(characterization.characterization)
+                characterization.throughput = ThroughputRecord(
+                    phase="characterize", windows=windows,
+                    wall_seconds=elapsed, jobs=self.jobs,
+                    from_cache=from_cache)
+                self.metrics.note_phase("characterize", elapsed,
+                                        windows=0 if from_cache else windows)
+                self._emit_audit(characterization, "characterize")
             self._campaigns[benchmark] = (campaign, characterization)
         return self._campaigns[benchmark]
 
@@ -327,34 +349,39 @@ class ExperimentContext:
         key = (benchmark, scheme)
         if key not in self._coverage:
             campaign, characterization = self.campaign(benchmark)
-            started = time.perf_counter()
-            result = self._cache_get("coverage", benchmark=benchmark,
-                                     scheme=scheme)
-            from_cache = result is not None
-            if from_cache:
-                # re-link to this context's characterisation windows
-                result.characterization = characterization.characterization
-            else:
-                sdc_records = Campaign.sdc_records(characterization)
-                if self.jobs > 1 and len(sdc_records) > 1:
-                    windows = _parallel.classify_windows_parallel(
-                        self.cfg, self.hw, benchmark, scheme,
-                        sdc_records, self._executor)
-                    result = campaign.collect_coverage(
-                        scheme, characterization, windows)
+            with self.events.span("phase:coverage", benchmark=benchmark,
+                                  scheme=scheme):
+                started = time.perf_counter()
+                result = self._cache_get("coverage", benchmark=benchmark,
+                                         scheme=scheme)
+                from_cache = result is not None
+                if from_cache:
+                    # re-link to this context's characterisation windows
+                    result.characterization = (
+                        characterization.characterization)
                 else:
-                    result = campaign.run_coverage(
-                        scheme, lambda: self.make_core(benchmark, scheme),
-                        characterization)
-                self._cache_put("coverage", result, benchmark=benchmark,
-                                scheme=scheme)
-            elapsed = time.perf_counter() - started
-            windows = len(result.coverage_results)
-            result.throughput = ThroughputRecord(
-                phase="coverage", windows=windows, wall_seconds=elapsed,
-                jobs=self.jobs, from_cache=from_cache)
-            self.metrics.note_phase("coverage", elapsed,
-                                    windows=0 if from_cache else windows)
+                    sdc_records = Campaign.sdc_records(characterization)
+                    if self.jobs > 1 and len(sdc_records) > 1:
+                        windows = _parallel.classify_windows_parallel(
+                            self.cfg, self.hw, benchmark, scheme,
+                            sdc_records, self._executor)
+                        result = campaign.collect_coverage(
+                            scheme, characterization, windows)
+                    else:
+                        result = campaign.run_coverage(
+                            scheme,
+                            lambda: self.make_core(benchmark, scheme),
+                            characterization)
+                    self._cache_put("coverage", result, benchmark=benchmark,
+                                    scheme=scheme)
+                elapsed = time.perf_counter() - started
+                windows = len(result.coverage_results)
+                result.throughput = ThroughputRecord(
+                    phase="coverage", windows=windows, wall_seconds=elapsed,
+                    jobs=self.jobs, from_cache=from_cache)
+                self.metrics.note_phase("coverage", elapsed,
+                                        windows=0 if from_cache else windows)
+                self._emit_audit(result, "coverage")
             self._coverage[key] = result
         return self._coverage[key]
 
@@ -494,6 +521,7 @@ class ExperimentContext:
             windows=len(characterization.characterization),
             jobs=self.jobs, from_cache=from_cache)
         self._campaigns[benchmark] = (campaign, characterization)
+        self._emit_audit(characterization, "characterize")
 
     def _adopt_coverage(self, benchmark: str, scheme: str,
                         result: CampaignResult, from_cache: bool) -> None:
@@ -503,6 +531,23 @@ class ExperimentContext:
             phase="coverage", windows=len(result.coverage_results),
             jobs=self.jobs, from_cache=from_cache)
         self._coverage[(benchmark, scheme)] = result
+        self._emit_audit(result, "coverage")
+
+    # -- audit trail ------------------------------------------------------
+    def _emit_audit(self, result: CampaignResult, phase: str) -> None:
+        """One ``fault_audit`` event per window, at the moment a campaign
+        phase's result is first materialised in this context.
+
+        Memoisation in :meth:`campaign` / :meth:`coverage` (and the
+        single-shot adopt paths behind :meth:`prefetch`) guarantees each
+        (benchmark, scheme, phase) emits exactly once per context, so the
+        audit trail's aggregates are identical across serial, parallel
+        and warm-cache runs.
+        """
+        if not self.events.enabled:
+            return
+        for record in audit_records(result, phase):
+            self.events.emit("fault_audit", **record.as_event())
 
 
 __all__ = ["ExperimentConfig", "ExperimentContext", "FaultFreeRun",

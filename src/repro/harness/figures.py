@@ -7,6 +7,7 @@ EXPERIMENTS.md records the paper-vs-measured comparison.
 
 from __future__ import annotations
 
+import functools
 from typing import Dict, List, Sequence
 
 from ..analysis.charts import bar_chart, log_sparkline
@@ -24,6 +25,16 @@ def _ordered(benchmarks: Sequence[str]) -> List[str]:
     ordered = [n for suite in SUITES.values() for n in suite
                if n in benchmarks]
     return ordered or list(benchmarks)
+
+
+def _figure_span(fn):
+    """Wrap a figure step in a ``figure:<name>`` event-log span, so one
+    figure's phases nest under one parent in the observability trail."""
+    @functools.wraps(fn)
+    def wrapper(ctx: ExperimentContext, *args, **kwargs):
+        with ctx.events.span(f"figure:{fn.__name__}"):
+            return fn(ctx, *args, **kwargs)
+    return wrapper
 
 
 # ----------------------------------------------------------------------
@@ -56,6 +67,7 @@ def table2(hw: HardwareConfig | None = None) -> Dict:
 # ----------------------------------------------------------------------
 # Figure 6: percent change in bit positions
 # ----------------------------------------------------------------------
+@_figure_span
 def fig6(ctx: ExperimentContext, max_instructions: int = 30_000) -> Dict:
     """Per-bit-position change fractions for the three checked streams,
     aggregated over every benchmark (log-Y in the paper)."""
@@ -89,6 +101,7 @@ def fig6(ctx: ExperimentContext, max_instructions: int = 30_000) -> Dict:
 # ----------------------------------------------------------------------
 # Figure 7: fault characterisation
 # ----------------------------------------------------------------------
+@_figure_span
 def fig7(ctx: ExperimentContext) -> Dict:
     """Masked / noisy / SDC fractions per benchmark (plus overall mean)."""
     ctx.prefetch(campaigns=True)
@@ -114,6 +127,7 @@ def fig7(ctx: ExperimentContext) -> Dict:
 FIG8_SCHEMES = ("pbfs", "pbfs-biased", "fh-backend", "faulthound")
 
 
+@_figure_span
 def fig8(ctx: ExperimentContext,
          schemes: Sequence[str] = FIG8_SCHEMES) -> Dict:
     """(a) SDC coverage and (b) false-positive rate per scheme."""
@@ -160,6 +174,7 @@ def fig8(ctx: ExperimentContext,
 FIG9_SCHEMES = ("pbfs", "pbfs-biased", "fh-backend", "faulthound")
 
 
+@_figure_span
 def fig9(ctx: ExperimentContext,
          schemes: Sequence[str] = FIG9_SCHEMES,
          include_srt: bool = True) -> Dict:
@@ -192,6 +207,7 @@ def fig9(ctx: ExperimentContext,
 FIG10_SCHEMES = ("fh-backend", "faulthound")
 
 
+@_figure_span
 def fig10(ctx: ExperimentContext,
           schemes: Sequence[str] = FIG10_SCHEMES,
           include_srt: bool = True) -> Dict:
@@ -218,6 +234,7 @@ def fig10(ctx: ExperimentContext,
 # ----------------------------------------------------------------------
 # Figure 11: SDC fault breakdown
 # ----------------------------------------------------------------------
+@_figure_span
 def fig11(ctx: ExperimentContext, scheme: str = "faulthound") -> Dict:
     """Where FaultHound's SDC coverage goes (six outcome bins)."""
     ctx.prefetch(coverage=(scheme,))
@@ -236,6 +253,7 @@ def fig11(ctx: ExperimentContext, scheme: str = "faulthound") -> Dict:
 # ----------------------------------------------------------------------
 # Figure 12: mechanism isolation (overall means only, like the paper)
 # ----------------------------------------------------------------------
+@_figure_span
 def fig12(ctx: ExperimentContext) -> Dict:
     """Three ablations: clustering/second-level on FP rate, replay vs full
     rollback on performance, LSQ check on coverage."""

@@ -38,6 +38,7 @@ from ..config import HardwareConfig
 from ..faults import CampaignResult
 from ..faults.classifier import WindowResult
 from ..faults.model import FaultRecord
+from ..obs.events import NULL_LOG, WORKER_DIR_ENV, worker_task_span
 
 # ----------------------------------------------------------------------
 # instrumentation
@@ -111,8 +112,9 @@ class ParallelExecutor:
     pool that fails to start) it degrades to in-process execution.
     """
 
-    def __init__(self, jobs: int | None = None):
+    def __init__(self, jobs: int | None = None, events=None):
         self.jobs = max(1, jobs if jobs is not None else default_jobs())
+        self.events = events if events is not None else NULL_LOG
         self._pool_broken = False
 
     def map(self, fn: Callable[[Any], Any],
@@ -120,6 +122,21 @@ class ParallelExecutor:
         tasks = list(tasks)
         if self.jobs == 1 or len(tasks) <= 1 or self._pool_broken:
             return [fn(task) for task in tasks]
+        # Hand workers their event spool through the environment (fork
+        # inherits it); absorb their per-worker files once the fan-out
+        # completes so the main log stays the single source of truth.
+        spool = self.events.worker_spool() if self.events.enabled else None
+        if spool is not None:
+            os.environ[WORKER_DIR_ENV] = spool
+        try:
+            return self._map_pool(fn, tasks)
+        finally:
+            if spool is not None:
+                os.environ.pop(WORKER_DIR_ENV, None)
+                self.events.absorb_worker_files()
+
+    def _map_pool(self, fn: Callable[[Any], Any],
+                  tasks: List[Any]) -> List[Any]:
         workers = min(self.jobs, len(tasks))
         try:
             with ProcessPoolExecutor(max_workers=workers,
@@ -163,26 +180,34 @@ def _worker_context(cfg, hw: HardwareConfig):
 # ----------------------------------------------------------------------
 def fault_free_task(args) -> Any:
     cfg, hw, benchmark, scheme = args
-    return _worker_context(cfg, hw).fault_free(benchmark, scheme)
+    with worker_task_span("worker:fault_free", benchmark=benchmark,
+                          scheme=scheme):
+        return _worker_context(cfg, hw).fault_free(benchmark, scheme)
 
 
 def srt_task(args) -> Any:
     cfg, hw, benchmark, coverage = args
-    return _worker_context(cfg, hw).srt_run(benchmark, coverage)
+    with worker_task_span("worker:srt", benchmark=benchmark,
+                          coverage=coverage):
+        return _worker_context(cfg, hw).srt_run(benchmark, coverage)
 
 
 def characterize_task(args) -> CampaignResult:
     cfg, hw, benchmark = args
-    _, characterization = _worker_context(cfg, hw).campaign(benchmark)
-    return characterization
+    with worker_task_span("worker:characterize", benchmark=benchmark):
+        _, characterization = _worker_context(cfg, hw).campaign(benchmark)
+        return characterization
 
 
 def coverage_task(args) -> CampaignResult:
     cfg, hw, benchmark, scheme, characterization = args
-    ctx = _worker_context(cfg, hw)
-    campaign = ctx.build_campaign(benchmark)
-    return campaign.run_coverage(
-        scheme, lambda: ctx.make_core(benchmark, scheme), characterization)
+    with worker_task_span("worker:coverage", benchmark=benchmark,
+                          scheme=scheme):
+        ctx = _worker_context(cfg, hw)
+        campaign = ctx.build_campaign(benchmark)
+        return campaign.run_coverage(
+            scheme, lambda: ctx.make_core(benchmark, scheme),
+            characterization)
 
 
 # ----------------------------------------------------------------------
@@ -192,14 +217,16 @@ def window_chunk_task(args) -> List[WindowResult]:
     """Classify ``records[lo:hi]`` after a golden-only fast-forward
     through ``records[:lo]`` (scheme None = baseline characterisation)."""
     cfg, hw, benchmark, scheme, records, lo, hi = args
-    ctx = _worker_context(cfg, hw)
-    campaign = ctx.build_campaign(benchmark)
-    if scheme is None:
-        factory = campaign.baseline_factory
-    else:
-        factory = lambda: ctx.make_core(benchmark, scheme)
-    classifier = campaign.classifier(factory)
-    return classifier.run(records[lo:hi], skip=records[:lo])
+    with worker_task_span("worker:window_chunk", benchmark=benchmark,
+                          scheme=scheme or "baseline", lo=lo, hi=hi):
+        ctx = _worker_context(cfg, hw)
+        campaign = ctx.build_campaign(benchmark)
+        if scheme is None:
+            factory = campaign.baseline_factory
+        else:
+            factory = lambda: ctx.make_core(benchmark, scheme)
+        classifier = campaign.classifier(factory)
+        return classifier.run(records[lo:hi], skip=records[:lo])
 
 
 def classify_windows_parallel(cfg, hw, benchmark: str, scheme,

@@ -1,0 +1,52 @@
+"""Structured observability: event tracing, run manifests, audit trail.
+
+The subsystem has four legs (see docs/observability.md):
+
+- :mod:`repro.obs.events` — typed JSONL event log with nested spans,
+  safe to feed from process-pool workers;
+- :mod:`repro.obs.manifest` — provenance manifests written next to
+  every cached artefact and figure;
+- :mod:`repro.obs.audit` — one record per injected fault plus the
+  recovery-mix and detection-latency aggregates;
+- :mod:`repro.obs.profile` — opt-in cProfile and per-stage accounting.
+"""
+
+from .audit import (FaultAuditRecord, aggregates_from_events,
+                    audit_aggregates, audit_records,
+                    detection_latency_histogram, recovery_mix)
+from .events import (EventLog, NULL_LOG, NullEventLog, WORKER_DIR_ENV,
+                     read_events, worker_task_span)
+from .manifest import (RunManifest, build_manifest, config_digest,
+                       load_manifest, manifest_path_for, verify_manifest,
+                       write_manifest)
+from .profile import format_stage_seconds, profiled
+from .schema import check_spans, summarize_events, validate_event, \
+    validate_events
+
+__all__ = [
+    "EventLog",
+    "FaultAuditRecord",
+    "NULL_LOG",
+    "NullEventLog",
+    "RunManifest",
+    "WORKER_DIR_ENV",
+    "aggregates_from_events",
+    "audit_aggregates",
+    "audit_records",
+    "build_manifest",
+    "check_spans",
+    "config_digest",
+    "detection_latency_histogram",
+    "format_stage_seconds",
+    "load_manifest",
+    "manifest_path_for",
+    "profiled",
+    "read_events",
+    "recovery_mix",
+    "summarize_events",
+    "validate_event",
+    "validate_events",
+    "verify_manifest",
+    "worker_task_span",
+    "write_manifest",
+]

@@ -1,0 +1,188 @@
+"""Fault-injection audit trail: one queryable record per injected fault.
+
+CHAOS and InjectV treat the per-injection record — site, activation,
+propagation, outcome — as the core deliverable of a fault-injection
+platform; this module derives exactly that from the tandem classifier's
+:class:`~repro.faults.classifier.WindowResult`: where the fault landed
+(site / bit / injection commit), whether it applied, what the screening
+scheme saw (filter triggers), which recovery action it took (suppress /
+replay / rollback / singleton re-execute), the detection latency in
+cycles from injection to the first filter trigger, and the final
+classifier outcome (masked / noisy / SDC in phase A; the Figure 11
+coverage bin in phase B).
+
+The records aggregate into the two summary views the evaluation leans
+on: the **recovery mix** (how often each action fired) and the
+**detection-latency histogram** (how many cycles faults stay latent
+before the filters notice). Both are pure functions of the window
+results, so serial, parallel and warm-cache runs agree bit-for-bit —
+the property the observability tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Iterable, List, Optional
+
+#: Precedence for the primary recovery label when a window saw several
+#: action kinds: the strongest action tells the recovery story.
+_RECOVERY_PRECEDENCE = ("rollback", "replay", "singleton", "suppress")
+
+#: Histogram geometry (cycles per bin, number of bounded bins).
+LATENCY_BIN_WIDTH = 16
+LATENCY_BINS = 8
+
+
+@dataclass(frozen=True)
+class FaultAuditRecord:
+    """Everything learned about one injected fault, flattened."""
+
+    benchmark: str
+    scheme: str
+    phase: str                      # "characterize" | "coverage"
+    index: int
+    site: str
+    bit: int
+    inject_at_commit: int
+    applied: bool
+    fault_class: Optional[str]      # masked | noisy | sdc (once classified)
+    triggers: int                   # filter triggers attributed to the fault
+    replays: int
+    rollbacks: int
+    singletons: int
+    suppressions: int
+    declared: int                   # declared detections (LSQ compare)
+    inject_cycle: int               # faulty core's cycle at injection (-1 n/a)
+    first_trigger_cycle: int        # first trigger at/after injection (-1 none)
+    detection_latency: Optional[int]  # cycles injection → first trigger
+    recovery: str                   # rollback|replay|singleton|suppress|none
+    outcome: Optional[str]          # CoverageOutcome value (phase B only)
+
+    @classmethod
+    def from_window(cls, window: Any, benchmark: str, scheme: str,
+                    phase: str, outcome: Optional[str] = None
+                    ) -> "FaultAuditRecord":
+        record = window.record
+        counts = {
+            "rollback": window.rollbacks,
+            "replay": window.replays,
+            "singleton": window.singletons,
+            "suppress": window.suppressions,
+        }
+        recovery = next((label for label in _RECOVERY_PRECEDENCE
+                         if counts[label] > 0), "none")
+        latency = (window.detection_latency
+                   if getattr(window, "detection_latency", -1) >= 0 else None)
+        return cls(
+            benchmark=benchmark, scheme=scheme, phase=phase,
+            index=record.index, site=record.site.value, bit=record.bit,
+            inject_at_commit=record.inject_at_commit,
+            applied=bool(window.applied),
+            fault_class=(window.fault_class.value
+                         if window.fault_class is not None else None),
+            triggers=window.triggers, replays=window.replays,
+            rollbacks=window.rollbacks, singletons=window.singletons,
+            suppressions=window.suppressions, declared=window.declared,
+            inject_cycle=getattr(window, "inject_cycle", -1),
+            first_trigger_cycle=getattr(window, "first_trigger_cycle", -1),
+            detection_latency=latency, recovery=recovery, outcome=outcome)
+
+    def as_event(self) -> Dict[str, Any]:
+        """The ``fault_audit`` event payload (flat JSON-safe dict)."""
+        return asdict(self)
+
+
+def audit_records(result: Any, phase: str) -> List[FaultAuditRecord]:
+    """One audit record per window of a campaign phase's result.
+
+    ``phase="characterize"`` walks the baseline characterisation windows;
+    ``phase="coverage"`` walks the scheme's coverage windows and joins in
+    the Figure 11 outcome bin per fault.
+    """
+    if phase == "characterize":
+        return [FaultAuditRecord.from_window(w, result.benchmark,
+                                             result.scheme, phase)
+                for w in result.characterization]
+    if phase == "coverage":
+        records = []
+        for window in result.coverage_results:
+            outcome = result.outcomes.get(window.record.index)
+            records.append(FaultAuditRecord.from_window(
+                window, result.benchmark, result.scheme, phase,
+                outcome=outcome.value if outcome is not None else None))
+        return records
+    raise ValueError(f"unknown audit phase {phase!r}")
+
+
+# ----------------------------------------------------------------------
+# aggregation (records or raw fault_audit event dicts)
+# ----------------------------------------------------------------------
+def _field(record: Any, name: str) -> Any:
+    if isinstance(record, dict):
+        return record.get(name)
+    return getattr(record, name)
+
+
+def recovery_mix(records: Iterable[Any]) -> Dict[str, int]:
+    """Applied-fault counts per primary recovery action (stable order)."""
+    mix = {label: 0 for label in (*_RECOVERY_PRECEDENCE, "none")}
+    for record in records:
+        if not _field(record, "applied"):
+            continue
+        label = _field(record, "recovery") or "none"
+        mix[label] = mix.get(label, 0) + 1
+    return mix
+
+
+def detection_latency_histogram(records: Iterable[Any],
+                                bin_width: int = LATENCY_BIN_WIDTH,
+                                bins: int = LATENCY_BINS) -> Dict[str, int]:
+    """Cycles-to-first-trigger histogram over detected faults.
+
+    Fixed geometry (``bins`` bins of ``bin_width`` cycles plus one
+    overflow bin), every bin present even when empty, so histograms from
+    different runs compare with ``==``.
+    """
+    histogram = {f"{i * bin_width}-{(i + 1) * bin_width - 1}": 0
+                 for i in range(bins)}
+    overflow = f">={bins * bin_width}"
+    histogram[overflow] = 0
+    for record in records:
+        latency = _field(record, "detection_latency")
+        if latency is None or latency < 0:
+            continue
+        slot = latency // bin_width
+        if slot < bins:
+            histogram[f"{slot * bin_width}-{(slot + 1) * bin_width - 1}"] += 1
+        else:
+            histogram[overflow] += 1
+    return histogram
+
+
+def audit_aggregates(records: Iterable[Any]) -> Dict[str, Any]:
+    """The roll-up the acceptance criteria compare bit-for-bit."""
+    records = list(records)
+    applied = [r for r in records if _field(r, "applied")]
+    outcomes: Dict[str, int] = {}
+    for record in applied:
+        outcome = _field(record, "outcome")
+        if outcome:
+            outcomes[outcome] = outcomes.get(outcome, 0) + 1
+    return {
+        "records": len(records),
+        "applied": len(applied),
+        "recovery_mix": recovery_mix(records),
+        "detection_latency_histogram": detection_latency_histogram(records),
+        "outcomes": dict(sorted(outcomes.items())),
+    }
+
+
+def aggregates_from_events(events: Iterable[dict]) -> Dict[str, Any]:
+    """Audit aggregates recomputed from raw ``fault_audit`` log events."""
+    return audit_aggregates([e for e in events
+                             if e.get("type") == "fault_audit"])
+
+
+__all__ = ["FaultAuditRecord", "LATENCY_BINS", "LATENCY_BIN_WIDTH",
+           "aggregates_from_events", "audit_aggregates", "audit_records",
+           "detection_latency_histogram", "recovery_mix"]

@@ -1,0 +1,264 @@
+"""Structured event log: typed, timestamped JSONL telemetry.
+
+One :class:`EventLog` belongs to one run (one CLI invocation or one
+benchmark session) and appends one JSON object per line to a single
+file. Events are *typed* — ``span_start``/``span_end`` pairs around
+every harness phase, ``counter`` samples, ``cache`` hit/miss records,
+worker lifecycle markers and one ``fault_audit`` record per injected
+fault — so the log is machine-readable after the run ends
+(``repro report --events`` validates and summarises it; the field
+contract lives in :mod:`repro.obs.schema`).
+
+Process-pool safety (the PR-1 fan-out): workers never share the parent's
+file handle. Instead the parent exports ``REPRO_EVENTS_WORKER_DIR``
+before fanning out and each worker appends to a private
+``worker-<pid>.jsonl`` spool inside it (:func:`worker_task_span` opens
+and closes the spool per task, so no handle survives a fork or an
+absorb). After every fan-out the parent merges the spools back into the
+main log, ordered by timestamp, and emits one ``worker_merge`` marker
+per absorbed worker.
+
+When observability is disabled every call site holds the shared
+:data:`NULL_LOG` whose methods are no-ops — the log costs nothing when
+it is off.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import pathlib
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+#: Environment variable through which the parent hands pool workers the
+#: spool directory for their private event files.
+WORKER_DIR_ENV = "REPRO_EVENTS_WORKER_DIR"
+
+#: Version stamped into ``run_start`` events and manifests.
+SCHEMA_VERSION = 1
+
+
+def _now() -> float:
+    return round(time.time(), 6)
+
+
+class NullEventLog:
+    """Do-nothing sink: the disabled-observability fast path."""
+
+    enabled = False
+    path = None
+
+    def emit(self, event_type: str, **fields: Any) -> None:
+        pass
+
+    def counter(self, name: str, value: float, **attrs: Any) -> None:
+        pass
+
+    def cache_event(self, kind: str, key: str, hit: bool) -> None:
+        pass
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[None]:
+        yield None
+
+    def worker_spool(self) -> Optional[str]:
+        return None
+
+    def absorb_worker_files(self) -> int:
+        return 0
+
+    def close(self) -> None:
+        pass
+
+
+#: The shared disabled sink; ``log is NULL_LOG`` is the "off" test.
+NULL_LOG = NullEventLog()
+
+
+class EventLog:
+    """Append-only JSONL event sink with nested spans.
+
+    Spans nest through an explicit stack: ``span_start`` carries the
+    enclosing span's id as ``parent``, so the log reconstructs the full
+    phase tree (figure → phase → fan-out → worker task) offline.
+    """
+
+    enabled = True
+
+    def __init__(self, path: str | os.PathLike, run_id: Optional[str] = None):
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self.run_id = run_id or f"run-{os.getpid()}-{int(time.time())}"
+        self._ids = itertools.count(1)
+        self._stack: List[str] = []
+        self._closed = False
+        self.emit("run_start", run=self.run_id, schema=SCHEMA_VERSION)
+
+    # -- emission ------------------------------------------------------
+    def emit(self, event_type: str, **fields: Any) -> None:
+        if self._closed:
+            return
+        record: Dict[str, Any] = {"ts": _now(), "type": event_type,
+                                  "pid": os.getpid()}
+        record.update(fields)
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def counter(self, name: str, value: float, **attrs: Any) -> None:
+        self.emit("counter", name=name, value=value, attrs=attrs)
+
+    def cache_event(self, kind: str, key: str, hit: bool) -> None:
+        self.emit("cache", kind=kind, key=key, hit=bool(hit))
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[str]:
+        """Emit a ``span_start``/``span_end`` pair around the body."""
+        span_id = f"{os.getpid()}:{next(self._ids)}"
+        parent = self._stack[-1] if self._stack else None
+        self.emit("span_start", span=span_id, parent=parent, name=name,
+                  attrs=attrs)
+        self._stack.append(span_id)
+        started = time.perf_counter()
+        try:
+            yield span_id
+        finally:
+            self._stack.pop()
+            self.emit("span_end", span=span_id, name=name,
+                      seconds=round(time.perf_counter() - started, 6))
+
+    # -- worker spool --------------------------------------------------
+    @property
+    def worker_dir(self) -> pathlib.Path:
+        return self.path.with_name(self.path.name + ".workers")
+
+    def worker_spool(self) -> str:
+        """Create (if needed) and return the worker spool directory."""
+        self.worker_dir.mkdir(parents=True, exist_ok=True)
+        return str(self.worker_dir)
+
+    def absorb_worker_files(self) -> int:
+        """Merge every worker spool file into the main log (ts order).
+
+        Returns the number of absorbed events. Spool files are removed
+        once absorbed; a truncated trailing line (worker killed mid-
+        write) is skipped, not fatal.
+        """
+        directory = self.worker_dir
+        if not directory.is_dir():
+            return 0
+        absorbed: List[Dict[str, Any]] = []
+        merges: List[Dict[str, Any]] = []
+        for spool in sorted(directory.glob("worker-*.jsonl")):
+            records = []
+            try:
+                with open(spool, encoding="utf-8") as handle:
+                    for line in handle:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            records.append(json.loads(line))
+                        except json.JSONDecodeError:
+                            continue
+                spool.unlink()
+            except OSError:
+                continue
+            if not records:
+                continue
+            absorbed.extend(records)
+            merges.append({"worker_pid": records[0].get("pid", -1),
+                           "events": len(records)})
+        absorbed.sort(key=lambda r: (r.get("ts", 0.0), r.get("pid", 0)))
+        for record in absorbed:
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        for merge in merges:
+            self.emit("worker_merge", **merge)
+        self._handle.flush()
+        return len(absorbed)
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.absorb_worker_files()
+        self.emit("run_end", run=self.run_id)
+        self._closed = True
+        self._handle.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# worker-side emission (pool processes; no shared handles)
+# ----------------------------------------------------------------------
+_WORKER_IDS = itertools.count(1)
+_WORKER_STARTED: set = set()
+
+
+@contextmanager
+def worker_task_span(name: str, **attrs: Any) -> Iterator[None]:
+    """Span a worker task; buffered and appended to this worker's spool.
+
+    A no-op unless the parent exported :data:`WORKER_DIR_ENV`. The spool
+    file is opened append-only for one single write per task, so forked
+    children never inherit a live handle and the parent can absorb the
+    spool between fan-outs.
+    """
+    directory = os.environ.get(WORKER_DIR_ENV)
+    if not directory:
+        yield
+        return
+    pid = os.getpid()
+    records: List[Dict[str, Any]] = []
+
+    def emit(event_type: str, **fields: Any) -> None:
+        record: Dict[str, Any] = {"ts": _now(), "type": event_type,
+                                  "pid": pid}
+        record.update(fields)
+        records.append(record)
+
+    if (pid, directory) not in _WORKER_STARTED:
+        _WORKER_STARTED.add((pid, directory))
+        emit("worker_start")
+    span_id = f"{pid}:w{next(_WORKER_IDS)}"
+    emit("span_start", span=span_id, parent=None, name=name, attrs=attrs)
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        emit("span_end", span=span_id, name=name,
+             seconds=round(time.perf_counter() - started, 6))
+        try:
+            path = pathlib.Path(directory) / f"worker-{pid}.jsonl"
+            with open(path, "a", encoding="utf-8") as handle:
+                handle.write("".join(json.dumps(r, sort_keys=True) + "\n"
+                                     for r in records))
+        except OSError:
+            pass    # telemetry must never take the computation down
+
+
+def read_events(path: str | os.PathLike) -> List[Dict[str, Any]]:
+    """Load a JSONL event log into a list of dicts (strict parsing)."""
+    events = []
+    with open(path, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{number}: not JSON: {exc}") from None
+    return events
+
+
+__all__ = ["EventLog", "NullEventLog", "NULL_LOG", "SCHEMA_VERSION",
+           "WORKER_DIR_ENV", "read_events", "worker_task_span"]

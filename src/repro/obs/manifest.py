@@ -1,0 +1,153 @@
+"""Run manifests: the provenance record behind every artefact.
+
+A manifest answers "what exactly produced this result?" after the run
+is gone: the artefact kind and cache key, the canonicalised
+:class:`~repro.harness.experiment.ExperimentConfig` and
+:class:`~repro.config.HardwareConfig` that parameterised it, a SHA-256
+digest of that configuration, the code-version salt of the source tree,
+the worker count, per-phase wall-clock and cache provenance. One is
+written next to every persistent cache artefact
+(``<digest>.manifest.json`` beside the ``.pkl``), next to every figure
+the benchmark suite records, and next to the event log of every CLI run
+that asked for one.
+
+Verification is self-contained: the canonical config is embedded, so
+:func:`verify_manifest` can recompute the digest from the manifest
+alone, and — given a live config — prove the artefact belongs to it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Manifest format version.
+MANIFEST_SCHEMA = 1
+
+
+def _canonical(value: Any) -> Any:
+    # Lazy import: harness.experiment imports repro.obs at module level,
+    # so obs must not import harness until call time.
+    from ..harness.cache import _canonical as canonical
+    return canonical(value)
+
+
+def _code_salt() -> str:
+    from ..harness.cache import code_version_salt
+    return code_version_salt()
+
+
+def config_digest(cfg: Any, hw: Any) -> str:
+    """SHA-256 over the canonical (experiment, hardware) configuration."""
+    document = {"cfg": _canonical(cfg), "hw": _canonical(hw)}
+    blob = json.dumps(document, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:32]
+
+
+@dataclass
+class RunManifest:
+    """Everything needed to trace one artefact back to its inputs."""
+
+    kind: str                       # "fault_free" | "figure" | "campaign" ...
+    config_digest: str
+    code_salt: str
+    config: Dict[str, Any]          # canonical ExperimentConfig
+    hw: Dict[str, Any]              # canonical HardwareConfig
+    parts: Dict[str, Any] = field(default_factory=dict)
+    key: Optional[str] = None       # artifact-cache key, when cached
+    jobs: int = 1
+    from_cache: bool = False
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    created: str = ""
+    schema: int = MANIFEST_SCHEMA
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+def build_manifest(kind: str, cfg: Any, hw: Any, *,
+                   parts: Optional[Dict[str, Any]] = None,
+                   key: Optional[str] = None, jobs: int = 1,
+                   from_cache: bool = False,
+                   phase_seconds: Optional[Dict[str, float]] = None,
+                   metrics: Optional[Dict[str, Any]] = None) -> RunManifest:
+    """Assemble a manifest for one artefact or run."""
+    return RunManifest(
+        kind=kind,
+        config_digest=config_digest(cfg, hw),
+        code_salt=_code_salt(),
+        config=_canonical(cfg),
+        hw=_canonical(hw),
+        parts=_canonical(parts or {}),
+        key=key,
+        jobs=jobs,
+        from_cache=from_cache,
+        phase_seconds={k: round(v, 6)
+                       for k, v in (phase_seconds or {}).items()},
+        metrics=metrics or {},
+        created=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()))
+
+
+def write_manifest(path: str | os.PathLike, manifest: RunManifest) -> bool:
+    """Write *manifest* as pretty JSON; False when the write failed
+    (provenance must never take the run down)."""
+    path = pathlib.Path(path)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(manifest.as_dict(), sort_keys=True,
+                                   indent=2) + "\n", encoding="utf-8")
+    except OSError:
+        return False
+    return True
+
+
+def load_manifest(path: str | os.PathLike) -> RunManifest:
+    document = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    fields = {f.name for f in dataclasses.fields(RunManifest)}
+    return RunManifest(**{k: v for k, v in document.items() if k in fields})
+
+
+def verify_manifest(manifest: RunManifest, cfg: Any = None,
+                    hw: Any = None) -> List[str]:
+    """Consistency errors (empty list = verified).
+
+    Always recomputes the digest from the embedded canonical config;
+    with a live ``cfg``/``hw`` pair, additionally proves the manifest
+    describes *that* configuration.
+    """
+    errors = []
+    document = {"cfg": manifest.config, "hw": manifest.hw}
+    blob = json.dumps(document, sort_keys=True).encode()
+    recomputed = hashlib.sha256(blob).hexdigest()[:32]
+    if recomputed != manifest.config_digest:
+        errors.append(f"config digest mismatch: recorded "
+                      f"{manifest.config_digest}, recomputed {recomputed}")
+    if cfg is not None and hw is not None:
+        live = config_digest(cfg, hw)
+        if live != manifest.config_digest:
+            errors.append(f"manifest does not describe this configuration: "
+                          f"live digest {live}, recorded "
+                          f"{manifest.config_digest}")
+    if manifest.schema != MANIFEST_SCHEMA:
+        errors.append(f"unknown manifest schema {manifest.schema}")
+    return errors
+
+
+def manifest_path_for(artefact_path: str | os.PathLike) -> pathlib.Path:
+    """The manifest's conventional location next to an artefact."""
+    artefact_path = pathlib.Path(artefact_path)
+    return artefact_path.with_suffix(".manifest.json") \
+        if artefact_path.suffix == ".pkl" \
+        else artefact_path.with_name(artefact_path.name + ".manifest.json")
+
+
+__all__ = ["MANIFEST_SCHEMA", "RunManifest", "build_manifest",
+           "config_digest", "load_manifest", "manifest_path_for",
+           "verify_manifest", "write_manifest"]

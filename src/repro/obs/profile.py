@@ -1,0 +1,55 @@
+"""Opt-in profiling hooks: cProfile around campaigns, top-N dump.
+
+``repro campaign --profile`` / ``repro figure --profile`` wrap the whole
+command in :func:`profiled`; ``repro bench --profile`` additionally
+turns on the core's cheap per-stage wall-clock accounting
+(:meth:`~repro.pipeline.core.PipelineCore.enable_stage_profiling`) so
+the hot loop's cost splits by pipeline stage without a full profiler
+run.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import sys
+from contextlib import contextmanager
+from typing import Iterator, Optional, TextIO
+
+
+@contextmanager
+def profiled(enabled: bool, top: int = 20,
+             stream: Optional[TextIO] = None) -> Iterator[None]:
+    """cProfile the body and print the *top* cumulative-time entries.
+
+    A no-op when *enabled* is false, so call sites wrap unconditionally.
+    """
+    if not enabled:
+        yield
+        return
+    stream = stream or sys.stderr
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(top)
+        print(f"[repro] cProfile top {top} by cumulative time:",
+              file=stream)
+        print(buffer.getvalue().rstrip(), file=stream)
+
+
+def format_stage_seconds(stage_seconds: dict) -> str:
+    """One-line rendering of a core's per-stage accounting."""
+    total = sum(stage_seconds.values()) or 1.0
+    parts = [f"{name}={seconds:.3f}s ({100 * seconds / total:.0f}%)"
+             for name, seconds in sorted(stage_seconds.items(),
+                                         key=lambda kv: -kv[1])]
+    return " ".join(parts) if parts else "no stages timed"
+
+
+__all__ = ["format_stage_seconds", "profiled"]

@@ -116,6 +116,15 @@ class PipelineCore:
         #: (cycle, uid, source) records of declared fault detections
         #: (singleton re-execute value mismatches, Section 3.5).
         self.declared_faults: List[Tuple[int, int, str]] = []
+        #: Cycle of every screening filter trigger (any non-NONE check
+        #: action, including second-level suppressions) — the raw series
+        #: behind the audit trail's detection latencies.
+        self.screen_trigger_cycles: List[int] = []
+        #: Per-stage wall-clock accounting, populated only after
+        #: :meth:`enable_stage_profiling` (the default step() path pays
+        #: a single attribute test).
+        self.stage_seconds: Dict[str, float] = {}
+        self._stage_profiling = False
         #: Tandem-classification hooks: when a thread's committed count
         #: reaches its target, its architectural snapshot is captured
         #: exactly at that boundary (see repro.faults.classifier).
@@ -158,11 +167,41 @@ class PipelineCore:
         self.cycle += 1
         self.stats.cycles = self.cycle
         self.fus.new_cycle()
+        if self._stage_profiling:
+            self._step_stages_timed()
+            return
         self._commit_stage()
         self._complete_stage()
         self._issue_stage()
         self._dispatch_stage()
         self._fetch_stage()
+
+    def enable_stage_profiling(self, enabled: bool = True) -> None:
+        """Opt into per-stage wall-clock accounting (``stage_seconds``)."""
+        self._stage_profiling = enabled
+
+    def _step_stages_timed(self) -> None:
+        from time import perf_counter
+        accumulate = self.stage_seconds
+        for name, stage in (("commit", self._commit_stage),
+                            ("complete", self._complete_stage),
+                            ("issue", self._issue_stage),
+                            ("dispatch", self._dispatch_stage),
+                            ("fetch", self._fetch_stage)):
+            started = perf_counter()
+            stage()
+            accumulate[name] = (accumulate.get(name, 0.0)
+                                + perf_counter() - started)
+
+    def inflight_ops(self):
+        """Every micro-op currently tracked by the core: fetch buffers
+        (pre-dispatch) then each thread's ROB. The supported iteration
+        surface for tracers and debuggers — the underlying containers
+        are private."""
+        for buffer in self._fetch_buffers:
+            yield from buffer
+        for thread in self.threads:
+            yield from thread.rob
 
     def run(self, max_cycles: int = 2_000_000) -> PipelineStats:
         """Run until every thread halts, or *max_cycles*."""
@@ -528,12 +567,18 @@ class PipelineCore:
         try:
             if op.is_load:
                 # single check: no max() needed
-                return check(CheckKind.LOAD_ADDR, op.eff_addr, op.pc).action
-            addr = check(CheckKind.STORE_ADDR, op.eff_addr, op.pc).action
-            value = check(CheckKind.STORE_VALUE, op.store_value, op.pc).action
+                action = check(CheckKind.LOAD_ADDR, op.eff_addr, op.pc).action
+            else:
+                addr = check(CheckKind.STORE_ADDR, op.eff_addr, op.pc).action
+                value = check(CheckKind.STORE_VALUE, op.store_value,
+                              op.pc).action
+                action = (addr if _SEVERITY_OF(addr) >= _SEVERITY_OF(value)
+                          else value)
         finally:
             unit.replaying = saved
-        return addr if _SEVERITY_OF(addr) >= _SEVERITY_OF(value) else value
+        if action is not CheckAction.NONE:
+            self.screen_trigger_cycles.append(self.cycle)
+        return action
 
     def _screen_completion(self, thread: ThreadContext, op: MicroOp,
                            force_suppress: bool = False) -> None:

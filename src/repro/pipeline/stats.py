@@ -67,17 +67,27 @@ class PipelineStats:
         self.recent_commits.append((thread_id, pc))
 
     def summary(self) -> Dict[str, float]:
-        """Flat dict for reports and EXPERIMENTS.md tables."""
+        """Flat dict for reports, the event log and EXPERIMENTS.md tables.
+
+        Covers every counter the energy model and breakdown analyses
+        consume — reports must agree with the model inputs, so nothing
+        that feeds :mod:`repro.energy` may be omitted here.
+        """
         return {
             "cycles": self.cycles,
             "committed": self.committed,
             "ipc": round(self.ipc, 4),
             "branch_mispredicts": self.branch_mispredicts,
+            "memory_order_violations": self.memory_order_violations,
             "replay_events": self.replay_events,
             "replayed_ops": self.replayed_ops,
             "rollback_events": self.rollback_events,
             "rollback_squashed_ops": self.rollback_squashed_ops,
             "singleton_reexecs": self.singleton_reexecs,
+            "singleton_mismatch_detections": self.singleton_mismatch_detections,
+            "delay_buffer_squashes": self.delay_buffer_squashes,
+            "regfile_reads": self.regfile_reads,
+            "regfile_writes": self.regfile_writes,
             "exceptions": self.exceptions,
         }
 

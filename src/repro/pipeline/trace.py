@@ -40,12 +40,10 @@ class PipelineTracer:
     # ------------------------------------------------------------------
     def tick(self) -> None:
         """Register everything currently in flight (call after step())."""
-        for source in self.core._fetch_buffers + [
-                thread.rob for thread in self.core.threads]:
-            for op in source:
-                if len(self._ops) >= self.max_ops:
-                    return
-                self._ops.setdefault(op.uid, op)
+        for op in self.core.inflight_ops():
+            if len(self._ops) >= self.max_ops:
+                return
+            self._ops.setdefault(op.uid, op)
 
     def run(self, cycles: int) -> None:
         """Step the core *cycles* times, tracing along the way."""
@@ -72,8 +70,14 @@ class PipelineTracer:
         if cycle < op.cycle_fetched:
             return " "
         if op.state is OpState.SQUASHED:
-            # timing of the squash is not recorded; mark the whole tail
-            if op.cycle_issued >= 0 and cycle >= op.cycle_issued:
+            # timing of the squash is not recorded; mark the whole tail.
+            # An op squashed before it ever issued has cycle_issued < 0 —
+            # its tail starts when it would first have been eligible, so
+            # it must not fall through to the stale stage letters below.
+            if op.cycle_issued >= 0:
+                if cycle >= op.cycle_issued:
+                    return "x"
+            elif cycle >= op.dispatch_ready_at:
                 return "x"
         if op.cycle_committed >= 0 and cycle >= op.cycle_committed:
             return "R" if cycle == op.cycle_committed else " "

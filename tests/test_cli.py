@@ -1,5 +1,7 @@
 """CLI tests (in-process, via main(argv))."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -75,3 +77,46 @@ def test_parser_rejects_unknown_benchmark():
 def test_parser_requires_subcommand():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_campaign_emit_events_then_report(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    events = tmp_path / "events.jsonl"
+    code, _, err = run_cli(capsys, "campaign", "mcf", "--faults", "6",
+                           "--jobs", "2", "--emit-events", str(events))
+    assert code == 0
+    assert events.exists()
+    assert (tmp_path / "events.jsonl.manifest.json").exists()
+    # the recorded log validates cleanly, manifest digest included
+    code, out, err = run_cli(capsys, "report", "--events", str(events))
+    assert code == 0
+    summary = json.loads(out)
+    assert summary["schema_errors"] == 0
+    assert summary["by_type"]["fault_audit"] > 0
+
+
+def test_report_rejects_invalid_event_log(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"ts": 1.0, "type": "mystery", "pid": 1}\n')
+    code, out, err = run_cli(capsys, "report", "--events", str(bad))
+    assert code == 1
+    assert "unknown event type" in err
+
+
+def test_report_rejects_missing_manifest(tmp_path, capsys):
+    log = tmp_path / "events.jsonl"
+    log.write_text('{"ts": 1.0, "type": "run_start", "pid": 1, '
+                   '"run": "r", "schema": 1}\n')
+    code, _, err = run_cli(capsys, "report", "--events", str(log),
+                           "--manifest", str(tmp_path / "nope.json"))
+    assert code == 1
+    assert "unreadable" in err
+
+
+def test_bench_profile_prints_stage_accounting(capsys):
+    code, out, err = run_cli(capsys, "bench", "gamess",
+                             "--scheme", "baseline",
+                             "--instructions", "1500", "--profile")
+    assert code == 0
+    assert "stage wall-clock" in out
+    assert "cProfile top" in err

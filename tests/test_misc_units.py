@@ -55,6 +55,19 @@ class TestCoreConstruction:
                     "rollback_events", "exceptions"):
             assert key in summary
 
+    def test_stats_summary_covers_energy_model_inputs(self):
+        # regression: these counters feed the energy model / breakdowns
+        # but used to be silently missing from summary()
+        core = PipelineCore([assemble("movi r1, 1\nhalt")])
+        core.run(max_cycles=5_000)
+        summary = core.stats.summary()
+        for key in ("memory_order_violations",
+                    "singleton_mismatch_detections",
+                    "delay_buffer_squashes",
+                    "regfile_reads", "regfile_writes"):
+            assert key in summary
+        assert summary["regfile_writes"] > 0
+
 
 class TestTraceStages:
     def make_op(self, **times):

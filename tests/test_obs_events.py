@@ -1,0 +1,167 @@
+"""Event-log tests: span nesting, worker spool merge, schema validity."""
+
+import json
+import os
+
+import pytest
+
+from repro.harness.experiment import ExperimentConfig, ExperimentContext
+from repro.obs import (EventLog, NULL_LOG, WORKER_DIR_ENV, check_spans,
+                       read_events, summarize_events, validate_events,
+                       worker_task_span)
+
+_TINY = ExperimentConfig(benchmarks=("mcf",), dynamic_target=3_000,
+                         num_faults=10, warmup_commits=200,
+                         window_commits=100)
+
+
+# ----------------------------------------------------------------------
+# the log itself
+# ----------------------------------------------------------------------
+class TestEventLog:
+    def test_run_envelope_and_close(self, tmp_path):
+        log = EventLog(tmp_path / "events.jsonl")
+        log.counter("windows", 3, benchmark="mcf")
+        log.close()
+        events = read_events(log.path)
+        assert events[0]["type"] == "run_start"
+        assert events[-1]["type"] == "run_end"
+        assert events[0]["run"] == events[-1]["run"]
+        assert validate_events(events) == []
+
+    def test_spans_nest_with_parent_links(self, tmp_path):
+        log = EventLog(tmp_path / "events.jsonl")
+        with log.span("outer") as outer_id:
+            with log.span("inner", benchmark="mcf") as inner_id:
+                pass
+        log.close()
+        events = read_events(log.path)
+        starts = {e["name"]: e for e in events if e["type"] == "span_start"}
+        assert starts["outer"]["parent"] is None
+        assert starts["inner"]["parent"] == outer_id
+        assert starts["inner"]["span"] == inner_id
+        assert starts["inner"]["attrs"] == {"benchmark": "mcf"}
+        assert validate_events(events) == []
+
+    def test_emit_after_close_is_dropped(self, tmp_path):
+        log = EventLog(tmp_path / "events.jsonl")
+        log.close()
+        log.emit("counter", name="late", value=1)
+        assert read_events(log.path)[-1]["type"] == "run_end"
+
+    def test_null_log_is_free_and_silent(self, tmp_path):
+        assert NULL_LOG.enabled is False
+        with NULL_LOG.span("anything", x=1):
+            NULL_LOG.counter("n", 1)
+            NULL_LOG.cache_event("fault_free", "abc", hit=True)
+        assert NULL_LOG.worker_spool() is None
+        assert NULL_LOG.absorb_worker_files() == 0
+        NULL_LOG.close()
+
+
+# ----------------------------------------------------------------------
+# worker spools
+# ----------------------------------------------------------------------
+class TestWorkerSpool:
+    def test_task_span_spools_and_parent_absorbs(self, tmp_path,
+                                                 monkeypatch):
+        log = EventLog(tmp_path / "events.jsonl")
+        monkeypatch.setenv(WORKER_DIR_ENV, log.worker_spool())
+        with worker_task_span("worker:unit", benchmark="mcf"):
+            pass
+        monkeypatch.delenv(WORKER_DIR_ENV)
+        assert log.absorb_worker_files() >= 2   # span_start + span_end
+        log.close()
+        events = read_events(log.path)
+        names = [e.get("name") for e in events if e["type"] == "span_start"]
+        assert "worker:unit" in names
+        assert any(e["type"] == "worker_merge" for e in events)
+        assert validate_events(events) == []
+
+    def test_task_span_without_env_is_noop(self, tmp_path):
+        assert not os.environ.get(WORKER_DIR_ENV)
+        with worker_task_span("worker:unit"):
+            pass    # nothing written anywhere, nothing raised
+
+    def test_truncated_spool_line_is_skipped(self, tmp_path):
+        log = EventLog(tmp_path / "events.jsonl")
+        spool_dir = log.worker_spool()
+        spool = os.path.join(spool_dir, "worker-999.jsonl")
+        good = json.dumps({"ts": 1.0, "type": "worker_start", "pid": 999})
+        with open(spool, "w") as handle:
+            handle.write(good + "\n" + '{"ts": 2.0, "type": "trunc')
+        assert log.absorb_worker_files() == 1
+        log.close()
+
+
+# ----------------------------------------------------------------------
+# schema structural checks
+# ----------------------------------------------------------------------
+class TestSpanDiscipline:
+    def test_unclosed_span_is_an_error(self):
+        events = [{"ts": 1, "type": "span_start", "pid": 1, "span": "1:1",
+                   "name": "open", "attrs": {}}]
+        assert any("never ended" in e for e in check_spans(events))
+
+    def test_out_of_order_close_is_an_error(self):
+        events = [
+            {"ts": 1, "type": "span_start", "pid": 1, "span": "1:1",
+             "name": "a", "attrs": {}},
+            {"ts": 2, "type": "span_start", "pid": 1, "span": "1:2",
+             "name": "b", "attrs": {}},
+            {"ts": 3, "type": "span_end", "pid": 1, "span": "1:1",
+             "name": "a", "seconds": 0.1},
+        ]
+        assert any("out of order" in e for e in check_spans(events))
+
+    def test_interleaved_pids_nest_independently(self):
+        events = [
+            {"ts": 1, "type": "span_start", "pid": 1, "span": "1:1",
+             "name": "a", "attrs": {}},
+            {"ts": 2, "type": "span_start", "pid": 2, "span": "2:1",
+             "name": "b", "attrs": {}},
+            {"ts": 3, "type": "span_end", "pid": 1, "span": "1:1",
+             "name": "a", "seconds": 0.1},
+            {"ts": 4, "type": "span_end", "pid": 2, "span": "2:1",
+             "name": "b", "seconds": 0.1},
+        ]
+        assert check_spans(events) == []
+
+
+# ----------------------------------------------------------------------
+# end to end: a parallel campaign's log is schema-valid and nested
+# ----------------------------------------------------------------------
+class TestCampaignLog:
+    def test_parallel_campaign_log_is_schema_valid(self, tmp_path):
+        log = EventLog(tmp_path / "events.jsonl")
+        ctx = ExperimentContext(_TINY, jobs=2, events=log)
+        ctx.campaign("mcf")
+        coverage = ctx.coverage("mcf", "faulthound")
+        log.close()
+        events = read_events(log.path)
+        assert validate_events(events) == []
+        audits = [e for e in events if e["type"] == "fault_audit"]
+        assert sum(1 for e in audits
+                   if e["phase"] == "characterize") == _TINY.num_faults
+        assert sum(1 for e in audits if e["phase"] == "coverage") == len(
+            coverage.coverage_results)
+        summary = summarize_events(events)
+        assert "phase:characterize" in summary["span_seconds"]
+        # the spool directory was fully absorbed
+        assert not any(log.worker_dir.glob("worker-*.jsonl"))
+
+    def test_serial_campaign_log_is_schema_valid(self, tmp_path):
+        log = EventLog(tmp_path / "events.jsonl")
+        ctx = ExperimentContext(_TINY, jobs=1, events=log)
+        ctx.campaign("mcf")
+        log.close()
+        events = read_events(log.path)
+        assert validate_events(events) == []
+        assert sum(1 for e in events
+                   if e["type"] == "fault_audit") == _TINY.num_faults
+
+    def test_read_events_rejects_corrupt_log(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ts": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="not JSON"):
+            read_events(path)

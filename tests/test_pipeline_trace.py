@@ -84,3 +84,48 @@ def test_max_ops_cap():
     tracer = PipelineTracer(core, max_ops=5)
     tracer.run(200)
     assert len(tracer.traced_ops) <= 5
+
+
+def test_inflight_ops_is_the_public_iteration_surface():
+    core, _ = traced_core(cycles=40)
+    seen = list(core.inflight_ops())
+    # everything the generator yields is a live micro-op with a uid,
+    # and no uid appears twice in one sweep
+    uids = [op.uid for op in seen]
+    assert len(uids) == len(set(uids))
+    for op in seen:
+        assert op.cycle_fetched >= 0
+
+
+def test_squashed_before_issue_renders_tail():
+    from repro.isa import Instruction, Opcode
+    from repro.pipeline.uops import MicroOp, OpState
+
+    op = MicroOp(1, 0, 0, Instruction(Opcode.ADD, rd=1),
+                 cycle_fetched=5, dispatch_ready_at=8)
+    op.state = OpState.SQUASHED
+    assert op.cycle_issued < 0
+    stage = PipelineTracer._stage_at
+    assert stage(op, 6) == "F"      # still in the front end
+    assert stage(op, 8) == "x"      # tail starts at dispatch-ready
+    assert stage(op, 30) == "x"     # and never falls through to "w"
+
+
+def test_stage_histogram_on_known_program():
+    # A straight-line 20-op program with no branches: every op commits,
+    # so the histogram must account for all of them with sane stages.
+    source = "\n".join(f"movi r{1 + (i % 6)}, {i}" for i in range(20))
+    core = PipelineCore([assemble(source + "\nhalt")])
+    tracer = PipelineTracer(core)
+    tracer.run(400)
+    assert core.all_halted
+    committed = [op for op in tracer.traced_ops
+                 if op.cycle_committed >= 0 and op.cycle_issued >= 0]
+    assert len(committed) >= 20
+    histogram = tracer.stage_histogram()
+    assert set(histogram) == {"frontend", "wait", "execute", "commit_wait"}
+    for stage_name, mean_cycles in histogram.items():
+        assert mean_cycles >= 0.0
+    # front end is at least fetch->dispatch, execution at least one cycle
+    assert histogram["frontend"] >= 1.0
+    assert histogram["execute"] >= 1.0

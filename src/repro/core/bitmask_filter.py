@@ -63,6 +63,14 @@ class BitmaskFilter:
         previous value is retained (only the counters are sticky)."""
         self.bank.flash_clear()
 
+    def clone(self) -> "BitmaskFilter":
+        """Independent copy for core forking (checkpoint protocol)."""
+        twin = BitmaskFilter.__new__(BitmaskFilter)
+        twin.bank = self.bank.clone()
+        twin.previous = self.previous
+        twin.valid = self.valid
+        return twin
+
     def ternary_repr(self) -> str:
         """Human-readable 64-char ternary word, MSB first: ``0``/``1`` for
         unchanging bits of the previous value, ``x`` for wildcards."""

@@ -41,6 +41,13 @@ class _Domain:
         store = self.tcam if self.tcam is not None else self.table
         return store.lookups if store is not None else 0
 
+    def clone(self) -> "_Domain":
+        return _Domain(
+            tcam=self.tcam.clone() if self.tcam is not None else None,
+            table=self.table.clone() if self.table is not None else None,
+            second=self.second.clone() if self.second is not None else None,
+            squash=self.squash.clone() if self.squash is not None else None)
+
 
 class FaultHoundUnit(ScreeningUnit):
     """Screening unit implementing the full FaultHound scheme."""
@@ -59,6 +66,19 @@ class FaultHoundUnit(ScreeningUnit):
         self.squash_triggers = 0
         self.replay_triggers = 0
         self.singleton_triggers = 0
+
+    def clone(self) -> "FaultHoundUnit":
+        twin = FaultHoundUnit.__new__(FaultHoundUnit)
+        self._clone_base_into(twin)
+        twin.config = self.config         # frozen dataclass, shared
+        twin.wants_commit_checks = self.wants_commit_checks
+        twin.addresses = self.addresses.clone()
+        twin.values = self.values.clone()
+        twin.second_level_suppressions = self.second_level_suppressions
+        twin.squash_triggers = self.squash_triggers
+        twin.replay_triggers = self.replay_triggers
+        twin.singleton_triggers = self.singleton_triggers
+        return twin
 
     def _make_domain(self) -> _Domain:
         cfg = self.config

@@ -62,6 +62,12 @@ class BitParallelBiasedBank:
         meaningful for PBFS-style operation, but harmless here)."""
         self.reset()
 
+    def clone(self) -> "BitParallelBiasedBank":
+        twin = BitParallelBiasedBank()
+        twin.b1 = self.b1
+        twin.b0 = self.b0
+        return twin
+
 
 class BitParallelStickyBank:
     """64 PBFS sticky one-bit counters as a single "changing" bitplane."""
@@ -87,6 +93,11 @@ class BitParallelStickyBank:
     def flash_clear(self) -> None:
         """PBFS's periodic clear: every counter back to "unchanging"."""
         self.changing = 0
+
+    def clone(self) -> "BitParallelStickyBank":
+        twin = BitParallelStickyBank()
+        twin.changing = self.changing
+        return twin
 
 
 class ArrayBank:
@@ -127,6 +138,11 @@ class ArrayBank:
 
     def flash_clear(self) -> None:
         self.reset()
+
+    def clone(self) -> "ArrayBank":
+        twin = ArrayBank.__new__(ArrayBank)
+        twin.machines = [machine.clone() for machine in self.machines]
+        return twin
 
 
 def make_bank(kind: str = "biased", changing_states: int = 2):

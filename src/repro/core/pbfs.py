@@ -62,6 +62,15 @@ class PCIndexedFilterTable:
             if entry.valid:
                 entry.flash_clear()
 
+    def clone(self) -> "PCIndexedFilterTable":
+        """Independent copy for core forking (checkpoint protocol)."""
+        twin = PCIndexedFilterTable.__new__(PCIndexedFilterTable)
+        twin.entries = [entry.clone() for entry in self.entries]
+        twin.bank_kind = self.bank_kind
+        twin.lookups = self.lookups
+        twin.triggers = self.triggers
+        return twin
+
 
 class PBFSUnit(ScreeningUnit):
     """The PBFS baseline: PC-indexed tables, squash on every trigger."""
@@ -77,6 +86,16 @@ class PBFSUnit(ScreeningUnit):
             for kind in CheckKind
         }
         self._checks_since_clear = 0
+
+    def clone(self) -> "PBFSUnit":
+        twin = PBFSUnit.__new__(PBFSUnit)
+        self._clone_base_into(twin)
+        twin.config = self.config         # frozen dataclass, shared
+        twin.name = self.name
+        twin.tables = {kind: table.clone()
+                       for kind, table in self.tables.items()}
+        twin._checks_since_clear = self._checks_since_clear
+        return twin
 
     def _maybe_flash_clear(self) -> None:
         if self.config.counter != "sticky":

@@ -43,6 +43,23 @@ class ScreeningUnit:
         """Screen *value* when its load/store reaches commit (LSQ check)."""
         raise NotImplementedError
 
+    def clone(self) -> "ScreeningUnit":
+        """An independent copy carrying all learned filter state — the
+        checkpoint protocol's fork point for screening hardware.
+
+        The in-tree units override this with purpose-built copies; the
+        base implementation falls back to ``copy.deepcopy`` so external
+        subclasses stay correct (merely slower) without implementing it.
+        """
+        import copy
+        return copy.deepcopy(self)
+
+    def _clone_base_into(self, twin: "ScreeningUnit") -> None:
+        """Transfer the shared bookkeeping onto a freshly built *twin*."""
+        twin.checks = self.checks
+        twin.action_counts = Counter(self.action_counts)
+        twin.replaying = self.replaying
+
     # -- shared helpers --------------------------------------------------
     def _record(self, result: CheckResult) -> CheckResult:
         self.checks += 1
@@ -70,6 +87,11 @@ class NullScreeningUnit(ScreeningUnit):
     def check_at_commit(self, kind: CheckKind, value: int,
                         pc: int) -> CheckResult:
         return self._record(CheckResult.none(kind))
+
+    def clone(self) -> "NullScreeningUnit":
+        twin = NullScreeningUnit()
+        self._clone_base_into(twin)
+        return twin
 
 
 __all__ = ["ScreeningUnit", "NullScreeningUnit"]

@@ -50,6 +50,14 @@ class SecondLevelFilter:
             self.suppressed_triggers += 1
         return allowed
 
+    def clone(self) -> "SecondLevelFilter":
+        """Independent copy for core forking (checkpoint protocol)."""
+        twin = SecondLevelFilter.__new__(SecondLevelFilter)
+        twin._machines = [machine.clone() for machine in self._machines]
+        twin.observed_triggers = self.observed_triggers
+        twin.suppressed_triggers = self.suppressed_triggers
+        return twin
+
     def allows(self, mismatch_mask: int) -> bool:
         """Side-effect-free: would any position in *mismatch_mask* alarm?"""
         mismatch_mask &= VALUE_MASK

@@ -47,6 +47,14 @@ class SquashMachineBank:
             self.squashes_suppressed += 1
         return allow
 
+    def clone(self) -> "SquashMachineBank":
+        """Independent copy for core forking (checkpoint protocol)."""
+        twin = SquashMachineBank.__new__(SquashMachineBank)
+        twin._machines = [machine.clone() for machine in self._machines]
+        twin.squashes_allowed = self.squashes_allowed
+        twin.squashes_suppressed = self.squashes_suppressed
+        return twin
+
     def entry_replaced(self, index: int) -> None:
         """A TCAM entry was replaced: its identity history is void, so
         saturate its machine (a fresh entry must re-earn squash rights)."""

@@ -42,6 +42,11 @@ class StickyCounter:
         """Periodic clear back to "unchanging" (the only way out)."""
         self.changing = False
 
+    def clone(self) -> "StickyCounter":
+        twin = StickyCounter()
+        twin.changing = self.changing
+        return twin
+
     @property
     def is_changing(self) -> bool:
         return self.changing
@@ -71,6 +76,11 @@ class StandardCounter:
         if self.state:
             self.state -= 1
         return False
+
+    def clone(self) -> "StandardCounter":
+        twin = StandardCounter(self.num_changing_states)
+        twin.state = self.state
+        return twin
 
     @property
     def is_changing(self) -> bool:
@@ -108,6 +118,11 @@ class BiasedMachine:
         """Force the deepest changing state (used when a squash machine's
         TCAM entry is replaced: the new filter's identity is unproven)."""
         self.state = self.num_changing_states
+
+    def clone(self) -> "BiasedMachine":
+        twin = BiasedMachine(self.num_changing_states)
+        twin.state = self.state
+        return twin
 
     @property
     def is_changing(self) -> bool:

@@ -111,6 +111,16 @@ class TCAM:
         return LookupResult(True, closest, best_mask, best_count,
                             replaced_index=victim)
 
+    def clone(self) -> "TCAM":
+        """Independent copy for core forking (checkpoint protocol)."""
+        twin = TCAM.__new__(TCAM)
+        twin.entries = [entry.clone() for entry in self.entries]
+        twin.loosen_threshold = self.loosen_threshold
+        twin._lru = list(self._lru)
+        twin.lookups = self.lookups
+        twin.triggers = self.triggers
+        return twin
+
     def probe(self, value: int) -> int:
         """Side-effect-free nearest mismatch count (65 when table empty)."""
         value &= VALUE_MASK

@@ -9,7 +9,6 @@ the paper's uncovered categories.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -31,6 +30,13 @@ class ThroughputRecord:
     wall_seconds: float = 0.0
     jobs: int = 1
     from_cache: bool = False
+    #: Checkpoint instrumentation for the parallel window fan-out: how
+    #: many chunk-boundary checkpoints the dispatcher captured fresh vs
+    #: reloaded from the artifact cache, and the wall-clock of its one
+    #: golden pass (zero when every boundary was a cache hit).
+    checkpoints_captured: int = 0
+    checkpoint_hits: int = 0
+    golden_pass_seconds: float = 0.0
 
     @property
     def windows_per_sec(self) -> float:
@@ -169,7 +175,7 @@ class Campaign:
         mutates its record, and the characterisation must stay pristine so
         serial, parallel and cache-hit paths agree bit-for-bit.
         """
-        return [copy.deepcopy(r.record)
+        return [r.record.fresh_copy()
                 for r in characterization.characterization
                 if r.applied and r.fault_class is FaultClass.SDC]
 

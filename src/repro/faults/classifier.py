@@ -1,9 +1,10 @@
 """Tandem golden/faulty classification (paper Section 4).
 
 One fault-free *golden* core advances through the workload. For each
-planned fault the classifier forks a deep copy, injects the fault, runs
-both copies to the same per-thread committed-instruction boundary (the
-paper's run-window), and compares:
+planned fault the classifier forks a copy (the purpose-built
+:meth:`~repro.pipeline.core.PipelineCore.clone`, not a generic
+deepcopy), injects the fault, runs both copies to the same per-thread
+committed-instruction boundary (the paper's run-window), and compares:
 
 - extra exceptions in the faulty run  →  **noisy**
 - identical architectural state       →  **masked**
@@ -15,7 +16,6 @@ serving all injections from one benchmark run).
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -88,7 +88,9 @@ class TandemClassifier:
 
     # ------------------------------------------------------------------
     def run(self, records: List[FaultRecord],
-            skip: Sequence[FaultRecord] = ()) -> List[WindowResult]:
+            skip: Sequence[FaultRecord] = (),
+            golden: Optional[PipelineCore] = None,
+            resume_at_commit: int = 0) -> List[WindowResult]:
         """Classify every fault in *records*.
 
         The one golden core serves every window, which is only sound
@@ -97,25 +99,45 @@ class TandemClassifier:
         (``Campaign._space_records`` guarantees it) instead of
         re-deriving golden state per window.
 
-        *skip* is the fast-forward prefix used by parallel window
-        chunks: the golden core replays those windows (advance + capture,
-        no fault, no tandem copy) so it reaches bit-for-bit the same
-        state the serial classifier would carry into ``records[0]``.
+        *skip* is the fast-forward prefix a worker can replay when it has
+        nothing better: the golden core replays those windows (advance +
+        capture, no fault, no tandem copy) so it reaches bit-for-bit the
+        same state the serial classifier would carry into ``records[0]``.
+
+        *golden* skips even that: a caller that already holds the
+        prefix-advanced core — restored from a chunk-boundary
+        :class:`~repro.pipeline.checkpoint.CoreCheckpoint` — passes it
+        directly with *resume_at_commit* set to the commit coordinate it
+        was advanced through, and no replay happens at all.
         """
-        self._check_contract(skip, records)
-        golden = self.core_factory()
-        for record in skip:
-            self._skip_window(golden, record)
+        if golden is not None and skip:
+            raise ValueError("pass either a restored golden core or a "
+                             "skip prefix, not both")
+        self._check_contract(skip, records,
+                             resume_at_commit if golden is not None else 0)
+        if golden is None:
+            golden = self.core_factory()
+            for record in skip:
+                self._skip_window(golden, record)
         results = []
         for record in records:
             result = self._classify_one(golden, record)
             results.append(result)
         return results
 
+    def advance_golden(self, golden: PipelineCore,
+                       records: Sequence[FaultRecord]) -> None:
+        """Advance *golden* through *records* exactly as the serial
+        classifier's golden side would (the dispatcher's one golden pass
+        that captures chunk-boundary checkpoints)."""
+        for record in records:
+            self._skip_window(golden, record)
+
     @staticmethod
     def _check_contract(skip: Sequence[FaultRecord],
-                        records: Sequence[FaultRecord]) -> None:
-        previous = None
+                        records: Sequence[FaultRecord],
+                        already_at_commit: int = 0) -> None:
+        previous = already_at_commit if already_at_commit else None
         for record in (*skip, *records):
             if previous is not None and record.inject_at_commit < previous:
                 raise ValueError(
@@ -138,7 +160,7 @@ class TandemClassifier:
         if not self._advance_to(golden, record.inject_at_commit):
             return
         if record.site is FaultSite.LSQ:
-            probe = copy.deepcopy(golden)
+            probe = golden.clone()
             if not self._apply_with_retry(probe, record):
                 return
         targets = {t.thread_id: t.committed_count + self.window_commits
@@ -165,7 +187,7 @@ class TandemClassifier:
             record.applied = False
             return result
 
-        faulty = copy.deepcopy(golden)
+        faulty = golden.clone()
         if not self._apply_with_retry(faulty, record):
             result.applied = False
             return result

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
 
@@ -82,6 +82,18 @@ class FaultRecord:
     fault_class: Optional[FaultClass] = None
     #: Scheme outcome (phase B), per scheme name.
     outcomes: Dict[str, CoverageOutcome] = field(default_factory=dict)
+
+    def fresh_copy(self) -> "FaultRecord":
+        """An independent copy for replay phases.
+
+        Re-running a fault mutates its record (``applied``,
+        ``fault_class``, ``outcomes``), and the characterisation that
+        planned it must stay pristine so serial, parallel and cache-hit
+        paths agree bit-for-bit. Every field of this dataclass is an
+        immutable scalar except ``outcomes``, so a ``replace`` plus one
+        dict copy is a complete deep copy — no graph traversal needed.
+        """
+        return replace(self, outcomes=dict(self.outcomes))
 
     def describe(self) -> str:
         if self.site is FaultSite.REGFILE:

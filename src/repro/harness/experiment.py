@@ -318,11 +318,14 @@ class ExperimentContext:
                 characterization = self._cache_get("characterize",
                                                    benchmark=benchmark)
                 from_cache = characterization is not None
+                cp_stats = _parallel.CheckpointStats()
                 if not from_cache:
                     if self.jobs > 1 and len(campaign.records) > 1:
                         windows = _parallel.classify_windows_parallel(
                             self.cfg, self.hw, benchmark, None,
-                            campaign.records, self._executor)
+                            campaign.records, self._executor,
+                            cache=self.cache, ctx=self,
+                            checkpoint_stats=cp_stats)
                         characterization = CampaignResult(
                             benchmark, "baseline",
                             [w.record for w in windows])
@@ -338,7 +341,10 @@ class ExperimentContext:
                 characterization.throughput = ThroughputRecord(
                     phase="characterize", windows=windows,
                     wall_seconds=elapsed, jobs=self.jobs,
-                    from_cache=from_cache)
+                    from_cache=from_cache,
+                    checkpoints_captured=cp_stats.captured,
+                    checkpoint_hits=cp_stats.hits,
+                    golden_pass_seconds=cp_stats.golden_pass_seconds)
                 self.metrics.note_phase("characterize", elapsed,
                                         windows=0 if from_cache else windows)
                 self._emit_audit(characterization, "characterize")
@@ -355,6 +361,7 @@ class ExperimentContext:
                 result = self._cache_get("coverage", benchmark=benchmark,
                                          scheme=scheme)
                 from_cache = result is not None
+                cp_stats = _parallel.CheckpointStats()
                 if from_cache:
                     # re-link to this context's characterisation windows
                     result.characterization = (
@@ -364,7 +371,9 @@ class ExperimentContext:
                     if self.jobs > 1 and len(sdc_records) > 1:
                         windows = _parallel.classify_windows_parallel(
                             self.cfg, self.hw, benchmark, scheme,
-                            sdc_records, self._executor)
+                            sdc_records, self._executor,
+                            cache=self.cache, ctx=self,
+                            checkpoint_stats=cp_stats)
                         result = campaign.collect_coverage(
                             scheme, characterization, windows)
                     else:
@@ -378,7 +387,10 @@ class ExperimentContext:
                 windows = len(result.coverage_results)
                 result.throughput = ThroughputRecord(
                     phase="coverage", windows=windows, wall_seconds=elapsed,
-                    jobs=self.jobs, from_cache=from_cache)
+                    jobs=self.jobs, from_cache=from_cache,
+                    checkpoints_captured=cp_stats.captured,
+                    checkpoint_hits=cp_stats.hits,
+                    golden_pass_seconds=cp_stats.golden_pass_seconds)
                 self.metrics.note_phase("coverage", elapsed,
                                         windows=0 if from_cache else windows)
                 self._emit_audit(result, "coverage")

@@ -11,11 +11,15 @@ immutable configuration):
   are independent given the configuration; :meth:`ExperimentContext.
   prefetch` fans them out across a worker pool;
 - **window level** — inside one campaign, the planned fault list is
-  split into contiguous chunks; each worker fast-forwards a fresh golden
-  core through the preceding windows (golden-only replay, no tandem
-  copies) and classifies only its chunk. The serial golden core never
-  rewinds, so the replayed prefix reaches exactly the state the serial
-  classifier would carry into the chunk.
+  split into contiguous chunks; the dispatcher runs *one* golden pass
+  that captures a :class:`~repro.pipeline.checkpoint.CoreCheckpoint` at
+  each chunk boundary (reusing cached ones when the artifact cache has
+  them) and ships each worker its boundary checkpoint. Workers restore
+  the checkpoint and classify only their chunk — no per-worker prefix
+  replay, so total golden work is linear in the fault count instead of
+  quadratic. The serial golden core never rewinds, and checkpoint
+  restore is bit-for-bit the state the serial classifier would carry
+  into the chunk.
 
 Workers are plain processes (``concurrent.futures.ProcessPoolExecutor``,
 fork start method where available); each keeps a private serial
@@ -30,15 +34,17 @@ from __future__ import annotations
 import multiprocessing
 import os
 import sys
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..config import HardwareConfig
 from ..faults import CampaignResult
 from ..faults.classifier import WindowResult
 from ..faults.model import FaultRecord
 from ..obs.events import NULL_LOG, WORKER_DIR_ENV, worker_task_span
+from ..pipeline.checkpoint import CoreCheckpoint
 
 # ----------------------------------------------------------------------
 # instrumentation
@@ -213,12 +219,139 @@ def coverage_task(args) -> CampaignResult:
 # ----------------------------------------------------------------------
 # window-level tasks (chunks of one campaign per worker)
 # ----------------------------------------------------------------------
+@dataclass
+class CheckpointStats:
+    """Dispatcher-side checkpoint instrumentation for one fan-out (feeds
+    :class:`~repro.faults.campaign.ThroughputRecord`)."""
+
+    captured: int = 0
+    hits: int = 0
+    golden_pass_seconds: float = 0.0
+
+
+def _checkpoint_key(cache, cfg, hw, benchmark: str, scheme,
+                    records: Sequence[FaultRecord], lo: int) -> str:
+    """Content-addressed key for the chunk-boundary checkpoint at window
+    *lo*. The golden core's state there is a pure function of the
+    configuration, the workload, the scheme, and the *content* of the
+    prefix records it advanced through (an LSQ fault's probe decides
+    whether a window arms), so all of those go into the digest."""
+    return cache.key("checkpoint", cfg=cfg, hw=hw, benchmark=benchmark,
+                     scheme=scheme or "baseline", window=lo,
+                     prefix=list(records[:lo]))
+
+
+def chunk_checkpoints(cfg, hw, benchmark: str, scheme,
+                      records: Sequence[FaultRecord],
+                      bounds: Sequence[Tuple[int, int]],
+                      cache=None, events=None, ctx=None,
+                      stats: Optional[CheckpointStats] = None,
+                      jobs: int = 1) -> List[CoreCheckpoint]:
+    """One golden pass producing a :class:`CoreCheckpoint` per chunk
+    boundary — the linear replacement for per-worker prefix replay.
+
+    Boundaries are visited in ascending window order. A boundary whose
+    checkpoint the artifact cache already holds is a hit (no golden work
+    at all); a miss advances a live golden core from the nearest earlier
+    state — the previous boundary's live core, or a restored cached
+    checkpoint — so the pass never restarts from window zero. With a
+    fully warm cache the entire pass does zero stepping.
+    """
+    events = events if events is not None else NULL_LOG
+    stats = stats if stats is not None else CheckpointStats()
+    if ctx is None:
+        ctx = _worker_context(cfg, hw)
+    campaign = ctx.build_campaign(benchmark)
+    if scheme is None:
+        factory = campaign.baseline_factory
+    else:
+        factory = lambda: ctx.make_core(benchmark, scheme)
+    classifier = campaign.classifier(factory)
+    records = list(records)
+    label = scheme or "baseline"
+    checkpoints: List[CoreCheckpoint] = []
+    golden = None       # live core, advanced through records[:golden_at]
+    golden_at = 0
+    base: Optional[CoreCheckpoint] = None   # nearest cached boundary
+    started = time.perf_counter()
+    for lo, _hi in bounds:
+        key = checkpoint = None
+        if cache is not None:
+            key = _checkpoint_key(cache, cfg, hw, benchmark, scheme,
+                                  records, lo)
+            checkpoint = cache.get("checkpoint", key)
+            events.cache_event("checkpoint", key,
+                               hit=checkpoint is not None)
+        if checkpoint is not None:
+            stats.hits += 1
+            events.emit("checkpoint", action="hit", window=lo,
+                        benchmark=benchmark, scheme=label,
+                        bytes=checkpoint.nbytes,
+                        committed=checkpoint.committed,
+                        cycle=checkpoint.cycle)
+            # Later misses resume from this checkpoint, not from any
+            # earlier live core.
+            base, golden = checkpoint, None
+        else:
+            if golden is None:
+                if base is not None:
+                    with events.span("checkpoint:restore",
+                                     benchmark=benchmark, scheme=label,
+                                     window=base.window_index):
+                        golden = base.restore()
+                    golden_at = base.window_index
+                else:
+                    golden = factory()
+                    golden_at = 0
+            with events.span("checkpoint:capture", benchmark=benchmark,
+                             scheme=label, window=lo):
+                classifier.advance_golden(golden, records[golden_at:lo])
+                golden_at = lo
+                resume = records[lo - 1].inject_at_commit if lo else 0
+                checkpoint = CoreCheckpoint.capture(
+                    golden, window_index=lo, resume_at_commit=resume)
+            stats.captured += 1
+            events.emit("checkpoint", action="capture", window=lo,
+                        benchmark=benchmark, scheme=label,
+                        bytes=checkpoint.nbytes,
+                        committed=checkpoint.committed,
+                        cycle=checkpoint.cycle)
+            if cache is not None and cache.put("checkpoint", key,
+                                               checkpoint):
+                from ..obs.manifest import (build_manifest,
+                                            manifest_path_for,
+                                            write_manifest)
+                manifest = build_manifest(
+                    "checkpoint", cfg, hw,
+                    parts=dict(benchmark=benchmark, scheme=label,
+                               window=lo, prefix_records=lo),
+                    key=key, jobs=jobs)
+                write_manifest(
+                    manifest_path_for(
+                        cache.artifact_path("checkpoint", key)),
+                    manifest)
+        checkpoints.append(checkpoint)
+    stats.golden_pass_seconds += time.perf_counter() - started
+    return checkpoints
+
+
 def window_chunk_task(args) -> List[WindowResult]:
-    """Classify ``records[lo:hi]`` after a golden-only fast-forward
-    through ``records[:lo]`` (scheme None = baseline characterisation)."""
-    cfg, hw, benchmark, scheme, records, lo, hi = args
+    """Classify ``records[lo:hi]`` in a chunk worker.
+
+    With a chunk-boundary :class:`CoreCheckpoint` (the 8th task element)
+    the worker restores it and starts classifying immediately; without
+    one it falls back to the golden-only fast-forward through
+    ``records[:lo]`` (the legacy prefix-replay path, kept as the
+    checkpoint-free reference). Scheme None = baseline characterisation.
+    """
+    if len(args) == 7:      # legacy 7-tuple: no checkpoint
+        cfg, hw, benchmark, scheme, records, lo, hi = args
+        checkpoint = None
+    else:
+        cfg, hw, benchmark, scheme, records, lo, hi, checkpoint = args
     with worker_task_span("worker:window_chunk", benchmark=benchmark,
-                          scheme=scheme or "baseline", lo=lo, hi=hi):
+                          scheme=scheme or "baseline", lo=lo, hi=hi,
+                          checkpointed=checkpoint is not None):
         ctx = _worker_context(cfg, hw)
         campaign = ctx.build_campaign(benchmark)
         if scheme is None:
@@ -226,26 +359,52 @@ def window_chunk_task(args) -> List[WindowResult]:
         else:
             factory = lambda: ctx.make_core(benchmark, scheme)
         classifier = campaign.classifier(factory)
-        return classifier.run(records[lo:hi], skip=records[:lo])
+        if checkpoint is None:
+            return classifier.run(records[lo:hi], skip=records[:lo])
+        with worker_task_span("checkpoint:restore", window=lo,
+                              bytes=checkpoint.nbytes):
+            golden = checkpoint.restore()
+        return classifier.run(records[lo:hi], golden=golden,
+                              resume_at_commit=checkpoint.resume_at_commit)
 
 
 def classify_windows_parallel(cfg, hw, benchmark: str, scheme,
                               records: Sequence[FaultRecord],
-                              executor: ParallelExecutor
-                              ) -> List[WindowResult]:
+                              executor: ParallelExecutor,
+                              cache=None, ctx=None,
+                              use_checkpoints: bool = True,
+                              checkpoint_stats: Optional[CheckpointStats]
+                              = None) -> List[WindowResult]:
     """Fan one campaign's fault windows out across the pool; results are
-    positionally identical to ``classifier.run(records)``."""
+    positionally identical to ``classifier.run(records)``.
+
+    By default the dispatcher runs one golden pass capturing (or, given
+    *cache*, reloading) a checkpoint per chunk boundary and ships each
+    worker its boundary; ``use_checkpoints=False`` keeps the legacy
+    per-worker prefix replay. *checkpoint_stats*, when given, accumulates
+    the dispatcher's capture/hit counts and golden-pass wall-clock.
+    """
     records = list(records)
-    tasks = [(cfg, hw, benchmark, scheme, records, lo, hi)
-             for lo, hi in chunk_bounds(len(records), executor.jobs)]
+    bounds = chunk_bounds(len(records), executor.jobs)
+    if use_checkpoints and bounds:
+        checkpoints = chunk_checkpoints(
+            cfg, hw, benchmark, scheme, records, bounds,
+            cache=cache, events=executor.events, ctx=ctx,
+            stats=checkpoint_stats, jobs=executor.jobs)
+    else:
+        checkpoints = [None] * len(bounds)
+    tasks = [(cfg, hw, benchmark, scheme, records, lo, hi, checkpoint)
+             for (lo, hi), checkpoint in zip(bounds, checkpoints)]
     chunks = executor.map(window_chunk_task, tasks)
     return [window for chunk in chunks for window in chunk]
 
 
 __all__ = [
+    "CheckpointStats",
     "ContextMetrics",
     "ParallelExecutor",
     "chunk_bounds",
+    "chunk_checkpoints",
     "classify_windows_parallel",
     "default_jobs",
     "fault_free_task",

@@ -7,7 +7,7 @@ architectural memory, which is authoritative for values.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List
 
 from ..errors import ConfigurationError
@@ -96,6 +96,19 @@ class Cache:
 
     def flush(self) -> None:
         self._sets.clear()
+
+    def clone(self) -> "Cache":
+        """Independent copy for core forking (checkpoint protocol)."""
+        twin = Cache.__new__(Cache)
+        twin.name = self.name
+        twin.assoc = self.assoc
+        twin.line_bytes = self.line_bytes
+        twin.latency = self.latency
+        twin.num_sets = self.num_sets
+        twin.stats = replace(self.stats)
+        twin._sets = {index: list(ways)
+                      for index, ways in self._sets.items()}
+        return twin
 
     @property
     def resident_lines(self) -> int:

@@ -95,6 +95,20 @@ class MemoryHierarchy:
                     self._prefetched.add(pf_line)
         return AccessResult(latency, level)
 
+    def clone(self) -> "MemoryHierarchy":
+        """Independent copy for core forking (checkpoint protocol)."""
+        twin = MemoryHierarchy.__new__(MemoryHierarchy)
+        twin.ideal = self.ideal
+        twin.l1 = self.l1.clone()
+        twin.l2 = self.l2.clone()
+        twin.memory_latency = self.memory_latency
+        twin.line_bytes = self.line_bytes
+        twin._fill_ready = dict(self._fill_ready)
+        twin.prefetcher = (self.prefetcher.clone()
+                           if self.prefetcher is not None else None)
+        twin._prefetched = set(self._prefetched)
+        return twin
+
     def warm(self, addresses, space: int = 0) -> None:
         """Pre-touch *addresses* (cache warm-up, per the paper's Table 1)."""
         for address in addresses:

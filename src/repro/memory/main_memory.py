@@ -40,6 +40,10 @@ class MainMemory:
     def items(self) -> Iterable[Tuple[int, int]]:
         return self._words.items()
 
+    def clone(self) -> "MainMemory":
+        """Independent copy for core forking (checkpoint protocol)."""
+        return MainMemory(self.latency, self._words)
+
     def nonzero_snapshot(self) -> Tuple[Tuple[int, int], ...]:
         """Sorted (address, value) pairs for all non-zero words."""
         return tuple(sorted(

@@ -51,6 +51,16 @@ class StridePrefetcher:
     def note_useful(self) -> None:
         self.useful += 1
 
+    def clone(self) -> "StridePrefetcher":
+        """Independent copy for core forking (checkpoint protocol)."""
+        twin = StridePrefetcher(self.degree)
+        twin._last_line = dict(self._last_line)
+        twin._stride = dict(self._stride)
+        twin._armed = dict(self._armed)
+        twin.issued = self.issued
+        twin.useful = self.useful
+        return twin
+
     @property
     def accuracy(self) -> float:
         return self.useful / self.issued if self.issued else 0.0

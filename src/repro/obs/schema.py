@@ -31,6 +31,7 @@ REQUIRED_FIELDS: Dict[str, Dict[str, tuple]] = {
     "span_end": {"span": (str,), "name": (str,), "seconds": _NUMBER},
     "counter": {"name": (str,), "value": _NUMBER},
     "cache": {"kind": (str,), "key": (str,), "hit": (bool,)},
+    "checkpoint": {"action": (str,), "window": (int,)},
     "worker_start": {},
     "worker_merge": {"worker_pid": (int,), "events": (int,)},
     "fault_audit": {
@@ -48,6 +49,8 @@ REQUIRED_FIELDS: Dict[str, Dict[str, tuple]] = {
 OPTIONAL_FIELDS: Dict[str, Dict[str, tuple]] = {
     "span_start": {"parent": (str,)},
     "counter": {"attrs": (dict,)},
+    "checkpoint": {"benchmark": (str,), "scheme": (str,),
+                   "bytes": (int,), "committed": (int,), "cycle": (int,)},
     "fault_audit": {"fault_class": (str,), "outcome": (str,),
                     "detection_latency": (int,),
                     "first_trigger_cycle": (int,),
@@ -56,6 +59,10 @@ OPTIONAL_FIELDS: Dict[str, Dict[str, tuple]] = {
 
 #: The recovery labels a ``fault_audit`` event may carry.
 RECOVERY_LABELS = ("rollback", "replay", "singleton", "suppress", "none")
+
+#: The actions a ``checkpoint`` event may carry: the dispatcher either
+#: captured a fresh chunk-boundary checkpoint or reloaded a cached one.
+CHECKPOINT_ACTIONS = ("capture", "hit")
 
 
 def validate_event(event: Any, where: str = "event") -> List[str]:
@@ -91,6 +98,10 @@ def validate_event(event: Any, where: str = "event") -> List[str]:
             and event.get("recovery") not in RECOVERY_LABELS):
         errors.append(f"{where}: fault_audit.recovery "
                       f"{event.get('recovery')!r} not in {RECOVERY_LABELS}")
+    if (event_type == "checkpoint"
+            and event.get("action") not in CHECKPOINT_ACTIONS):
+        errors.append(f"{where}: checkpoint.action "
+                      f"{event.get('action')!r} not in {CHECKPOINT_ACTIONS}")
     return errors
 
 
@@ -169,5 +180,5 @@ def summarize_events(events: Iterable[dict]) -> Dict[str, Any]:
 
 
 __all__ = ["REQUIRED_FIELDS", "OPTIONAL_FIELDS", "RECOVERY_LABELS",
-           "validate_event", "validate_events", "check_spans",
-           "summarize_events"]
+           "CHECKPOINT_ACTIONS", "validate_event", "validate_events",
+           "check_spans", "summarize_events"]

@@ -14,8 +14,11 @@ bounces back to the issue queue. This keeps recovery semantics exact while
 staying fast enough for laptop-scale campaigns (DESIGN.md Section 4).
 """
 
+from .checkpoint import (CoreCheckpoint, capture_checkpoint,
+                         restore_checkpoint)
 from .core import PipelineCore
 from .stats import PipelineStats
 from .thread import ThreadContext
 
-__all__ = ["PipelineCore", "PipelineStats", "ThreadContext"]
+__all__ = ["CoreCheckpoint", "PipelineCore", "PipelineStats",
+           "ThreadContext", "capture_checkpoint", "restore_checkpoint"]

@@ -50,6 +50,14 @@ class BranchPredictor:
             counter = max(0, counter - 1)
         self._counters[index] = counter
 
+    def clone(self) -> "BranchPredictor":
+        """Independent copy for core forking (checkpoint protocol)."""
+        twin = BranchPredictor(self.entries, self.ideal)
+        twin._counters = dict(self._counters)
+        twin.predictions = self.predictions
+        twin.mispredictions = self.mispredictions
+        return twin
+
     @property
     def misprediction_rate(self) -> float:
         return (self.mispredictions / self.predictions

@@ -203,6 +203,61 @@ class PipelineCore:
         for thread in self.threads:
             yield from thread.rob
 
+    # ------------------------------------------------------------------
+    # checkpoint protocol
+    # ------------------------------------------------------------------
+    def clone(self) -> "PipelineCore":
+        """A fully independent copy of this core, mid-flight.
+
+        Purpose-built replacement for ``copy.deepcopy`` in the tandem
+        classifier's hot loop: every mutable structure is copied through
+        its own ``clone()``, immutable state (hardware config, programs,
+        instructions) is shared, and micro-op identity is preserved — an
+        op resident in several containers at once (ROB, LSQ, issue
+        queue, delay buffer, executing list) maps to exactly one clone,
+        keyed by its core-global ``uid``.
+        """
+        twin = object.__new__(type(self))
+        twin.hw = self.hw                     # frozen config, shared
+        twin.screening = self.screening.clone()
+        twin.stats = self.stats.clone()
+        twin.prf = self.prf.clone()
+        twin.free_list = self.free_list.clone()
+        twin.hierarchy = self.hierarchy.clone()
+        twin._ideal_hierarchy = self._ideal_hierarchy.clone()
+
+        memo: Dict[int, MicroOp] = {}
+
+        def clone_op(op: MicroOp) -> MicroOp:
+            copy_ = memo.get(op.uid)
+            if copy_ is None:
+                copy_ = op.clone()
+                memo[op.uid] = copy_
+            return copy_
+
+        twin.threads = [t.clone(clone_op) for t in self.threads]
+        twin.predictors = [p.clone() for p in self.predictors]
+        twin._branch_oracles = {tid: deque(oracle) for tid, oracle
+                                in self._branch_oracles.items()}
+        twin.iq = self.iq.clone(clone_op)
+        twin.fus = self.fus.clone()
+        twin.cycle = self.cycle
+        twin._uid = self._uid
+        twin._fetch_buffers = [deque(clone_op(op) for op in buffer)
+                               for buffer in self._fetch_buffers]
+        twin._executing = [clone_op(op) for op in self._executing]
+        twin._replay_pending = set(self._replay_pending)
+        twin._rob_total = self._rob_total
+        twin._lsq_total = self._lsq_total
+        twin._issue_suspended_until = self._issue_suspended_until
+        twin.declared_faults = list(self.declared_faults)
+        twin.screen_trigger_cycles = list(self.screen_trigger_cycles)
+        twin.stage_seconds = dict(self.stage_seconds)
+        twin._stage_profiling = self._stage_profiling
+        twin.snapshot_targets = dict(self.snapshot_targets)
+        twin.captured_snapshots = dict(self.captured_snapshots)
+        return twin
+
     def run(self, max_cycles: int = 2_000_000) -> PipelineStats:
         """Run until every thread halts, or *max_cycles*."""
         for _ in range(max_cycles):

@@ -34,6 +34,16 @@ class FunctionalUnits:
         # loads and stores share the memory ports
         self._mem_available = MEM_PORTS
 
+    def clone(self) -> "FunctionalUnits":
+        """Independent copy for core forking. Per-cycle availability is
+        carried over verbatim, though ``new_cycle()`` rebuilds it at the
+        start of every step anyway."""
+        twin = FunctionalUnits.__new__(FunctionalUnits)
+        twin._limits = dict(self._limits)
+        twin._available = dict(self._available)
+        twin._mem_available = self._mem_available
+        return twin
+
     def try_claim(self, op_class: OpClass) -> bool:
         """Claim an issue slot for *op_class*; False when exhausted."""
         if op_class in (OpClass.LOAD, OpClass.STORE):

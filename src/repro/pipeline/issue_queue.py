@@ -47,6 +47,13 @@ class DelayBuffer:
             op.in_delay_buffer = False
             self._ops.remove(op)
 
+    def clone(self, clone_op) -> "DelayBuffer":
+        """Copy for core forking; *clone_op* maps each op to its clone."""
+        twin = DelayBuffer(self.capacity)
+        twin._ops = deque(clone_op(op) for op in self._ops)
+        twin.squashes = self.squashes
+        return twin
+
     def squash(self) -> List[MicroOp]:
         """Drop every buffered op (they lose their replay opportunity)."""
         dropped = list(self._ops)
@@ -120,6 +127,15 @@ class IssueQueue:
         evicted = self.delay_buffer.push(op)
         if evicted is not None and evicted in self._ops:
             self._ops.remove(evicted)
+
+    def clone(self, clone_op) -> "IssueQueue":
+        """Copy for core forking; *clone_op* maps each op to its clone,
+        preserving op identity with the cloned ROB/LSQ/executing list."""
+        twin = IssueQueue.__new__(IssueQueue)
+        twin.capacity = self.capacity
+        twin.delay_buffer = self.delay_buffer.clone(clone_op)
+        twin._ops = [clone_op(op) for op in self._ops]
+        return twin
 
     def waiting_ops(self) -> List[MicroOp]:
         """Schedulable candidates, oldest-first.

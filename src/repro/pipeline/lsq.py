@@ -47,6 +47,12 @@ class LoadStoreQueue:
     def clear(self) -> None:
         self._ops.clear()
 
+    def clone(self, clone_op) -> "LoadStoreQueue":
+        """Copy for core forking; *clone_op* maps each op to its clone."""
+        twin = LoadStoreQueue(self.capacity)
+        twin._ops = [clone_op(op) for op in self._ops]
+        return twin
+
     def older_stores_resolved(self, load: MicroOp) -> bool:
         """True when every store older than *load* has a known address."""
         for op in self._ops:

@@ -45,6 +45,14 @@ class PhysicalRegisterFile:
         self.values[reg] ^= 1 << bit
         return self.values[reg]
 
+    def clone(self) -> "PhysicalRegisterFile":
+        """Independent copy for core forking (checkpoint protocol)."""
+        twin = PhysicalRegisterFile.__new__(PhysicalRegisterFile)
+        twin.num_regs = self.num_regs
+        twin.values = list(self.values)
+        twin.ready = list(self.ready)
+        return twin
+
 
 class FreeList:
     """FIFO free list of physical register tags.
@@ -76,6 +84,10 @@ class FreeList:
 
     def contains(self, tag: int) -> bool:
         return tag in self._tags
+
+    def clone(self) -> "FreeList":
+        """Independent copy for core forking (checkpoint protocol)."""
+        return FreeList(self._tags)
 
 
 __all__ = ["PhysicalRegisterFile", "FreeList"]

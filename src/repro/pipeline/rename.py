@@ -35,6 +35,10 @@ class RenameTable:
     def snapshot(self) -> List[int]:
         return list(self.map)
 
+    def clone(self) -> "RenameTable":
+        """Independent copy for core forking (checkpoint protocol)."""
+        return RenameTable(self.map, self.num_phys)
+
     def flip_bit(self, logical: int, bit: int) -> int:
         """Inject a rename fault: flip one bit of a mapping.
 

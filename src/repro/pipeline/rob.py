@@ -44,6 +44,12 @@ class ReorderBuffer:
         self._ops.clear()
         return drained
 
+    def clone(self, clone_op) -> "ReorderBuffer":
+        """Copy for core forking; *clone_op* maps each op to its clone."""
+        twin = ReorderBuffer(self.capacity)
+        twin._ops = deque(clone_op(op) for op in self._ops)
+        return twin
+
     def drain_younger_than(self, uid: int) -> List[MicroOp]:
         """Remove and return ops with uid greater than *uid*, youngest
         first (the order a walk-based rename restore needs)."""

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Deque, Dict, Tuple
 
 
@@ -56,6 +56,16 @@ class PipelineStats:
     @property
     def cpi(self) -> float:
         return self.cycles / self.committed if self.committed else 0.0
+
+    def clone(self) -> "PipelineStats":
+        """Independent copy for core forking. ``replace`` carries every
+        scalar counter (including any added later); only the two container
+        fields need their own copies."""
+        twin = replace(self)
+        twin.per_thread_committed = dict(self.per_thread_committed)
+        twin.recent_commits = deque(self.recent_commits,
+                                    maxlen=self.recent_commits.maxlen)
+        return twin
 
     def thread_committed(self, thread_id: int) -> int:
         return self.per_thread_committed.get(thread_id, 0)

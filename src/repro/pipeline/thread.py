@@ -64,6 +64,35 @@ class ThreadContext:
         #: (instret, pc, address) records of architectural exceptions.
         self.exceptions: List[Tuple[int, int, int]] = []
 
+    def clone(self, clone_op) -> "ThreadContext":
+        """Independent copy for core forking (checkpoint protocol).
+
+        *clone_op* maps each in-flight op to its clone so ROB and LSQ keep
+        referencing the same objects as the core's shared containers. The
+        program is shared — it is immutable once built (``ensure_halts``
+        ran at construction).
+        """
+        twin = ThreadContext.__new__(ThreadContext)
+        twin.thread_id = self.thread_id
+        twin.program = self.program
+        twin.ideal_memory = self.ideal_memory
+        twin.ideal_branch = self.ideal_branch
+        twin.max_commits = self.max_commits
+        twin.memory = self.memory.clone()
+        twin.rob = self.rob.clone(clone_op)
+        twin.lsq = self.lsq.clone(clone_op)
+        twin.spec_rat = self.spec_rat.clone()
+        twin.committed_rat = self.committed_rat.clone()
+        twin.fetch_pc = self.fetch_pc
+        twin.fetch_stalled_until = self.fetch_stalled_until
+        twin.fetch_stopped = self.fetch_stopped
+        twin.arch_pc = self.arch_pc
+        twin.halted = self.halted
+        twin.committed_count = self.committed_count
+        twin.screen_suppress_remaining = self.screen_suppress_remaining
+        twin.exceptions = list(self.exceptions)
+        return twin
+
     # -- architectural state ---------------------------------------------
     def arch_reg_value(self, logical: int, prf) -> int:
         if logical == 0:

@@ -82,6 +82,20 @@ class MicroOp:
         #: True once the commit-time LSQ check has run for this op.
         self.lsq_checked = False
 
+    def clone(self) -> "MicroOp":
+        """An independent copy for core forking (checkpoint protocol).
+
+        Every slot is transferred; ``inst`` and ``phys_srcs`` are shared
+        (immutable once built). Callers that clone a whole core must memo
+        clones by ``uid`` so an op living in several containers (ROB,
+        LSQ, issue queue, delay buffer, executing list) stays one object
+        on the cloned side.
+        """
+        twin = MicroOp.__new__(MicroOp)
+        for slot in MicroOp.__slots__:
+            setattr(twin, slot, getattr(self, slot))
+        return twin
+
     # -- convenience ------------------------------------------------------
     @property
     def is_load(self) -> bool:

@@ -12,6 +12,10 @@ Subcommands
     Fault-injection campaign: characterisation plus scheme coverage.
 ``repro figure {table1,table2,fig6..fig12} [--scale SCALE]``
     Regenerate one paper table/figure.
+``repro verify [--cases N] [--base-seed S] [--scheme S]``
+    ISA-differential fuzz: seeded random programs through the OoO core
+    and the architectural interpreter in lockstep, with the pipeline
+    invariant sanitizer armed (see docs/validation.md).
 
 Observability: ``--emit-events PATH`` streams a structured JSONL event
 log (spans, cache traffic, fault audit trail) from any campaign/figure
@@ -164,6 +168,27 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("name", choices=sorted(PROFILES))
     validate.add_argument("--instructions", type=int, default=5_000)
 
+    verify = sub.add_parser(
+        "verify", help="ISA-differential fuzz of the pipeline against "
+                       "the architectural interpreter (sanitizer armed)")
+    verify.add_argument("--cases", type=int, default=200,
+                        help="number of consecutive corpus seeds to run")
+    verify.add_argument("--base-seed", type=int, default=0,
+                        help="first corpus seed")
+    verify.add_argument("--scheme", default=None, choices=sorted(SCHEMES),
+                        help="force one screening scheme instead of the "
+                             "corpus's baseline/faulthound rotation")
+    verify.add_argument("--no-sanitizer", action="store_true",
+                        help="architectural diff only, skip the per-cycle "
+                             "invariant checks")
+    verify.add_argument("--sanitize-every", type=int, default=1,
+                        help="check invariants every Nth cycle (default 1)")
+    verify.add_argument("--max-failures", type=int, default=5,
+                        help="print at most this many failing cases")
+    verify.add_argument("--emit-events", metavar="PATH", default=None,
+                        help="write invariant violations to a JSONL "
+                             "event log at PATH")
+
     return parser
 
 
@@ -297,6 +322,48 @@ def _report_events(args) -> int:
     return 1 if errors else 0
 
 
+def _cmd_verify(args) -> int:
+    """Differential fuzz + invariant sanitizer sweep; nonzero when any
+    case diverges from the interpreter or breaks a pipeline invariant."""
+    from .harness.diff import run_corpus
+    events = EventLog(args.emit_events) if args.emit_events else None
+    try:
+        report = run_corpus(count=args.cases, base_seed=args.base_seed,
+                            scheme=args.scheme,
+                            sanitize=not args.no_sanitizer,
+                            sanitize_every=args.sanitize_every,
+                            events=events)
+    finally:
+        if events is not None:
+            events.close()
+            print(f"events: {events.path}", file=sys.stderr)
+    summary = report.summary()
+    sanitizer = ("off" if args.no_sanitizer
+                 else f"every {args.sanitize_every} cycle(s)")
+    print(f"cases                {summary['cases']} "
+          f"(base seed {args.base_seed})")
+    print(f"sanitizer            {sanitizer}")
+    print(f"corpus mix           " + "  ".join(
+        f"{key}:{count}" for key, count in summary["by_profile"].items()))
+    print(f"cycles simulated     {summary['cycles']}")
+    print(f"instructions         {summary['commits']}")
+    print(f"forwarded loads      {summary['forwarded_loads']}")
+    print(f"order violations     {summary['mem_order_violations']}")
+    print(f"failures             {summary['failures']}")
+    for outcome in report.failures[:args.max_failures]:
+        print(f"\nFAIL {outcome.case.label}", file=sys.stderr)
+        if outcome.divergence is not None:
+            print(f"  divergence: {outcome.divergence}", file=sys.stderr)
+        if outcome.invariant_violations:
+            print(f"  {outcome.invariant_violations} invariant "
+                  f"violation(s), first: {outcome.first_violation}",
+                  file=sys.stderr)
+    hidden = len(report.failures) - args.max_failures
+    if hidden > 0:
+        print(f"\n(+{hidden} more failing cases)", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def _cmd_validate(args) -> int:
     from .workloads.validation import validate_profile
     report = validate_profile(PROFILES[args.name], args.instructions)
@@ -314,6 +381,7 @@ _COMMANDS = {
     "figure": _cmd_figure,
     "report": _cmd_report,
     "validate": _cmd_validate,
+    "verify": _cmd_verify,
 }
 
 

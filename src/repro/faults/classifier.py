@@ -79,12 +79,19 @@ class TandemClassifier:
                  injector: FaultInjector,
                  window_commits: int = 300,
                  max_window_cycles: int = 60_000,
-                 lsq_wait_cycles: int = 200):
+                 lsq_wait_cycles: int = 200,
+                 sanitize: bool = True):
         self.core_factory = core_factory
         self.injector = injector
         self.window_commits = window_commits
         self.max_window_cycles = max_window_cycles
         self.lsq_wait_cycles = lsq_wait_cycles
+        #: Arm the invariant sanitizer on the golden core, checked at
+        #: every window's capture point (repro.pipeline.invariants) —
+        #: campaigns self-validate their golden reference. Faulty forks
+        #: are never sanitized (clone() drops the sanitizer): their
+        #: rename invariants break by design.
+        self.sanitize = sanitize
 
     # ------------------------------------------------------------------
     def run(self, records: List[FaultRecord],
@@ -117,8 +124,9 @@ class TandemClassifier:
                              resume_at_commit if golden is not None else 0)
         if golden is None:
             golden = self.core_factory()
-            for record in skip:
-                self._skip_window(golden, record)
+        self._arm_sanitizer(golden)
+        for record in skip:
+            self._skip_window(golden, record)
         results = []
         for record in records:
             result = self._classify_one(golden, record)
@@ -130,8 +138,20 @@ class TandemClassifier:
         """Advance *golden* through *records* exactly as the serial
         classifier's golden side would (the dispatcher's one golden pass
         that captures chunk-boundary checkpoints)."""
+        self._arm_sanitizer(golden)
         for record in records:
             self._skip_window(golden, record)
+
+    def _arm_sanitizer(self, golden: PipelineCore) -> None:
+        """Arm the invariant sanitizer on the golden core in explicit-
+        check mode: one full check per window at the capture point, well
+        under the ≤2× golden-pass budget. Never rearms (a restored
+        checkpoint may carry an armed sanitizer already) and never
+        touches the per-cycle step path."""
+        if self.sanitize \
+                and getattr(golden, "_sanitizer", None) is None \
+                and hasattr(golden, "enable_sanitizer"):
+            golden.enable_sanitizer(every=0)
 
     @staticmethod
     def _check_contract(skip: Sequence[FaultRecord],
@@ -167,6 +187,14 @@ class TandemClassifier:
                    for t in golden.threads}
         golden.set_snapshot_targets(targets)
         self._run_to_capture(golden)
+        self._check_golden(golden)
+
+    def _check_golden(self, golden: PipelineCore) -> None:
+        """Run the armed sanitizer at a capture point (no-op otherwise).
+        Raises InvariantError: a structurally broken golden core would
+        silently skew every classification it serves."""
+        if hasattr(golden, "check_invariants"):
+            golden.check_invariants()
 
     def _advance_to(self, core: PipelineCore, total_commits: int) -> bool:
         """Advance *core* until its total committed count reaches
@@ -202,6 +230,7 @@ class TandemClassifier:
         golden.set_snapshot_targets(targets)
         faulty.set_snapshot_targets(targets)
         self._run_to_capture(golden)
+        self._check_golden(golden)
         self._run_to_capture(faulty)
 
         if not faulty.all_snapshots_captured and not faulty.all_halted:

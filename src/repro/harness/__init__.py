@@ -2,6 +2,8 @@
 
 from ..faults.campaign import ThroughputRecord
 from .cache import ArtifactCache
+from .diff import (DiffOutcome, Divergence, FuzzCase, FuzzReport,
+                   build_case, lockstep_diff, run_case, run_corpus)
 from .experiment import (ExperimentConfig, ExperimentContext, FaultFreeRun,
                          SCHEMES, scheme_unit)
 from .parallel import ContextMetrics, ParallelExecutor
@@ -10,12 +12,20 @@ from . import figures
 __all__ = [
     "ArtifactCache",
     "ContextMetrics",
+    "DiffOutcome",
+    "Divergence",
     "ExperimentConfig",
     "ExperimentContext",
     "FaultFreeRun",
+    "FuzzCase",
+    "FuzzReport",
     "ParallelExecutor",
     "SCHEMES",
     "ThroughputRecord",
+    "build_case",
+    "lockstep_diff",
+    "run_case",
+    "run_corpus",
     "scheme_unit",
     "figures",
 ]

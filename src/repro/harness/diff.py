@@ -1,0 +1,304 @@
+"""ISA-differential fuzz harness: the OoO core vs. the architectural
+interpreter, in lockstep.
+
+The in-order interpreter (:mod:`repro.isa.interpreter`) *defines* the
+ISA; the pipeline must commit exactly that state for any program. This
+harness makes that contract executable at scale: seeded random programs
+(:mod:`repro.workloads.programs`) run through both models simultaneously,
+and after every cycle in which a thread committed instructions, that
+thread's interpreter is stepped to the same retired-instruction count and
+the full architectural state (registers, memory, pc, halt flag) is
+diffed. SMT co-schedules run one interpreter per thread. The pipeline
+invariant sanitizer (:mod:`repro.pipeline.invariants`) rides along in
+collect mode, so each fuzz case checks structural invariants and
+architectural equivalence at once.
+
+Driven by ``repro verify`` (CLI) and ``tests/test_differential.py``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..config import HardwareConfig
+from ..isa.interpreter import Interpreter
+from ..isa.program import Program
+from ..pipeline.core import PipelineCore
+from ..pipeline.invariants import InvariantSanitizer
+from ..workloads.programs import GEN_PROFILES, random_program
+from .experiment import scheme_unit
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One deterministic corpus entry, fully derived from its seed."""
+
+    seed: int
+    profile: str
+    threads: int
+    scheme: Optional[str]
+    body_len: int
+    iterations: int
+
+    @property
+    def label(self) -> str:
+        scheme = self.scheme or "baseline"
+        return (f"seed={self.seed} {self.profile} t{self.threads} "
+                f"{scheme} body={self.body_len} iters={self.iterations}")
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """First observed core/interpreter disagreement."""
+
+    thread_id: int
+    cycle: int
+    committed: int
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return (f"t{self.thread_id} cycle {self.cycle} "
+                f"commit {self.committed}: {self.kind}: {self.detail}")
+
+
+@dataclass
+class DiffOutcome:
+    """Result of one fuzz case."""
+
+    case: FuzzCase
+    ok: bool
+    cycles: int = 0
+    commits: int = 0
+    divergence: Optional[Divergence] = None
+    invariant_violations: int = 0
+    first_violation: str = ""
+    mem_order_violations: int = 0
+    forwarded_loads: int = 0
+
+
+def build_case(seed: int) -> FuzzCase:
+    """The corpus schedule: seeds rotate through profile × thread-count
+    (6 slots) and alternate the screening scheme, so any contiguous seed
+    range covers every combination."""
+    slot = seed % 6
+    profile = GEN_PROFILES[slot % 3]
+    threads = 2 if slot >= 3 else 1
+    scheme = "faulthound" if (seed // 6) % 2 else None
+    body_len = 10 + (seed * 7) % 14
+    iterations = 3 + seed % 4
+    return FuzzCase(seed=seed, profile=profile, threads=threads,
+                    scheme=scheme, body_len=body_len, iterations=iterations)
+
+
+def case_programs(case: FuzzCase) -> List[Program]:
+    """The deterministic program set for *case* (one per thread)."""
+    return [
+        random_program(random.Random((case.seed << 4) + 0x9E3779B1 + tid),
+                       body_len=case.body_len,
+                       iterations=case.iterations,
+                       profile=case.profile,
+                       name=f"fuzz-{case.seed}-t{tid}")
+        for tid in range(case.threads)
+    ]
+
+
+def _diff_states(thread, prf, interp: Interpreter,
+                 cycle: int) -> Optional[Divergence]:
+    core_regs, core_mem, core_pc, core_halted = \
+        thread.arch_state_snapshot(prf)
+    ref_regs, ref_mem, ref_pc, ref_halted = interp.state.snapshot()
+    tid = thread.thread_id
+    committed = thread.committed_count
+
+    def diverged(kind: str, detail: str) -> Divergence:
+        return Divergence(thread_id=tid, cycle=cycle, committed=committed,
+                          kind=kind, detail=detail)
+
+    if core_regs != ref_regs:
+        for index, (got, want) in enumerate(zip(core_regs, ref_regs)):
+            if got != want:
+                return diverged("register", f"r{index + 1}: core "
+                                            f"{got:#x} != isa {want:#x}")
+    if core_mem != ref_mem:
+        core_words = dict(core_mem)
+        ref_words = dict(ref_mem)
+        for address in sorted(set(core_words) | set(ref_words)):
+            got = core_words.get(address, 0)
+            want = ref_words.get(address, 0)
+            if got != want:
+                return diverged("memory", f"[{address:#x}]: core {got:#x} "
+                                          f"!= isa {want:#x}")
+    if core_pc != ref_pc:
+        return diverged("pc", f"core {core_pc} != isa {ref_pc}")
+    if core_halted != ref_halted:
+        return diverged("halt", f"core halted={core_halted} != isa "
+                                f"halted={ref_halted}")
+    return None
+
+
+def lockstep_diff(programs: Sequence[Program],
+                  screening=None,
+                  hw: Optional[HardwareConfig] = None,
+                  sanitize: bool = True,
+                  sanitize_every: int = 1,
+                  max_cycles: int = 200_000,
+                  events: Any = None,
+                  context: Optional[Dict[str, Any]] = None):
+    """Run *programs* through the core and the interpreter in lockstep.
+
+    Returns ``(divergence, core, sanitizer)`` — divergence ``None`` means
+    the run is architecturally equivalent end to end. The sanitizer (when
+    *sanitize*) runs in collect mode so a structural violation doesn't
+    mask an architectural diff; the caller folds both into the verdict.
+    """
+    core = PipelineCore(list(programs), hw=hw, screening=screening)
+    sanitizer = None
+    if sanitize:
+        sanitizer = InvariantSanitizer(raise_on_violation=False,
+                                       events=events)
+        if context:
+            sanitizer.context.update(context)
+        core.enable_sanitizer(sanitizer, every=sanitize_every)
+    interps = [Interpreter(program) for program in programs]
+    checked = [0] * len(interps)
+
+    divergence = None
+    while divergence is None and not core.all_halted \
+            and core.cycle < max_cycles:
+        core.step()
+        for thread, interp in zip(core.threads, interps):
+            tid = thread.thread_id
+            if checked[tid] == thread.committed_count:
+                continue
+            # catch the interpreter up to this thread's commit count;
+            # exceptions retire on the interpreter side only, so the
+            # final compare below reconciles a faulting tail instead
+            while (checked[tid] < thread.committed_count
+                   and not interp.state.halted):
+                interp.step()
+                checked[tid] += 1
+            if checked[tid] < thread.committed_count:
+                divergence = Divergence(
+                    thread_id=tid, cycle=core.cycle,
+                    committed=thread.committed_count, kind="halt",
+                    detail=f"isa halted at instret {checked[tid]} but the "
+                           f"core kept committing")
+                break
+            if thread.halted:
+                continue  # exception tails reconcile in the final compare
+            divergence = _diff_states(thread, core.prf, interp, core.cycle)
+            if divergence is not None:
+                break
+
+    if divergence is None and not core.all_halted:
+        divergence = Divergence(
+            thread_id=-1, cycle=core.cycle, committed=core.stats.committed,
+            kind="deadlock",
+            detail=f"core did not halt within {max_cycles} cycles")
+
+    if divergence is None:
+        for thread, interp in zip(core.threads, interps):
+            interp.run()
+            divergence = _diff_states(thread, core.prf, interp, core.cycle)
+            if divergence is not None:
+                break
+            core_exc = list(thread.exceptions)
+            ref_exc = [(e.instret, e.pc, e.address)
+                       for e in interp.exceptions]
+            if core_exc != ref_exc:
+                divergence = Divergence(
+                    thread_id=thread.thread_id, cycle=core.cycle,
+                    committed=thread.committed_count, kind="exception",
+                    detail=f"core {core_exc} != isa {ref_exc}")
+                break
+
+    return divergence, core, sanitizer
+
+
+def run_case(case: FuzzCase, sanitize: bool = True,
+             sanitize_every: int = 1, hw: Optional[HardwareConfig] = None,
+             max_cycles: int = 200_000, events: Any = None) -> DiffOutcome:
+    """Build and diff one corpus case."""
+    programs = case_programs(case)
+    screening = scheme_unit(case.scheme) if case.scheme else None
+    divergence, core, sanitizer = lockstep_diff(
+        programs, screening=screening, hw=hw, sanitize=sanitize,
+        sanitize_every=sanitize_every, max_cycles=max_cycles,
+        events=events, context={"seed": case.seed, "case": case.label})
+    violations = sanitizer.violations if sanitizer is not None else []
+    return DiffOutcome(
+        case=case,
+        ok=divergence is None and not violations,
+        cycles=core.cycle,
+        commits=core.stats.committed,
+        divergence=divergence,
+        invariant_violations=len(violations),
+        first_violation=str(violations[0]) if violations else "",
+        mem_order_violations=core.stats.memory_order_violations,
+        forwarded_loads=core.stats.forwarded_loads,
+    )
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate of one corpus sweep."""
+
+    outcomes: List[DiffOutcome]
+
+    @property
+    def failures(self) -> List[DiffOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> Dict[str, Any]:
+        by_profile: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            key = f"{outcome.case.profile}/t{outcome.case.threads}"
+            by_profile[key] = by_profile.get(key, 0) + 1
+        return {
+            "cases": len(self.outcomes),
+            "failures": len(self.failures),
+            "by_profile": dict(sorted(by_profile.items())),
+            "cycles": sum(o.cycles for o in self.outcomes),
+            "commits": sum(o.commits for o in self.outcomes),
+            "mem_order_violations": sum(o.mem_order_violations
+                                        for o in self.outcomes),
+            "forwarded_loads": sum(o.forwarded_loads
+                                   for o in self.outcomes),
+        }
+
+
+def run_corpus(count: int = 200, base_seed: int = 0,
+               scheme: Optional[str] = None, sanitize: bool = True,
+               sanitize_every: int = 1,
+               hw: Optional[HardwareConfig] = None,
+               max_cycles: int = 200_000, events: Any = None,
+               progress=None) -> FuzzReport:
+    """Diff *count* consecutive corpus cases starting at *base_seed*.
+
+    *scheme* (when given) overrides the corpus's scheme rotation for
+    every case; *progress* is an optional per-outcome callback.
+    """
+    outcomes = []
+    for offset in range(count):
+        case = build_case(base_seed + offset)
+        if scheme is not None:
+            case = replace(case, scheme=scheme)
+        outcome = run_case(case, sanitize=sanitize,
+                           sanitize_every=sanitize_every, hw=hw,
+                           max_cycles=max_cycles, events=events)
+        outcomes.append(outcome)
+        if progress is not None:
+            progress(outcome)
+    return FuzzReport(outcomes)
+
+
+__all__ = ["DiffOutcome", "Divergence", "FuzzCase", "FuzzReport",
+           "build_case", "case_programs", "lockstep_diff", "run_case",
+           "run_corpus"]

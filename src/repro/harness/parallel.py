@@ -307,6 +307,10 @@ def chunk_checkpoints(cfg, hw, benchmark: str, scheme,
                              scheme=label, window=lo):
                 classifier.advance_golden(golden, records[golden_at:lo])
                 golden_at = lo
+                # chunk boundaries are the natural sanitizer sites: a
+                # structurally broken golden core must never be captured
+                # into the checkpoint cache (no-op when not armed)
+                golden.check_invariants()
                 resume = records[lo - 1].inject_at_commit if lo else 0
                 checkpoint = CoreCheckpoint.capture(
                     golden, window_index=lo, resume_at_commit=resume)

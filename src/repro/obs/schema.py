@@ -34,6 +34,7 @@ REQUIRED_FIELDS: Dict[str, Dict[str, tuple]] = {
     "checkpoint": {"action": (str,), "window": (int,)},
     "worker_start": {},
     "worker_merge": {"worker_pid": (int,), "events": (int,)},
+    "invariant": {"invariant": (str,), "cycle": (int,), "detail": (str,)},
     "fault_audit": {
         "benchmark": (str,), "scheme": (str,), "phase": (str,),
         "index": (int,), "site": (str,), "bit": (int,),
@@ -55,6 +56,9 @@ OPTIONAL_FIELDS: Dict[str, Dict[str, tuple]] = {
                     "detection_latency": (int,),
                     "first_trigger_cycle": (int,),
                     "inject_cycle": (int,)},
+    # emitted by the pipeline invariant sanitizer; seed/case identify the
+    # fuzz program when `repro verify` is the driver
+    "invariant": {"seed": (int,), "case": (str,)},
 }
 
 #: The recovery labels a ``fault_audit`` event may carry.

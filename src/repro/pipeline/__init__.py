@@ -17,8 +17,13 @@ staying fast enough for laptop-scale campaigns (DESIGN.md Section 4).
 from .checkpoint import (CoreCheckpoint, capture_checkpoint,
                          restore_checkpoint)
 from .core import PipelineCore
+from .invariants import (InvariantError, InvariantSanitizer,
+                         InvariantViolation, check_core)
+from .lsq import ForwardStatus
 from .stats import PipelineStats
 from .thread import ThreadContext
 
-__all__ = ["CoreCheckpoint", "PipelineCore", "PipelineStats",
-           "ThreadContext", "capture_checkpoint", "restore_checkpoint"]
+__all__ = ["CoreCheckpoint", "ForwardStatus", "InvariantError",
+           "InvariantSanitizer", "InvariantViolation", "PipelineCore",
+           "PipelineStats", "ThreadContext", "capture_checkpoint",
+           "check_core", "restore_checkpoint"]

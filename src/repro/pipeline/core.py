@@ -32,6 +32,7 @@ from ..memory.hierarchy import MemoryHierarchy
 from .branch import BranchPredictor
 from .func_units import FunctionalUnits
 from .issue_queue import IssueQueue
+from .lsq import ForwardStatus
 from .regfile import FreeList, PhysicalRegisterFile
 from .stats import PipelineStats
 from .thread import ThreadContext
@@ -130,6 +131,11 @@ class PipelineCore:
         #: exactly at that boundary (see repro.faults.classifier).
         self.snapshot_targets: Dict[int, int] = {}
         self.captured_snapshots: Dict[int, Tuple] = {}
+        #: Armed invariant sanitizer, or None (the default — costs one
+        #: attribute on the instance, nothing per cycle; see
+        #: :meth:`enable_sanitizer` and repro.pipeline.invariants).
+        self._sanitizer = None
+        self._sanitize_every = 1
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -192,6 +198,49 @@ class PipelineCore:
             stage()
             accumulate[name] = (accumulate.get(name, 0.0)
                                 + perf_counter() - started)
+
+    # ------------------------------------------------------------------
+    # invariant sanitizer (repro.pipeline.invariants)
+    # ------------------------------------------------------------------
+    def enable_sanitizer(self, sanitizer=None, every: int = 1):
+        """Arm an invariant sanitizer on this core; returns it.
+
+        ``every=N`` checks after every Nth cycle by shadowing ``step``
+        with a checking wrapper *on this instance only* — the class-level
+        ``step`` is untouched, so cores that never opt in pay nothing.
+        ``every=0`` arms the sanitizer for explicit
+        :meth:`check_invariants` calls only (the tandem classifier's
+        capture-site mode).
+        """
+        from .invariants import InvariantSanitizer
+        if sanitizer is None:
+            sanitizer = InvariantSanitizer()
+        self._sanitizer = sanitizer
+        if every:
+            self._sanitize_every = every
+            self.step = self._step_sanitized
+        else:
+            self.__dict__.pop("step", None)
+        return sanitizer
+
+    def disable_sanitizer(self) -> None:
+        """Disarm: restores the un-instrumented class-level ``step``."""
+        self._sanitizer = None
+        self.__dict__.pop("step", None)
+
+    def check_invariants(self):
+        """Run the armed sanitizer once against the current state; a
+        no-op (empty list) when no sanitizer is armed. ``getattr`` guards
+        against cores unpickled from pre-sanitizer checkpoints."""
+        sanitizer = getattr(self, "_sanitizer", None)
+        if sanitizer is None:
+            return []
+        return sanitizer.check(self)
+
+    def _step_sanitized(self) -> None:
+        PipelineCore.step(self)
+        if self.cycle % self._sanitize_every == 0:
+            self._sanitizer.check(self)
 
     def inflight_ops(self):
         """Every micro-op currently tracked by the core: fetch buffers
@@ -256,6 +305,11 @@ class PipelineCore:
         twin._stage_profiling = self._stage_profiling
         twin.snapshot_targets = dict(self.snapshot_targets)
         twin.captured_snapshots = dict(self.captured_snapshots)
+        # forks start unsanitized: the classifier's faulty copies *will*
+        # break rename invariants by design, and the golden core re-arms
+        # explicitly (clone never copies the instance-level step shadow)
+        twin._sanitizer = None
+        twin._sanitize_every = 1
         return twin
 
     def run(self, max_cycles: int = 2_000_000) -> PipelineStats:
@@ -292,6 +346,11 @@ class PipelineCore:
     def inject_rat_bit(self, thread_id: int, logical: int, bit: int) -> None:
         """Flip one bit of a speculative rename mapping (front-end fault)."""
         self.threads[thread_id].spec_rat.flip_bit(logical, bit)
+        sanitizer = getattr(self, "_sanitizer", None)
+        if sanitizer is not None:
+            # wrong frees / reallocation clobbers are now part of the
+            # fault model on this core, not simulator errors
+            sanitizer.relax_for_rename_fault()
 
     def inject_lsq_bit(self, thread_id: int, entry_index: int,
                        field: str, bit: int) -> bool:
@@ -496,7 +555,12 @@ class PipelineCore:
                 if op in self._executing:
                     self._executing.remove(op)
                 continue
-            if self._try_complete(op) and op in self._executing:
+            self._try_complete(op)
+            # completed *and* bounced ops leave the list: a bounced op is
+            # WAITING in the issue queue again, and leaving it here would
+            # let it transiently appear twice if re-issued this cycle —
+            # `_executing` holds exactly the EXECUTING ops, once each
+            if op in self._executing:
                 self._executing.remove(op)
 
     def _sources_ready(self, op: MicroOp) -> bool:
@@ -575,8 +639,10 @@ class PipelineCore:
     def _complete_load(self, thread: ThreadContext, op: MicroOp) -> bool:
         """Produce a load's value: forward from the newest older resolved
         store to the same address, else read memory (speculatively past
-        unresolved older stores; a late-resolving store catches stale
-        loads via the memory-order violation check)."""
+        stores with unresolved *addresses*; a late-resolving store catches
+        stale loads via the memory-order violation check). A matching
+        store with a resolved address but unresolved *value* bounces the
+        load instead — no check would ever revisit that stale read."""
         base = self.prf.read(op.phys_srcs[0])
         self.stats.regfile_reads += 1
         address = effective_address(base, op.inst.imm)
@@ -585,10 +651,17 @@ class PipelineCore:
             op.exception_addr = address
             op.result = 0
             return True
-        hit, value, store_uid = thread.lsq.forward_value(op, address)
-        if hit:
+        status, value, store_uid = thread.lsq.forward_value(op, address)
+        if status is ForwardStatus.STALL:
+            # the newest matching older store has not produced its value
+            # yet: reading memory here would consume a stale value that
+            # no later check revisits — bounce and retry instead
+            self._bounce(op)
+            return False
+        if status is ForwardStatus.HIT:
             op.result = value
             op.forwarded_from = store_uid
+            self.stats.forwarded_loads += 1
         else:
             op.result = thread.memory.read(address)
         return True
@@ -759,20 +832,27 @@ class PipelineCore:
                 base = self.prf.read(op.phys_srcs[0])
                 address = effective_address(base, op.inst.imm)
                 valid = check_address(address)
+                status = ForwardStatus.MISS
+                if valid:
+                    # probe forwarding (side-effect free) before claiming
+                    # a unit: a STALL must not issue at all, it would
+                    # either read stale memory or burn the FU slot
+                    status, _value, _uid = thread.lsq.forward_value(
+                        op, address)
+                    if status is ForwardStatus.STALL:
+                        continue
                 if not self.fus.try_claim(op.inst.op_class):
                     continue
                 if not valid:
                     latency = 1  # exception resolved at completion
+                elif status is ForwardStatus.HIT:
+                    latency = self.hw.l1d_latency
                 else:
-                    hit, _value, _uid = thread.lsq.forward_value(op, address)
-                    if hit:
-                        latency = self.hw.l1d_latency
-                    else:
-                        hierarchy = (self._ideal_hierarchy
-                                     if thread.ideal_memory else self.hierarchy)
-                        latency = hierarchy.access(
-                            address, now=self.cycle,
-                            space=op.thread_id).latency
+                    hierarchy = (self._ideal_hierarchy
+                                 if thread.ideal_memory else self.hierarchy)
+                    latency = hierarchy.access(
+                        address, now=self.cycle,
+                        space=op.thread_id).latency
             elif not self.fus.try_claim(op.inst.op_class):
                 continue
             op.state = OpState.EXECUTING

@@ -13,9 +13,32 @@ injection and commit-time check target (Section 3.5).
 
 from __future__ import annotations
 
+import enum
 from typing import List, Optional, Tuple
 
 from .uops import MicroOp
+
+
+class ForwardStatus(enum.Enum):
+    """Outcome of a store-to-load forwarding probe.
+
+    ``HIT``: the newest address-matching older store has a resolved value
+    — forward it. ``MISS``: no older store matches — read memory.
+    ``STALL``: the newest matching older store exists but its *value* is
+    still unresolved; the load must not read memory (it would consume a
+    stale value that ``violating_loads`` can never catch, because that
+    check only re-fires on *address* resolution) and must retry later.
+
+    Truthiness is "did we get a value to forward", so legacy
+    ``hit, value, uid = forward_value(...)`` call sites keep working.
+    """
+
+    HIT = "hit"
+    MISS = "miss"
+    STALL = "stall"
+
+    def __bool__(self) -> bool:
+        return self is ForwardStatus.HIT
 
 
 class LoadStoreQueue:
@@ -81,19 +104,30 @@ class LoadStoreQueue:
                 violations.append(op)
         return violations
 
-    def forward_value(self, load: MicroOp,
-                      address: int) -> Tuple[bool, Optional[int], Optional[int]]:
-        """Store-to-load forwarding: (hit, value, store_uid) from the newest
-        older store to *address* whose value is resolved."""
+    def forward_value(
+            self, load: MicroOp, address: int
+    ) -> Tuple[ForwardStatus, Optional[int], Optional[int]]:
+        """Store-to-load forwarding probe: ``(status, value, store_uid)``
+        against the newest older store to *address*.
+
+        A matching store whose value is still pending yields ``STALL``,
+        never a memory read: treating it as a miss would hand the load a
+        stale memory value that no later check revisits (the
+        memory-order-violation sweep in :meth:`violating_loads` only runs
+        when a store resolves its *address*, which has already happened
+        here). The probe is side-effect free.
+        """
         best: Optional[MicroOp] = None
         for op in self._ops:
             if op.uid >= load.uid:
                 break
             if op.is_store and op.eff_addr == address:
                 best = op
-        if best is not None and best.store_value is not None:
-            return True, best.store_value, best.uid
-        return False, None, None
+        if best is None:
+            return ForwardStatus.MISS, None, None
+        if best.store_value is None:
+            return ForwardStatus.STALL, None, None
+        return ForwardStatus.HIT, best.store_value, best.uid
 
     def resident(self, op: MicroOp) -> bool:
         return op in self._ops
@@ -104,4 +138,4 @@ class LoadStoreQueue:
         return [op for op in self._ops if op.eff_addr is not None]
 
 
-__all__ = ["LoadStoreQueue"]
+__all__ = ["ForwardStatus", "LoadStoreQueue"]

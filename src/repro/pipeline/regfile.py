@@ -9,7 +9,8 @@ register file).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from collections import deque
+from typing import Deque, Dict, List, Optional
 
 from ..config import VALUE_MASK
 from ..errors import SimulationError
@@ -64,10 +65,19 @@ class FreeList:
     """
 
     def __init__(self, tags):
-        self._tags: List[int] = list(tags)
+        self._tags: Deque[int] = deque(tags)
+        # Shadow multiset: tag → multiplicity. Keeps ``contains`` O(1)
+        # (it sat on the rename hot path as a linear scan) while still
+        # representing fault-induced double-frees exactly.
+        self._counts: Dict[int, int] = {}
+        for tag in self._tags:
+            self._counts[tag] = self._counts.get(tag, 0) + 1
 
     def __len__(self) -> int:
         return len(self._tags)
+
+    def __iter__(self):
+        return iter(self._tags)
 
     @property
     def empty(self) -> bool:
@@ -75,15 +85,26 @@ class FreeList:
 
     def allocate(self) -> Optional[int]:
         """Pop a free tag, or ``None`` when exhausted (dispatch stalls)."""
-        if self._tags:
-            return self._tags.pop(0)
-        return None
+        if not self._tags:
+            return None
+        tag = self._tags.popleft()
+        remaining = self._counts[tag] - 1
+        if remaining:
+            self._counts[tag] = remaining
+        else:
+            del self._counts[tag]
+        return tag
 
     def free(self, tag: int) -> None:
         self._tags.append(tag)
+        self._counts[tag] = self._counts.get(tag, 0) + 1
 
     def contains(self, tag: int) -> bool:
-        return tag in self._tags
+        return tag in self._counts
+
+    def duplicates(self) -> List[int]:
+        """Tags currently freed more than once (invariant sanitizer)."""
+        return sorted(t for t, n in self._counts.items() if n > 1)
 
     def clone(self) -> "FreeList":
         """Independent copy for core forking (checkpoint protocol)."""

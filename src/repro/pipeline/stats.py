@@ -26,6 +26,10 @@ class PipelineStats:
     branch_mispredicts: int = 0
     branch_squashed_ops: int = 0
     memory_order_violations: int = 0
+    #: Loads satisfied by store-to-load forwarding (diagnostic; not part
+    #: of the energy/report surface, so deliberately absent from
+    #: ``summary()``).
+    forwarded_loads: int = 0
 
     # screening recovery actions
     replay_events: int = 0

@@ -12,6 +12,7 @@ statistics, which is what makes the substitution sound (DESIGN.md §1).
 from .value_models import pointer_ring, region_bases
 from .profiles import WorkloadProfile, PROFILES, SUITES
 from .generator import build_program, build_smt_programs
+from .programs import GEN_PROFILES, random_program
 
 __all__ = [
     "pointer_ring",
@@ -21,4 +22,6 @@ __all__ = [
     "SUITES",
     "build_program",
     "build_smt_programs",
+    "GEN_PROFILES",
+    "random_program",
 ]

@@ -1,0 +1,186 @@
+"""Random, guaranteed-terminating program generator for differential
+testing (promoted from ``tests/program_gen.py`` so the ``repro verify``
+fuzz harness can use it outside the test tree).
+
+Programs have the shape:
+
+    <register/memory seeding>
+    outer loop (countdown in r1):
+        profile-dependent random body
+    halt
+
+Termination is structural: the only back-edge is the countdown loop and
+every other branch jumps forward.
+
+Three body profiles:
+
+``mixed``
+    The original blend — ALU ops, loads/stores in a bounded segment,
+    forward conditional skips. Draws from the rng in exactly the
+    historical order, so pre-promotion seeds reproduce bit-for-bit.
+``forwarding``
+    Store/load pairs hammering a tiny 8-word address pool, maximising
+    store-to-load forwarding (and the stale-forwarding regression
+    surface: loads racing stores to the same address).
+``violation``
+    Stores whose *address* resolves late — behind a long-latency
+    multiply chain that ultimately collapses to the base register — while
+    younger loads to the same address execute speculatively first,
+    driving the memory-order-violation recovery path.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..isa import Instruction, Opcode, Program
+
+_ALU_RR = [Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+           Opcode.SLT, Opcode.MUL, Opcode.FADD, Opcode.FMUL]
+_ALU_RI = [Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI,
+           Opcode.SLLI, Opcode.SRLI]
+
+#: Registers the random body may use freely. r1 is the loop counter and
+#: r2 the memory base; both are read-only for body instructions.
+_BODY_REGS = list(range(3, 16))
+_SEGMENT_WORDS = 64
+#: The forwarding profile's deliberately tiny address pool (word offsets).
+_FORWARD_WORDS = 8
+
+#: The body profiles :func:`random_program` accepts.
+GEN_PROFILES = ("mixed", "forwarding", "violation")
+
+
+def random_program(rng: random.Random, body_len: int = 20,
+                   iterations: int = 8, seed_regs: bool = True,
+                   profile: str = "mixed",
+                   name: str = "random") -> Program:
+    """Build a random terminating program with the given body *profile*."""
+    if profile not in GEN_PROFILES:
+        raise ValueError(f"unknown generator profile {profile!r} "
+                         f"(choose from {GEN_PROFILES})")
+    instructions: List[Instruction] = [
+        Instruction(Opcode.MOVI, rd=1, imm=iterations),
+        Instruction(Opcode.MOVI, rd=2, imm=0x1000),
+    ]
+    if seed_regs:
+        for reg in _BODY_REGS[:6]:
+            instructions.append(
+                Instruction(Opcode.MOVI, rd=reg, imm=rng.randrange(0, 1 << 16)))
+    loop_top = len(instructions)
+
+    if profile == "mixed":
+        body = [_random_body_instruction(rng, position, body_len)
+                for position in range(body_len)]
+    elif profile == "forwarding":
+        body = _forwarding_body(rng, body_len)
+    else:
+        body = _violation_body(rng, body_len)
+    # resolve forward-skip placeholders now that body length is fixed
+    resolved: List[Instruction] = []
+    for index, inst in enumerate(body):
+        if inst.is_branch and inst.opcode is not Opcode.JMP:
+            target = loop_top + min(inst.imm, body_len)
+            resolved.append(Instruction(inst.opcode, rs1=inst.rs1,
+                                        rs2=inst.rs2, imm=target))
+        else:
+            resolved.append(inst)
+    instructions.extend(resolved)
+
+    back_edge_pc = loop_top + len(resolved)
+    instructions.append(Instruction(Opcode.ADDI, rd=1, rs1=1, imm=-1))
+    instructions.append(Instruction(Opcode.BNE, rs1=1, rs2=0,
+                                    imm=loop_top))
+    instructions.append(Instruction(Opcode.HALT))
+    assert instructions[back_edge_pc].opcode is Opcode.ADDI
+    return Program(instructions=instructions, name=name)
+
+
+def _random_body_instruction(rng: random.Random, position: int,
+                             body_len: int) -> Instruction:
+    roll = rng.random()
+    if roll < 0.45:
+        if rng.random() < 0.6:
+            return Instruction(rng.choice(_ALU_RR),
+                               rd=rng.choice(_BODY_REGS),
+                               rs1=rng.choice(_BODY_REGS),
+                               rs2=rng.choice(_BODY_REGS))
+        imm = rng.randrange(0, 64)
+        return Instruction(rng.choice(_ALU_RI),
+                           rd=rng.choice(_BODY_REGS),
+                           rs1=rng.choice(_BODY_REGS), imm=imm)
+    if roll < 0.62:
+        offset = 8 * rng.randrange(_SEGMENT_WORDS)
+        return Instruction(Opcode.LD, rd=rng.choice(_BODY_REGS),
+                           rs1=2, imm=offset)
+    if roll < 0.78:
+        offset = 8 * rng.randrange(_SEGMENT_WORDS)
+        return Instruction(Opcode.ST, rs2=rng.choice(_BODY_REGS),
+                           rs1=2, imm=offset)
+    if roll < 0.9 and position < body_len - 1:
+        # forward conditional skip; imm holds a body-relative target that
+        # random_program resolves to an absolute pc
+        skip_to = rng.randrange(position + 1, body_len + 1)
+        op = rng.choice([Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE])
+        return Instruction(op, rs1=rng.choice(_BODY_REGS),
+                           rs2=rng.choice(_BODY_REGS), imm=skip_to)
+    return Instruction(Opcode.MOVI, rd=rng.choice(_BODY_REGS),
+                       imm=rng.randrange(0, 1 << 12))
+
+
+def _forwarding_body(rng: random.Random, body_len: int) -> List[Instruction]:
+    """Store/load pairs over a tiny address pool, with a little ALU churn
+    so stored values keep changing between iterations."""
+    body: List[Instruction] = []
+    while len(body) < body_len:
+        roll = rng.random()
+        offset = 8 * rng.randrange(_FORWARD_WORDS)
+        if roll < 0.4 and len(body) + 2 <= body_len:
+            value = rng.choice(_BODY_REGS)
+            dest = rng.choice(_BODY_REGS)
+            body.append(Instruction(Opcode.ST, rs2=value, rs1=2, imm=offset))
+            body.append(Instruction(Opcode.LD, rd=dest, rs1=2, imm=offset))
+        elif roll < 0.6:
+            body.append(Instruction(Opcode.ST, rs2=rng.choice(_BODY_REGS),
+                                    rs1=2, imm=offset))
+        elif roll < 0.8:
+            body.append(Instruction(Opcode.LD, rd=rng.choice(_BODY_REGS),
+                                    rs1=2, imm=offset))
+        else:
+            body.append(Instruction(Opcode.ADD, rd=rng.choice(_BODY_REGS),
+                                    rs1=rng.choice(_BODY_REGS),
+                                    rs2=rng.choice(_BODY_REGS)))
+    return body
+
+
+def _violation_body(rng: random.Random, body_len: int) -> List[Instruction]:
+    """Groups whose store address depends on a long multiply chain that
+    collapses back to the base register: the store resolves its address
+    *after* a younger same-address load has speculatively executed, so
+    the load is caught (and squashed) by the memory-order check."""
+    body: List[Instruction] = []
+    while len(body) < body_len:
+        if len(body) + 6 <= body_len and rng.random() < 0.7:
+            scratch = rng.choice(_BODY_REGS)
+            value = rng.choice(_BODY_REGS)
+            dest = rng.choice(_BODY_REGS)
+            offset = 8 * rng.randrange(_FORWARD_WORDS)
+            body.extend([
+                # long-latency chain ... that collapses to r2 exactly
+                Instruction(Opcode.MUL, rd=scratch, rs1=value, rs2=value),
+                Instruction(Opcode.MUL, rd=scratch, rs1=scratch, rs2=scratch),
+                Instruction(Opcode.ANDI, rd=scratch, rs1=scratch, imm=0),
+                Instruction(Opcode.ADD, rd=scratch, rs1=scratch, rs2=2),
+                # late-resolving store vs. eagerly-executing younger load
+                Instruction(Opcode.ST, rs2=value, rs1=scratch, imm=offset),
+                Instruction(Opcode.LD, rd=dest, rs1=2, imm=offset),
+            ])
+        else:
+            body.append(Instruction(Opcode.ADDI, rd=rng.choice(_BODY_REGS),
+                                    rs1=rng.choice(_BODY_REGS),
+                                    imm=rng.randrange(0, 64)))
+    return body
+
+
+__all__ = ["GEN_PROFILES", "random_program"]

@@ -1,0 +1,29 @@
+"""Shared pytest configuration.
+
+Applies a per-test wall-clock ceiling when the ``pytest-timeout`` plugin
+is installed (CI installs it via the ``test`` extra). A hung simulator
+loop — the exact failure mode the differential harness's deadlock check
+guards against — then fails fast instead of wedging the whole run.
+Environments without the plugin (it is optional) skip the marker
+entirely; the tests themselves bound their own ``run`` calls.
+"""
+
+import pytest
+
+try:
+    import pytest_timeout  # noqa: F401
+    _HAVE_TIMEOUT = True
+except ImportError:
+    _HAVE_TIMEOUT = False
+
+#: Generous per-test ceiling: the slowest legitimate tests (full fault
+#: campaigns) finish well under this; only a deadlock exceeds it.
+PER_TEST_TIMEOUT_SECONDS = 120
+
+
+def pytest_collection_modifyitems(config, items):
+    if not _HAVE_TIMEOUT:
+        return
+    for item in items:
+        if item.get_closest_marker("timeout") is None:
+            item.add_marker(pytest.mark.timeout(PER_TEST_TIMEOUT_SECONDS))

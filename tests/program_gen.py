@@ -1,98 +1,8 @@
-"""Random, guaranteed-terminating program generator for differential tests.
+"""Compatibility shim: the random program generator was promoted into
+``repro.workloads.programs`` so the ``repro verify`` fuzz harness can use
+it outside the test tree. Import it from there; this module only keeps
+existing ``tests.program_gen`` imports working."""
 
-Programs have the shape:
+from repro.workloads.programs import GEN_PROFILES, random_program
 
-    <register/memory seeding>
-    outer loop (countdown in r1):
-        random body: ALU ops, loads/stores in a bounded segment,
-        forward conditional skips (never backward, so no extra loops)
-    halt
-
-Termination is structural: the only back-edge is the countdown loop and
-every other branch jumps forward.
-"""
-
-from __future__ import annotations
-
-import random
-from typing import List
-
-from repro.isa import Instruction, Opcode, Program
-
-_ALU_RR = [Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
-           Opcode.SLT, Opcode.MUL, Opcode.FADD, Opcode.FMUL]
-_ALU_RI = [Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI,
-           Opcode.SLLI, Opcode.SRLI]
-
-#: Registers the random body may use freely. r1 is the loop counter and
-#: r2 the memory base; both are read-only for body instructions.
-_BODY_REGS = list(range(3, 16))
-_SEGMENT_WORDS = 64
-
-
-def random_program(rng: random.Random, body_len: int = 20,
-                   iterations: int = 8, seed_regs: bool = True) -> Program:
-    """Build a random terminating program."""
-    instructions: List[Instruction] = [
-        Instruction(Opcode.MOVI, rd=1, imm=iterations),
-        Instruction(Opcode.MOVI, rd=2, imm=0x1000),
-    ]
-    if seed_regs:
-        for reg in _BODY_REGS[:6]:
-            instructions.append(
-                Instruction(Opcode.MOVI, rd=reg, imm=rng.randrange(0, 1 << 16)))
-    loop_top = len(instructions)
-
-    body: List[Instruction] = []
-    for _ in range(body_len):
-        body.append(_random_body_instruction(rng, len(body), body_len))
-    # resolve forward-skip placeholders now that body length is fixed
-    resolved: List[Instruction] = []
-    for index, inst in enumerate(body):
-        if inst.is_branch and inst.opcode is not Opcode.JMP:
-            target = loop_top + min(inst.imm, body_len)
-            resolved.append(Instruction(inst.opcode, rs1=inst.rs1,
-                                        rs2=inst.rs2, imm=target))
-        else:
-            resolved.append(inst)
-    instructions.extend(resolved)
-
-    back_edge_pc = loop_top + body_len
-    instructions.append(Instruction(Opcode.ADDI, rd=1, rs1=1, imm=-1))
-    instructions.append(Instruction(Opcode.BNE, rs1=1, rs2=0,
-                                    imm=loop_top))
-    instructions.append(Instruction(Opcode.HALT))
-    assert instructions[back_edge_pc].opcode is Opcode.ADDI
-    return Program(instructions=instructions, name="random")
-
-
-def _random_body_instruction(rng: random.Random, position: int,
-                             body_len: int) -> Instruction:
-    roll = rng.random()
-    if roll < 0.45:
-        if rng.random() < 0.6:
-            return Instruction(rng.choice(_ALU_RR),
-                               rd=rng.choice(_BODY_REGS),
-                               rs1=rng.choice(_BODY_REGS),
-                               rs2=rng.choice(_BODY_REGS))
-        imm = rng.randrange(0, 64)
-        return Instruction(rng.choice(_ALU_RI),
-                           rd=rng.choice(_BODY_REGS),
-                           rs1=rng.choice(_BODY_REGS), imm=imm)
-    if roll < 0.62:
-        offset = 8 * rng.randrange(_SEGMENT_WORDS)
-        return Instruction(Opcode.LD, rd=rng.choice(_BODY_REGS),
-                           rs1=2, imm=offset)
-    if roll < 0.78:
-        offset = 8 * rng.randrange(_SEGMENT_WORDS)
-        return Instruction(Opcode.ST, rs2=rng.choice(_BODY_REGS),
-                           rs1=2, imm=offset)
-    if roll < 0.9 and position < body_len - 1:
-        # forward conditional skip; imm holds a body-relative target that
-        # random_program resolves to an absolute pc
-        skip_to = rng.randrange(position + 1, body_len + 1)
-        op = rng.choice([Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE])
-        return Instruction(op, rs1=rng.choice(_BODY_REGS),
-                           rs2=rng.choice(_BODY_REGS), imm=skip_to)
-    return Instruction(Opcode.MOVI, rd=rng.choice(_BODY_REGS),
-                       imm=rng.randrange(0, 1 << 12))
+__all__ = ["GEN_PROFILES", "random_program"]

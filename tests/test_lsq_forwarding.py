@@ -1,0 +1,157 @@
+"""Regression tests for the stale store-to-load-forwarding fix.
+
+Historical bug: ``LoadStoreQueue.forward_value`` treated the newest
+address-matching older store with an *unresolved value* as a plain miss,
+so the load read stale memory — and because ``violating_loads`` only
+re-checks when a store resolves its *address* (already resolved here),
+nothing ever caught the stale read. The fix returns a third state
+(``ForwardStatus.STALL``) and the core bounces/holds the load until the
+store's value exists.
+
+Fault-free, stores resolve address and value atomically, so the STALL
+state is unreachable in normal runs (timing is bit-for-bit unchanged);
+these tests construct the in-between state directly.
+"""
+
+from repro.isa import Instruction, Opcode, Program
+from repro.pipeline import ForwardStatus, PipelineCore
+from repro.pipeline.lsq import LoadStoreQueue
+from repro.pipeline.uops import OpState
+
+from .test_pipeline_components import make_op
+
+
+class TestForwardStatus:
+    def test_truthiness_matches_hit(self):
+        # legacy call sites unpack `hit, value, uid` and branch on truth
+        assert ForwardStatus.HIT
+        assert not ForwardStatus.MISS
+        assert not ForwardStatus.STALL
+
+    def test_unresolved_value_store_stalls(self):
+        # the regression: this returned MISS (False) on the old code
+        lsq = LoadStoreQueue(8)
+        store = make_op(1, Opcode.ST, rs1=1, rs2=2)
+        load = make_op(2, Opcode.LD, rd=4, rs1=1)
+        lsq.push(store)
+        lsq.push(load)
+        store.eff_addr = 0x100
+        store.store_value = None
+        status, value, uid = lsq.forward_value(load, 0x100)
+        assert status is ForwardStatus.STALL
+        assert value is None and uid is None
+
+    def test_resolved_value_still_hits(self):
+        lsq = LoadStoreQueue(8)
+        store = make_op(1, Opcode.ST, rs1=1, rs2=2)
+        load = make_op(2, Opcode.LD, rd=4, rs1=1)
+        lsq.push(store)
+        lsq.push(load)
+        store.eff_addr, store.store_value = 0x100, 7
+        status, value, uid = lsq.forward_value(load, 0x100)
+        assert status is ForwardStatus.HIT and value == 7 and uid == 1
+
+    def test_unresolved_value_shadowed_by_newer_store(self):
+        # only the *newest* matching older store gates the load: a newer
+        # resolved store to the same address forwards despite an older
+        # pending one
+        lsq = LoadStoreQueue(8)
+        s1 = make_op(1, Opcode.ST, rs1=1, rs2=2)
+        s2 = make_op(2, Opcode.ST, rs1=1, rs2=3)
+        load = make_op(3, Opcode.LD, rd=4, rs1=1)
+        for op in (s1, s2, load):
+            lsq.push(op)
+        s1.eff_addr, s1.store_value = 0x100, None
+        s2.eff_addr, s2.store_value = 0x100, 22
+        status, value, uid = lsq.forward_value(load, 0x100)
+        assert status is ForwardStatus.HIT and value == 22 and uid == 2
+
+
+def _build_program(blocker=30):
+    """A store/load pair to the same address, arranged so the stale
+    window is reachable deterministically:
+
+    - a dependent MUL chain ahead of the store blocks commit for
+      ~4*blocker cycles (the store completes long before it may commit);
+    - the load's address register is produced by its own short MUL
+      chain that collapses to the store's base, so the load becomes
+      issue-ready only *after* the store has resolved.
+    """
+    instructions = [
+        Instruction(Opcode.MOVI, rd=2, imm=0x1000),
+        Instruction(Opcode.MOVI, rd=3, imm=42),
+        Instruction(Opcode.MOVI, rd=5, imm=3),
+    ]
+    instructions += [Instruction(Opcode.MUL, rd=5, rs1=5, rs2=5)
+                     for _ in range(blocker)]
+    instructions += [
+        Instruction(Opcode.ST, rs2=3, rs1=2, imm=0),
+        Instruction(Opcode.MOVI, rd=6, imm=1),
+        Instruction(Opcode.MUL, rd=6, rs1=6, rs2=6),
+        Instruction(Opcode.MUL, rd=6, rs1=6, rs2=6),
+        Instruction(Opcode.ANDI, rd=6, rs1=6, imm=0),
+        Instruction(Opcode.ADD, rd=6, rs1=6, rs2=2),
+        Instruction(Opcode.LD, rd=4, rs1=6, imm=0),
+        Instruction(Opcode.HALT),
+    ]
+    return Program(instructions=instructions, name="stale-forward")
+
+
+class TestStaleForwardingEndToEnd:
+    def test_load_waits_for_store_value(self):
+        """Drive the core into the store-resolved-address /
+        unresolved-value window and check the load never consumes stale
+        memory. Fails on the pre-fix core: the load completes with the
+        stale memory value (0) inside the window and retires it."""
+        core = PipelineCore([_build_program()],
+                            thread_options=[{"ideal_memory": True}])
+        thread = core.threads[0]
+
+        # 1. run until the store has completed (address+value resolved)
+        #    but cannot commit yet (MUL chain ahead of it in the ROB);
+        #    the load is not yet issue-ready (its address chain is slower)
+        store = None
+        for _ in range(2_000):
+            core.step()
+            store = next((op for op in thread.lsq
+                          if op.is_store and op.state is OpState.COMPLETED),
+                         None)
+            if store is not None:
+                break
+        assert store is not None, "store never completed"
+        assert store.store_value == 42
+        load = next(op for op in thread.rob if op.is_load)
+        assert load.state is not OpState.COMPLETED
+
+        # 2. tear the value away — the exact transient the fix defends
+        #    against (address-resolved store whose value is pending)
+        store.store_value = None
+
+        # 3. a window well inside the commit blocker: the load becomes
+        #    issue-ready here. Fixed core: held at issue (STALL), never
+        #    completes. Old core: treats the pending store as a miss,
+        #    reads stale memory and completes with 0.
+        for _ in range(40):
+            core.step()
+            assert load.state is not OpState.COMPLETED, \
+                "load consumed a stale value while the store's value " \
+                "was unresolved"
+        assert store.state is not OpState.COMMITTED
+
+        # 4. the store's value turns up; everything drains normally and
+        #    the load observes the forwarded (correct) value
+        store.store_value = 42
+        core.run(max_cycles=100_000)
+        assert core.all_halted
+        assert thread.arch_reg_value(4, core.prf) == 42
+        assert thread.memory.read(0x1000) == 42
+
+    def test_fault_free_run_forwards_normally(self):
+        """Fault-free, stores resolve address and value atomically, so
+        the three-state probe never stalls anything: the pair still
+        forwards and the program retires the stored value."""
+        core = PipelineCore([_build_program(blocker=10)])
+        core.run(max_cycles=100_000)
+        assert core.all_halted
+        assert core.stats.forwarded_loads >= 1
+        assert core.threads[0].arch_reg_value(4, core.prf) == 42

@@ -24,6 +24,9 @@ def golden_snapshot(program):
 
 def pipeline_snapshot(program, screening=None):
     core = PipelineCore([program], screening=screening)
+    # raise-mode sanitizer: any structural invariant violation fails the
+    # test at the offending cycle, not as a downstream state mismatch
+    core.enable_sanitizer(every=2)
     core.run(max_cycles=500_000)
     assert core.all_halted, "pipeline deadlocked"
     return core.threads[0].arch_state_snapshot(core.prf)
@@ -68,6 +71,7 @@ def test_smt_pair_each_matches_own_golden(seed_a, seed_b):
     prog_a = random_program(random.Random(seed_a), body_len=12)
     prog_b = random_program(random.Random(seed_b), body_len=12)
     core = PipelineCore([prog_a, prog_b])
+    core.enable_sanitizer(every=2)
     core.run(max_cycles=500_000)
     assert core.all_halted
     assert (core.threads[0].arch_state_snapshot(core.prf)

@@ -10,6 +10,16 @@ Subcommands
     Run one synthetic benchmark fault-free; print timing and energy.
 ``repro campaign NAME [--faults N] [--scheme S]``
     Fault-injection campaign: characterisation plus scheme coverage.
+    Runs under the resilient supervisor by default (retries, watchdog
+    timeouts, poison-window quarantine — see docs/robustness.md); with
+    ``--run-dir D`` progress is journaled crash-safely into ``D``.
+``repro resume RUN_DIR``
+    Finish an interrupted ``repro campaign --run-dir RUN_DIR``: only
+    the chunks missing from the journal are re-run, and the final
+    aggregates are bit-for-bit those of an uninterrupted run.
+``repro cache {verify,stats,clear}``
+    Artifact-cache maintenance; ``verify`` sweeps every entry and
+    quarantines unreadable pickles.
 ``repro figure {table1,table2,fig6..fig12} [--scale SCALE]``
     Regenerate one paper table/figure.
 ``repro verify [--cases N] [--base-seed S] [--scheme S]``
@@ -27,6 +37,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 from contextlib import contextmanager
@@ -83,21 +94,42 @@ def _add_exec_flags(sub: argparse.ArgumentParser) -> None:
                           "entries to stderr")
 
 
-def _make_context(cfg: ExperimentConfig, args,
-                  events=None) -> ExperimentContext:
+def _add_supervisor_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--run-dir", metavar="DIR", default=None,
+                     help="journal campaign progress crash-safely into "
+                          "DIR (enables `repro resume DIR`)")
+    sub.add_argument("--max-retries", type=int, default=3,
+                     help="extra attempts per window chunk before "
+                          "bisecting toward quarantine (default 3)")
+    sub.add_argument("--chunk-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="hard watchdog deadline per chunk attempt "
+                          "(default: soft deadline only, derived from "
+                          "golden-pass throughput)")
+    sub.add_argument("--chunk-windows", type=int, default=8,
+                     help="target windows per supervised chunk — the "
+                          "journal/retry granularity (default 8)")
+    sub.add_argument("--no-supervise", action="store_true",
+                     help="bypass the resilient supervisor and use the "
+                          "bare dispatcher (no retries, no journal)")
+
+
+def _make_context(cfg: ExperimentConfig, args, events=None,
+                  supervisor=None) -> ExperimentContext:
     cache = None if args.no_cache else ArtifactCache.default()
     return ExperimentContext(cfg, jobs=args.jobs, cache=cache,
-                             events=events)
+                             events=events, supervisor=supervisor)
 
 
 @contextmanager
-def _session(cfg: ExperimentConfig, args) -> Iterator[ExperimentContext]:
+def _session(cfg: ExperimentConfig, args,
+             supervisor=None) -> Iterator[ExperimentContext]:
     """An ExperimentContext wired to the requested observability: event
     log opened/closed around the command, optional cProfile, and a
     run-level manifest written next to the event log on exit."""
     events = (EventLog(args.emit_events)
               if getattr(args, "emit_events", None) else NULL_LOG)
-    ctx = _make_context(cfg, args, events=events)
+    ctx = _make_context(cfg, args, events=events, supervisor=supervisor)
     try:
         with profiled(getattr(args, "profile", False)):
             yield ctx
@@ -145,6 +177,38 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--faults", type=int, default=60)
     campaign.add_argument("--seed", type=int, default=3)
     _add_exec_flags(campaign)
+    _add_supervisor_flags(campaign)
+
+    resume = sub.add_parser(
+        "resume", help="finish an interrupted campaign from its run "
+                       "directory's crash-safe journal")
+    resume.add_argument("run_dir", help="the --run-dir of the "
+                                        "interrupted campaign")
+    resume.add_argument("--jobs", type=int, default=None,
+                        help="override the original worker count")
+    resume.add_argument("--emit-events", metavar="PATH", default=None,
+                        help="write this resume's event log to PATH")
+
+    cache_cmd = sub.add_parser("cache", help="artifact cache maintenance")
+    cache_sub = cache_cmd.add_subparsers(dest="cache_command",
+                                         required=True)
+    cache_verify = cache_sub.add_parser(
+        "verify", help="integrity sweep: unpickle every entry, "
+                       "quarantine unreadable ones")
+    cache_verify.add_argument("--no-quarantine", action="store_true",
+                              help="delete corrupt entries instead of "
+                                   "moving them to <root>/quarantine/")
+    cache_verify.add_argument("--strict", action="store_true",
+                              help="exit nonzero when any entry is "
+                                   "corrupt")
+    cache_stats = cache_sub.add_parser("stats",
+                                       help="entry count and location")
+    cache_clear = cache_sub.add_parser("clear",
+                                       help="delete every cache entry")
+    for sub_cmd in (cache_verify, cache_stats, cache_clear):
+        sub_cmd.add_argument("--cache-dir", default=None,
+                             help="cache root (default: REPRO_CACHE_DIR "
+                                  "or benchmarks/.cache)")
 
     figure = sub.add_parser("figure", help="regenerate a paper table/figure")
     figure.add_argument("which", choices=sorted(_FIGURES))
@@ -162,6 +226,9 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--manifest", metavar="PATH", default=None,
                         help="with --events: the run manifest to verify "
                              "(default: PATH's conventional sibling)")
+    report.add_argument("--run-dir", metavar="DIR", default=None,
+                        help="summarise a supervised campaign run "
+                             "directory (journal + poisoned windows)")
 
     validate = sub.add_parser(
         "validate", help="measure a workload profile's achieved character")
@@ -254,27 +321,143 @@ def _cmd_bench(args) -> int:
     return 0
 
 
-def _cmd_campaign(args) -> int:
+def _campaign_config(args) -> ExperimentConfig:
     window = 150
-    cfg = ExperimentConfig(
+    return ExperimentConfig(
         benchmarks=(args.name,),
         dynamic_target=400 + (args.faults + 2) * window,
         num_faults=args.faults, seed=args.seed,
         warmup_commits=400, window_commits=window,
         max_window_cycles=60_000)
-    with _session(cfg, args) as ctx:
-        _, characterization = ctx.campaign(args.name)
-        print(f"{characterization.applied_count()} faults applied:")
-        for fault_class in FaultClass:
-            print(f"  {fault_class.value:8s} "
-                  f"{100 * characterization.class_fraction(fault_class):5.1f}%")
-        coverage = ctx.coverage(args.name, args.scheme)
-        print(f"\n{args.scheme} vs {coverage.sdc_count} SDC faults: "
-              f"coverage {100 * coverage.coverage:.1f}%")
-        for bin_name, fraction in coverage.breakdown().items():
-            print(f"  {bin_name:24s} {100 * fraction:5.1f}%")
-        print(ctx.metrics.summary(), file=sys.stderr)
-    return 0
+
+
+def _save_campaign_args(args) -> None:
+    """Persist the identity-bearing CLI arguments into the run dir so
+    ``repro resume`` can rebuild the exact same campaign."""
+    run_dir = pathlib.Path(args.run_dir)
+    run_dir.mkdir(parents=True, exist_ok=True)
+    manifest = run_dir / "campaign.json"
+    if manifest.exists():        # resuming: the original args win
+        return
+    document = {"command": "campaign", "name": args.name,
+                "scheme": args.scheme, "faults": args.faults,
+                "seed": args.seed, "jobs": args.jobs,
+                "no_cache": bool(args.no_cache),
+                "max_retries": args.max_retries,
+                "chunk_timeout": args.chunk_timeout,
+                "chunk_windows": args.chunk_windows}
+    # atomic write: a SIGKILL mid-write must never leave a truncated
+    # manifest that would block `repro resume`
+    tmp = manifest.with_suffix(".json.tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(document, indent=2, sort_keys=True))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, manifest)
+
+
+def _cmd_campaign(args) -> int:
+    from .harness.supervisor import (CampaignAborted, EXIT_ABORTED,
+                                     Supervisor, SupervisorPolicy)
+    cfg = _campaign_config(args)
+    supervisor = None
+    if not getattr(args, "no_supervise", False):
+        policy = SupervisorPolicy(max_retries=args.max_retries,
+                                  chunk_timeout=args.chunk_timeout,
+                                  chunk_windows=args.chunk_windows)
+        if args.run_dir:   # before the journal exists: a run dir with a
+            _save_campaign_args(args)   # journal is always resumable
+        supervisor = Supervisor(policy, run_dir=args.run_dir)
+    try:
+        with _session(cfg, args, supervisor=supervisor) as ctx:
+            if supervisor is None:
+                _print_campaign(ctx, args)
+                return 0
+            with supervisor.graceful():
+                _print_campaign(ctx, args)
+            _print_quarantine(supervisor)
+            return supervisor.exit_code
+    except CampaignAborted as exc:
+        print(f"aborted: {exc}", file=sys.stderr)
+        return EXIT_ABORTED
+    finally:
+        if supervisor is not None:
+            supervisor.close()
+
+
+def _print_campaign(ctx: ExperimentContext, args) -> None:
+    _, characterization = ctx.campaign(args.name)
+    print(f"{characterization.applied_count()} faults applied:")
+    for fault_class in FaultClass:
+        print(f"  {fault_class.value:8s} "
+              f"{100 * characterization.class_fraction(fault_class):5.1f}%")
+    coverage = ctx.coverage(args.name, args.scheme)
+    print(f"\n{args.scheme} vs {coverage.sdc_count} SDC faults: "
+          f"coverage {100 * coverage.coverage:.1f}%")
+    for bin_name, fraction in coverage.breakdown().items():
+        print(f"  {bin_name:24s} {100 * fraction:5.1f}%")
+    print(ctx.metrics.summary(), file=sys.stderr)
+
+
+def _print_quarantine(supervisor) -> None:
+    quarantined = supervisor.quarantined
+    if not quarantined:
+        return
+    print(f"\nwarning: {len(quarantined)} poison window(s) quarantined:",
+          file=sys.stderr)
+    for q in quarantined:
+        print(f"  {q.phase}/{q.scheme} window {q.index} "
+              f"(site {q.site}, bit {q.bit}): {q.reason} "
+              f"after {q.attempts} attempt(s)", file=sys.stderr)
+    if supervisor.run_dir is not None:
+        print(f"  details: {supervisor.run_dir / 'poisoned.jsonl'}",
+              file=sys.stderr)
+
+
+def _cmd_resume(args) -> int:
+    run_dir = pathlib.Path(args.run_dir)
+    manifest = run_dir / "campaign.json"
+    if not manifest.exists():
+        print(f"error: {manifest} not found — was the campaign started "
+              f"with --run-dir?", file=sys.stderr)
+        return 1
+    try:
+        saved = json.loads(manifest.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"error: unreadable {manifest}: {exc}", file=sys.stderr)
+        return 1
+    namespace = argparse.Namespace(
+        command="campaign", name=saved["name"], scheme=saved["scheme"],
+        faults=saved["faults"], seed=saved["seed"],
+        jobs=args.jobs if args.jobs is not None else saved.get("jobs"),
+        no_cache=bool(saved.get("no_cache", False)),
+        emit_events=args.emit_events, profile=False,
+        run_dir=str(run_dir), no_supervise=False,
+        max_retries=int(saved.get("max_retries", 3)),
+        chunk_timeout=saved.get("chunk_timeout"),
+        chunk_windows=int(saved.get("chunk_windows", 8)))
+    return _cmd_campaign(namespace)
+
+
+def _cmd_cache(args) -> int:
+    cache = (ArtifactCache(args.cache_dir) if args.cache_dir
+             else ArtifactCache.default())
+    if args.cache_command == "stats":
+        print(f"root     {cache.root}")
+        print(f"entries  {cache.entry_count()}")
+        return 0
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"from {cache.root}")
+        return 0
+    report = cache.verify(quarantine=not args.no_quarantine)
+    print(json.dumps({key: value for key, value in report.items()
+                      if key != "entries"}, indent=2))
+    for entry in report["entries"]:
+        print(f"corrupt: {entry['kind']}/{entry['key']} "
+              f"({entry['error']}) -> {entry['action']}", file=sys.stderr)
+    return 1 if (report["corrupt"] and args.strict) else 0
 
 
 def _cmd_figure(args) -> int:
@@ -288,6 +471,8 @@ def _cmd_figure(args) -> int:
 def _cmd_report(args) -> int:
     if args.events:
         return _report_events(args)
+    if args.run_dir:
+        return _report_run_dir(args)
     from .analysis.report import build_experiments_md
     text = build_experiments_md(args.results)
     with open(args.output, "w") as handle:
@@ -320,6 +505,18 @@ def _report_events(args) -> int:
     for error in errors:
         print(f"error: {error}", file=sys.stderr)
     return 1 if errors else 0
+
+
+def _report_run_dir(args) -> int:
+    """Summarise a supervised campaign's run directory: journal record
+    counts, per-phase progress, and every quarantined poison window."""
+    from .harness.supervisor import summarize_run_dir
+    run_dir = pathlib.Path(args.run_dir)
+    if not (run_dir / "journal.jsonl").exists():
+        print(f"error: no journal.jsonl under {run_dir}", file=sys.stderr)
+        return 1
+    print(json.dumps(summarize_run_dir(run_dir), indent=2))
+    return 0
 
 
 def _cmd_verify(args) -> int:
@@ -377,9 +574,11 @@ _COMMANDS = {
     "list": _cmd_list,
     "run": _cmd_run,
     "bench": _cmd_bench,
+    "cache": _cmd_cache,
     "campaign": _cmd_campaign,
     "figure": _cmd_figure,
     "report": _cmd_report,
+    "resume": _cmd_resume,
     "validate": _cmd_validate,
     "verify": _cmd_verify,
 }

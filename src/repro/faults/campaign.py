@@ -37,6 +37,14 @@ class ThroughputRecord:
     checkpoints_captured: int = 0
     checkpoint_hits: int = 0
     golden_pass_seconds: float = 0.0
+    #: Supervisor instrumentation (zero on unsupervised runs): retry /
+    #: watchdog / pool-rebuild counts, windows quarantined as poison,
+    #: and chunks adopted from a prior run's journal by `repro resume`.
+    retries: int = 0
+    timeouts: int = 0
+    pool_rebuilds: int = 0
+    quarantined: int = 0
+    chunks_resumed: int = 0
 
     @property
     def windows_per_sec(self) -> float:
@@ -58,6 +66,11 @@ class CampaignResult:
     #: Execution-speed instrumentation for the phase that produced this
     #: result (None for results assembled outside the harness).
     throughput: Optional[ThroughputRecord] = None
+    #: Windows the supervisor quarantined as poison instead of running
+    #: (:class:`repro.harness.supervisor.QuarantineRecord` instances);
+    #: empty on unsupervised or healthy campaigns. Aggregates above are
+    #: computed over the windows that *did* run.
+    quarantined: List[object] = field(default_factory=list)
 
     # -- Figure 7 ----------------------------------------------------------
     def applied_count(self) -> int:

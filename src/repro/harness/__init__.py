@@ -7,25 +7,40 @@ from .diff import (DiffOutcome, Divergence, FuzzCase, FuzzReport,
 from .experiment import (ExperimentConfig, ExperimentContext, FaultFreeRun,
                          SCHEMES, scheme_unit)
 from .parallel import ContextMetrics, ParallelExecutor
+from .supervisor import (CampaignAborted, CampaignJournal, EXIT_ABORTED,
+                         EXIT_COMPLETE, EXIT_QUARANTINE, PhaseReport,
+                         QuarantineRecord, Supervisor, SupervisorPolicy,
+                         read_poisoned, summarize_run_dir)
 from . import figures
 
 __all__ = [
     "ArtifactCache",
+    "CampaignAborted",
+    "CampaignJournal",
     "ContextMetrics",
     "DiffOutcome",
     "Divergence",
+    "EXIT_ABORTED",
+    "EXIT_COMPLETE",
+    "EXIT_QUARANTINE",
     "ExperimentConfig",
     "ExperimentContext",
     "FaultFreeRun",
     "FuzzCase",
     "FuzzReport",
     "ParallelExecutor",
+    "PhaseReport",
+    "QuarantineRecord",
     "SCHEMES",
+    "Supervisor",
+    "SupervisorPolicy",
     "ThroughputRecord",
     "build_case",
     "lockstep_diff",
+    "read_poisoned",
     "run_case",
     "run_corpus",
     "scheme_unit",
+    "summarize_run_dir",
     "figures",
 ]

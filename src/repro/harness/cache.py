@@ -30,7 +30,9 @@ import os
 import pathlib
 import pickle
 import tempfile
-from typing import Any, Optional
+from typing import Any, Dict, Optional
+
+from ..obs.events import NULL_LOG
 
 _SALT: Optional[str] = None
 
@@ -94,14 +96,16 @@ class ArtifactCache:
     recomputed), keeping the cache a pure accelerator.
     """
 
-    def __init__(self, root: str | os.PathLike | None = None):
+    def __init__(self, root: str | os.PathLike | None = None, events=None):
         self.root = pathlib.Path(root) if root else default_cache_root()
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
+        self.events = events if events is not None else NULL_LOG
 
     @classmethod
-    def default(cls) -> "ArtifactCache":
-        return cls(default_cache_root())
+    def default(cls, events=None) -> "ArtifactCache":
+        return cls(default_cache_root(), events=events)
 
     # -- keys ----------------------------------------------------------
     def key(self, kind: str, **parts: Any) -> str:
@@ -130,9 +134,13 @@ class ArtifactCache:
             with open(path, "rb") as handle:
                 artefact = pickle.load(handle)
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, ValueError):
+                ImportError, ValueError) as exc:
             if path.exists():
                 # corrupt entry: drop it so the rewrite starts clean
+                self.corrupt += 1
+                self.events.emit("cache_corrupt", kind=kind, key=key,
+                                 path=str(path), action="dropped",
+                                 error=f"{type(exc).__name__}: {exc}")
                 try:
                     path.unlink()
                 except OSError:
@@ -182,6 +190,64 @@ class ArtifactCache:
         if not self.root.exists():
             return 0
         return sum(1 for _ in self.root.rglob("*.pkl"))
+
+    def verify(self, quarantine: bool = True) -> Dict[str, Any]:
+        """Integrity sweep: unpickle every entry, report the casualties.
+
+        Unreadable entries are moved into ``<root>/quarantine/`` (with
+        their manifests, renamed ``*.pkl.corrupt`` so they never count
+        as cache entries again) for post-mortem inspection, or deleted
+        outright with ``quarantine=False``. Each one also raises a
+        ``cache_corrupt`` event. Returns ``{"checked", "ok", "corrupt",
+        "quarantined", "entries": [...]}`` — ``entries`` lists the
+        corrupt ones.
+        """
+        report: Dict[str, Any] = {"checked": 0, "ok": 0, "corrupt": 0,
+                                  "quarantined": 0, "entries": []}
+        if not self.root.exists():
+            return report
+        quarantine_root = self.root / "quarantine"
+        for path in sorted(self.root.rglob("*.pkl")):
+            if quarantine_root in path.parents:
+                continue
+            report["checked"] += 1
+            try:
+                with open(path, "rb") as handle:
+                    pickle.load(handle)
+                report["ok"] += 1
+                continue
+            except (OSError, pickle.UnpicklingError, EOFError,
+                    AttributeError, ImportError, ValueError) as exc:
+                error = f"{type(exc).__name__}: {exc}"
+            report["corrupt"] += 1
+            self.corrupt += 1
+            kind = path.parent.name
+            action = "dropped"
+            manifest = path.with_name(
+                path.name.replace(".pkl", ".manifest.json"))
+            if quarantine:
+                try:
+                    target_dir = quarantine_root / kind
+                    target_dir.mkdir(parents=True, exist_ok=True)
+                    os.replace(path, target_dir / (path.name + ".corrupt"))
+                    if manifest.exists():
+                        os.replace(manifest, target_dir / manifest.name)
+                    action = "quarantined"
+                    report["quarantined"] += 1
+                except OSError:
+                    pass
+            else:
+                for stale in (path, manifest):
+                    try:
+                        stale.unlink()
+                    except OSError:
+                        pass
+            self.events.emit("cache_corrupt", kind=kind, key=path.stem,
+                             path=str(path), action=action, error=error)
+            report["entries"].append({"kind": kind, "key": path.stem,
+                                      "path": str(path), "error": error,
+                                      "action": action})
+        return report
 
 
 __all__ = ["ArtifactCache", "code_version_salt", "default_cache_root"]

@@ -135,7 +135,7 @@ class ExperimentContext:
                  hw: HardwareConfig | None = None,
                  jobs: Optional[int] = None,
                  cache: Optional[ArtifactCache] = None,
-                 events=None):
+                 events=None, supervisor=None):
         self.cfg = cfg or ExperimentConfig()
         self.hw = hw or HardwareConfig()
         self.jobs = max(1, jobs if jobs is not None
@@ -144,6 +144,14 @@ class ExperimentContext:
         #: Structured event log (``repro.obs``); defaults to the no-op
         #: sink, so phases span/emit unconditionally at zero cost.
         self.events = events if events is not None else NULL_LOG
+        #: Optional :class:`~repro.harness.supervisor.Supervisor`; when
+        #: given, campaign window fan-outs run under its retry/timeout/
+        #: quarantine/journal protection instead of the bare dispatcher.
+        self.supervisor = supervisor
+        if supervisor is not None:
+            supervisor.bind(jobs=self.jobs, events=self.events)
+        if cache is not None and cache.events is NULL_LOG:
+            cache.events = self.events
         self.metrics = ContextMetrics()
         self._executor = ParallelExecutor(self.jobs, events=self.events)
         self._programs: Dict[str, List] = {}
@@ -319,8 +327,22 @@ class ExperimentContext:
                                                    benchmark=benchmark)
                 from_cache = characterization is not None
                 cp_stats = _parallel.CheckpointStats()
+                sup_report = None
                 if not from_cache:
-                    if self.jobs > 1 and len(campaign.records) > 1:
+                    if self.supervisor is not None:
+                        sup_report = self.supervisor.classify_windows(
+                            self.cfg, self.hw, benchmark, None,
+                            campaign.records, phase="characterize",
+                            cache=self.cache, ctx=self,
+                            checkpoint_stats=cp_stats)
+                        windows = sup_report.windows
+                        characterization = CampaignResult(
+                            benchmark, "baseline",
+                            [w.record for w in windows])
+                        characterization.characterization = windows
+                        characterization.quarantined = list(
+                            sup_report.quarantined)
+                    elif self.jobs > 1 and len(campaign.records) > 1:
                         windows = _parallel.classify_windows_parallel(
                             self.cfg, self.hw, benchmark, None,
                             campaign.records, self._executor,
@@ -332,8 +354,11 @@ class ExperimentContext:
                         characterization.characterization = windows
                     else:
                         characterization = campaign.characterize()
-                    self._cache_put("characterize", characterization,
-                                    benchmark=benchmark)
+                    if not characterization.quarantined:
+                        # never cache a partial (quarantine-reduced)
+                        # phase in the shared artifact store
+                        self._cache_put("characterize", characterization,
+                                        benchmark=benchmark)
                 # keep record identity consistent with the result we serve
                 campaign.records = characterization.records
                 elapsed = time.perf_counter() - started
@@ -345,6 +370,8 @@ class ExperimentContext:
                     checkpoints_captured=cp_stats.captured,
                     checkpoint_hits=cp_stats.hits,
                     golden_pass_seconds=cp_stats.golden_pass_seconds)
+                self._note_supervised(characterization.throughput,
+                                      sup_report)
                 self.metrics.note_phase("characterize", elapsed,
                                         windows=0 if from_cache else windows)
                 self._emit_audit(characterization, "characterize")
@@ -362,13 +389,23 @@ class ExperimentContext:
                                          scheme=scheme)
                 from_cache = result is not None
                 cp_stats = _parallel.CheckpointStats()
+                sup_report = None
                 if from_cache:
                     # re-link to this context's characterisation windows
                     result.characterization = (
                         characterization.characterization)
                 else:
                     sdc_records = Campaign.sdc_records(characterization)
-                    if self.jobs > 1 and len(sdc_records) > 1:
+                    if self.supervisor is not None:
+                        sup_report = self.supervisor.classify_windows(
+                            self.cfg, self.hw, benchmark, scheme,
+                            sdc_records, phase="coverage",
+                            cache=self.cache, ctx=self,
+                            checkpoint_stats=cp_stats)
+                        result = campaign.collect_coverage(
+                            scheme, characterization, sup_report.windows)
+                        result.quarantined = list(sup_report.quarantined)
+                    elif self.jobs > 1 and len(sdc_records) > 1:
                         windows = _parallel.classify_windows_parallel(
                             self.cfg, self.hw, benchmark, scheme,
                             sdc_records, self._executor,
@@ -381,8 +418,9 @@ class ExperimentContext:
                             scheme,
                             lambda: self.make_core(benchmark, scheme),
                             characterization)
-                    self._cache_put("coverage", result, benchmark=benchmark,
-                                    scheme=scheme)
+                    if not result.quarantined:
+                        self._cache_put("coverage", result,
+                                        benchmark=benchmark, scheme=scheme)
                 elapsed = time.perf_counter() - started
                 windows = len(result.coverage_results)
                 result.throughput = ThroughputRecord(
@@ -391,6 +429,7 @@ class ExperimentContext:
                     checkpoints_captured=cp_stats.captured,
                     checkpoint_hits=cp_stats.hits,
                     golden_pass_seconds=cp_stats.golden_pass_seconds)
+                self._note_supervised(result.throughput, sup_report)
                 self.metrics.note_phase("coverage", elapsed,
                                         windows=0 if from_cache else windows)
                 self._emit_audit(result, "coverage")
@@ -544,6 +583,19 @@ class ExperimentContext:
             jobs=self.jobs, from_cache=from_cache)
         self._coverage[(benchmark, scheme)] = result
         self._emit_audit(result, "coverage")
+
+    @staticmethod
+    def _note_supervised(throughput: ThroughputRecord,
+                         report) -> None:
+        """Fold a supervisor :class:`PhaseReport`'s counters into the
+        phase's throughput record (no-op on unsupervised runs)."""
+        if report is None:
+            return
+        throughput.retries = report.retries
+        throughput.timeouts = report.timeouts
+        throughput.pool_rebuilds = report.pool_rebuilds
+        throughput.quarantined = len(report.quarantined)
+        throughput.chunks_resumed = report.chunks_resumed
 
     # -- audit trail ------------------------------------------------------
     def _emit_audit(self, result: CampaignResult, phase: str) -> None:

@@ -150,9 +150,13 @@ class ParallelExecutor:
                 return list(pool.map(fn, tasks, chunksize=1))
         except (OSError, PermissionError) as exc:
             # Restricted environment (no fork/semaphores): fall back to
-            # the serial path, once, loudly.
+            # the serial path, once, loudly — on stderr for humans and
+            # as a degradation event for the machine-read log.
             print(f"repro: process pool unavailable ({exc}); "
                   f"running serially", file=sys.stderr)
+            self.events.emit("degradation", reason="pool_unavailable",
+                             jobs_from=workers, jobs_to=1,
+                             detail=f"{type(exc).__name__}: {exc}")
             self._pool_broken = True
             return [fn(task) for task in tasks]
 

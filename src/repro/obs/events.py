@@ -97,6 +97,28 @@ class EventLog:
         self._stack: List[str] = []
         self._closed = False
         self.emit("run_start", run=self.run_id, schema=SCHEMA_VERSION)
+        self._sweep_stale_spools()
+
+    def _sweep_stale_spools(self) -> None:
+        """Delete worker spool files left behind by a previous run.
+
+        A worker SIGKILLed before the parent's merge — or a parent that
+        died mid-campaign — leaves ``worker-*.jsonl`` files in the spool
+        directory. They belong to a different run, so merging them here
+        would corrupt this log's timeline; sweep them instead, leaving
+        one ``orphan_spool`` marker behind."""
+        directory = self.worker_dir
+        if not directory.is_dir():
+            return
+        swept = 0
+        for spool in sorted(directory.glob("worker-*.jsonl")):
+            try:
+                spool.unlink()
+                swept += 1
+            except OSError:
+                pass
+        if swept:
+            self.emit("orphan_spool", files=swept, action="swept_stale")
 
     # -- emission ------------------------------------------------------
     def emit(self, event_type: str, **fields: Any) -> None:
@@ -185,9 +207,34 @@ class EventLog:
         if self._closed:
             return
         self.absorb_worker_files()
+        self._drop_orphan_spools()
         self.emit("run_end", run=self.run_id)
         self._closed = True
         self._handle.close()
+
+    def _drop_orphan_spools(self) -> None:
+        """Final spool-directory sweep on run exit.
+
+        Everything mergeable was just absorbed; whatever remains is an
+        orphan (a spool the absorb pass could not read, or one written
+        by a worker racing the shutdown). Delete the leftovers, record
+        the fact, and remove the empty directory."""
+        directory = self.worker_dir
+        if not directory.is_dir():
+            return
+        dropped = 0
+        for spool in directory.glob("worker-*.jsonl"):
+            try:
+                spool.unlink()
+                dropped += 1
+            except OSError:
+                pass
+        if dropped:
+            self.emit("orphan_spool", files=dropped, action="deleted")
+        try:
+            directory.rmdir()
+        except OSError:
+            pass    # non-spool files present, or a concurrent writer
 
     def __enter__(self) -> "EventLog":
         return self

@@ -43,6 +43,14 @@ REQUIRED_FIELDS: Dict[str, Dict[str, tuple]] = {
         "singletons": (int,), "suppressions": (int,), "declared": (int,),
         "recovery": (str,),
     },
+    # the resilient campaign supervisor's lifecycle trail
+    "supervisor": {"action": (str,)},
+    # the harness deliberately reduced capability instead of aborting
+    "degradation": {"reason": (str,)},
+    # the artifact cache hit (and dropped or quarantined) an unreadable entry
+    "cache_corrupt": {"kind": (str,)},
+    # worker event spools left behind by dead workers, swept by the parent
+    "orphan_spool": {"files": (int,)},
 }
 
 #: Optional fields that, when present, must have these types
@@ -59,6 +67,17 @@ OPTIONAL_FIELDS: Dict[str, Dict[str, tuple]] = {
     # emitted by the pipeline invariant sanitizer; seed/case identify the
     # fuzz program when `repro verify` is the driver
     "invariant": {"seed": (int,), "case": (str,)},
+    "supervisor": {"phase": (str,), "benchmark": (str,), "scheme": (str,),
+                   "lo": (int,), "hi": (int,), "attempt": (int,),
+                   "reason": (str,), "error": (str,), "key": (str,),
+                   "status": (str,), "chunks": (int,), "windows": (int,),
+                   "resumed": (int,), "quarantined": (int,),
+                   "pending": (int,), "running": (int,)},
+    "degradation": {"detail": (str,), "jobs_from": (int,),
+                    "jobs_to": (int,), "phase": (str,)},
+    "cache_corrupt": {"key": (str,), "path": (str,), "error": (str,),
+                      "action": (str,)},
+    "orphan_spool": {"action": (str,), "events": (int,)},
 }
 
 #: The recovery labels a ``fault_audit`` event may carry.
@@ -67,6 +86,17 @@ RECOVERY_LABELS = ("rollback", "replay", "singleton", "suppress", "none")
 #: The actions a ``checkpoint`` event may carry: the dispatcher either
 #: captured a fresh chunk-boundary checkpoint or reloaded a cached one.
 CHECKPOINT_ACTIONS = ("capture", "hit")
+
+#: The lifecycle actions a ``supervisor`` event may carry.
+SUPERVISOR_ACTIONS = ("plan", "chunk_done", "retry", "timeout",
+                      "pool_rebuild", "bisect", "quarantine", "drain",
+                      "phase_done")
+
+#: What the cache did about a corrupt entry.
+CACHE_CORRUPT_ACTIONS = ("dropped", "quarantined")
+
+#: What the parent did about an orphaned worker spool file.
+ORPHAN_SPOOL_ACTIONS = ("swept_stale", "deleted")
 
 
 def validate_event(event: Any, where: str = "event") -> List[str]:
@@ -106,6 +136,20 @@ def validate_event(event: Any, where: str = "event") -> List[str]:
             and event.get("action") not in CHECKPOINT_ACTIONS):
         errors.append(f"{where}: checkpoint.action "
                       f"{event.get('action')!r} not in {CHECKPOINT_ACTIONS}")
+    if (event_type == "supervisor"
+            and event.get("action") not in SUPERVISOR_ACTIONS):
+        errors.append(f"{where}: supervisor.action "
+                      f"{event.get('action')!r} not in {SUPERVISOR_ACTIONS}")
+    if (event_type == "cache_corrupt" and "action" in event
+            and event.get("action") not in CACHE_CORRUPT_ACTIONS):
+        errors.append(f"{where}: cache_corrupt.action "
+                      f"{event.get('action')!r} not in "
+                      f"{CACHE_CORRUPT_ACTIONS}")
+    if (event_type == "orphan_spool" and "action" in event
+            and event.get("action") not in ORPHAN_SPOOL_ACTIONS):
+        errors.append(f"{where}: orphan_spool.action "
+                      f"{event.get('action')!r} not in "
+                      f"{ORPHAN_SPOOL_ACTIONS}")
     return errors
 
 
@@ -184,5 +228,7 @@ def summarize_events(events: Iterable[dict]) -> Dict[str, Any]:
 
 
 __all__ = ["REQUIRED_FIELDS", "OPTIONAL_FIELDS", "RECOVERY_LABELS",
-           "CHECKPOINT_ACTIONS", "validate_event", "validate_events",
+           "CHECKPOINT_ACTIONS", "SUPERVISOR_ACTIONS",
+           "CACHE_CORRUPT_ACTIONS", "ORPHAN_SPOOL_ACTIONS",
+           "validate_event", "validate_events",
            "check_spans", "summarize_events"]

@@ -120,3 +120,75 @@ def test_bench_profile_prints_stage_accounting(capsys):
     assert code == 0
     assert "stage wall-clock" in out
     assert "cProfile top" in err
+
+
+# ----------------------------------------------------------------------
+# supervised campaign plumbing: cache verify, resume, report --run-dir
+# ----------------------------------------------------------------------
+def test_cache_verify_reports_and_quarantines(tmp_path, capsys):
+    from repro.harness.cache import ArtifactCache
+    cache = ArtifactCache(tmp_path)
+    key = cache.key("srt", benchmark="mcf")
+    cache.put("srt", key, [1, 2, 3])
+    (tmp_path / "srt" / f"{key}.pkl").write_bytes(b"garbage")
+    code, out, err = run_cli(capsys, "cache", "verify",
+                             "--cache-dir", str(tmp_path))
+    assert code == 0            # informative by default
+    summary = json.loads(out)
+    assert summary["corrupt"] == 1 and summary["quarantined"] == 1
+    assert "corrupt: srt/" in err
+    # --strict turns surviving corruption into a non-zero exit
+    (tmp_path / "srt" / f"{key}.pkl").write_bytes(b"garbage again")
+    code, out, _ = run_cli(capsys, "cache", "verify", "--strict",
+                           "--cache-dir", str(tmp_path))
+    assert code == 1
+    # once clean, --strict passes
+    code, out, _ = run_cli(capsys, "cache", "verify", "--strict",
+                           "--cache-dir", str(tmp_path))
+    assert code == 0
+    assert json.loads(out)["corrupt"] == 0
+
+
+def test_cache_stats_and_clear(tmp_path, capsys):
+    from repro.harness.cache import ArtifactCache
+    cache = ArtifactCache(tmp_path)
+    cache.put("srt", cache.key("srt", benchmark="mcf"), [1])
+    code, out, _ = run_cli(capsys, "cache", "stats",
+                           "--cache-dir", str(tmp_path))
+    assert code == 0 and "entries  1" in out
+    code, out, _ = run_cli(capsys, "cache", "clear",
+                           "--cache-dir", str(tmp_path))
+    assert code == 0 and "removed 1 entry" in out
+
+
+def test_resume_requires_campaign_manifest(tmp_path, capsys):
+    code, _, err = run_cli(capsys, "resume", str(tmp_path))
+    assert code == 1
+    assert "campaign.json" in err
+
+
+def test_report_run_dir_requires_journal(tmp_path, capsys):
+    code, _, err = run_cli(capsys, "report", "--run-dir", str(tmp_path))
+    assert code == 1
+    assert "journal.jsonl" in err
+
+
+def test_supervised_campaign_cli_roundtrip(tmp_path, capsys, monkeypatch):
+    """campaign --run-dir → report --run-dir → resume is a no-op."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    run_dir = tmp_path / "run"
+    code, out, err = run_cli(capsys, "campaign", "mcf", "--faults", "6",
+                             "--jobs", "2", "--run-dir", str(run_dir))
+    assert code == 0
+    assert (run_dir / "journal.jsonl").exists()
+    assert (run_dir / "campaign.json").exists()
+    first = out
+    code, out, _ = run_cli(capsys, "report", "--run-dir", str(run_dir))
+    assert code == 0
+    summary = json.loads(out)
+    assert summary["poisoned"] == 0
+    assert summary["by_type"].get("phase_done", 0) >= 1
+    # resuming a completed run recomputes nothing and prints the same
+    code, out, _ = run_cli(capsys, "resume", str(run_dir))
+    assert code == 0
+    assert out == first

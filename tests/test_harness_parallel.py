@@ -71,6 +71,40 @@ class TestArtifactCache:
         assert not path.exists()       # dropped so the rewrite starts clean
         assert cache.misses == 1
 
+    def test_verify_quarantines_corrupt_entries(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        good_key = cache.key("srt", benchmark="mcf")
+        cache.put("srt", good_key, [1, 2, 3])
+        bad_key = cache.key("coverage", benchmark="mcf")
+        cache.put("coverage", bad_key, {"x": 1})
+        (tmp_path / "coverage" / f"{bad_key}.pkl").write_bytes(b"garbage")
+        report = cache.verify()
+        assert report["checked"] == 2
+        assert report["ok"] == 1
+        assert report["corrupt"] == 1
+        assert report["quarantined"] == 1
+        assert report["entries"][0]["key"] == bad_key
+        assert report["entries"][0]["action"] == "quarantined"
+        # the corrupt entry moved aside: lookups miss, good entry intact
+        assert cache.get("coverage", bad_key) is None
+        assert cache.get("srt", good_key) == [1, 2, 3]
+        assert (tmp_path / "quarantine" / "coverage"
+                / f"{bad_key}.pkl.corrupt").exists()
+        # quarantined files no longer count as entries, re-verify is clean
+        assert cache.entry_count() == 1
+        assert cache.verify()["corrupt"] == 0
+
+    def test_verify_can_drop_instead_of_quarantine(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = cache.key("srt", benchmark="mcf")
+        cache.put("srt", key, [1])
+        path = tmp_path / "srt" / f"{key}.pkl"
+        path.write_bytes(b"garbage")
+        report = cache.verify(quarantine=False)
+        assert report["corrupt"] == 1 and report["quarantined"] == 0
+        assert report["entries"][0]["action"] == "dropped"
+        assert not path.exists()
+
     def test_clear_removes_everything(self, tmp_path):
         cache = ArtifactCache(tmp_path)
         for kind in ("fault_free", "coverage"):

@@ -93,6 +93,52 @@ class TestWorkerSpool:
         assert log.absorb_worker_files() == 1
         log.close()
 
+    def test_stale_spools_swept_on_open(self, tmp_path):
+        """Spool files left by a crashed previous run belong to a dead
+        timeline: a fresh log deletes them instead of merging them."""
+        path = tmp_path / "events.jsonl"
+        stale_dir = path.with_name(path.name + ".workers")
+        stale_dir.mkdir()
+        stale = stale_dir / "worker-111.jsonl"
+        stale.write_text(json.dumps(
+            {"ts": 1.0, "type": "worker_start", "pid": 111}) + "\n")
+        log = EventLog(path)
+        assert not stale.exists()
+        log.close()
+        events = read_events(path)
+        sweeps = [e for e in events if e["type"] == "orphan_spool"]
+        assert len(sweeps) == 1
+        assert sweeps[0]["files"] == 1
+        assert sweeps[0]["action"] == "swept_stale"
+        assert not any(e["type"] == "worker_merge" for e in events)
+        assert validate_events(events) == []
+
+    def test_orphan_spools_dropped_on_close(self, tmp_path, monkeypatch):
+        """A spool a worker is still writing at shutdown is absorbed by
+        close(); an unreadable leftover is deleted and recorded."""
+        log = EventLog(tmp_path / "events.jsonl")
+        spool_dir = log.worker_spool()
+        # simulate absorb_worker_files failing to consume one spool
+        orphan = os.path.join(spool_dir, "worker-222.jsonl")
+        real_absorb = log.absorb_worker_files
+
+        def absorb_then_orphan():
+            count = real_absorb()
+            with open(orphan, "w") as handle:
+                handle.write(json.dumps({"ts": 9.0, "type": "worker_start",
+                                         "pid": 222}) + "\n")
+            return count
+
+        monkeypatch.setattr(log, "absorb_worker_files", absorb_then_orphan)
+        log.close()
+        assert not os.path.exists(orphan)
+        assert not os.path.isdir(spool_dir)    # empty dir removed too
+        events = read_events(log.path)
+        drops = [e for e in events if e["type"] == "orphan_spool"]
+        assert len(drops) == 1
+        assert drops[0]["action"] == "deleted"
+        assert validate_events(events) == []
+
 
 # ----------------------------------------------------------------------
 # schema structural checks

@@ -1,0 +1,334 @@
+"""Tests for the resilient campaign supervisor.
+
+The contract under test: supervision is a pure reliability layer — on a
+healthy machine the supervised serial, supervised pool, crash-retried
+and resumed-after-SIGKILL paths all yield bit-for-bit the results of the
+plain serial classifier, and a deterministically poisonous window is
+bisected and quarantined without taking its neighbours down with it.
+
+Worker chaos is injected through the ``REPRO_CHAOS_*`` environment
+variables read by :func:`repro.harness.supervisor.chaos_probe`, which
+runs only inside pool workers (never in-process), so the injected
+SIGKILLs exercise exactly the `BrokenProcessPool` machinery a real
+worker death would.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.harness import (ExperimentConfig, ExperimentContext, Supervisor,
+                           SupervisorPolicy, read_poisoned,
+                           summarize_run_dir)
+from repro.harness.supervisor import (CampaignAborted, CampaignJournal,
+                                      EXIT_ABORTED, EXIT_QUARANTINE,
+                                      _chaos_indices)
+
+# geometry matching `repro campaign mcf --faults 10`: produces a small
+# but non-empty SDC set, so the coverage phase is exercised for real
+_TINY = ExperimentConfig(benchmarks=("mcf",), dynamic_target=2_200,
+                         num_faults=10, warmup_commits=400,
+                         window_commits=150, max_window_cycles=60_000)
+
+_FAST_BACKOFF = dict(backoff_base=0.01, backoff_max=0.05)
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    ctx = ExperimentContext(_TINY, jobs=1)
+    _, characterization = ctx.campaign("mcf")
+    coverage = ctx.coverage("mcf", "faulthound")
+    return characterization, coverage
+
+
+# ----------------------------------------------------------------------
+# equivalence on a healthy machine
+# ----------------------------------------------------------------------
+class TestSupervisedEquivalence:
+    def test_supervised_serial_matches_serial(self, serial_reference):
+        s_char, s_cov = serial_reference
+        sup = Supervisor(SupervisorPolicy(chunk_windows=3))
+        ctx = ExperimentContext(_TINY, jobs=1, supervisor=sup)
+        _, characterization = ctx.campaign("mcf")
+        coverage = ctx.coverage("mcf", "faulthound")
+        assert characterization.characterization == s_char.characterization
+        assert coverage.coverage_results == s_cov.coverage_results
+        assert sup.status == "complete" and sup.exit_code == 0
+
+    def test_supervised_pool_matches_serial(self, serial_reference,
+                                            tmp_path):
+        s_char, s_cov = serial_reference
+        sup = Supervisor(SupervisorPolicy(chunk_windows=3),
+                         run_dir=tmp_path / "run")
+        ctx = ExperimentContext(_TINY, jobs=3, supervisor=sup)
+        _, characterization = ctx.campaign("mcf")
+        coverage = ctx.coverage("mcf", "faulthound")
+        sup.close()
+        assert characterization.characterization == s_char.characterization
+        assert coverage.coverage_results == s_cov.coverage_results
+        assert sup.status == "complete" and sup.exit_code == 0
+        # supervisor instrumentation reaches the throughput record
+        assert characterization.throughput.retries == 0
+        assert characterization.throughput.quarantined == 0
+        records = list(CampaignJournal.read(tmp_path / "run"))
+        types = [r["type"] for r in records]
+        assert "plan" in types and "chunk_done" in types
+        assert types.count("phase_done") == 2    # characterize + coverage
+
+    def test_transient_crashes_retried_to_convergence(
+            self, serial_reference, monkeypatch):
+        """Random worker SIGKILLs are retried (on rebuilt pools) until
+        every chunk lands; nobody is quarantined, results identical."""
+        s_char, _ = serial_reference
+        monkeypatch.setenv("REPRO_CHAOS_CRASH_RATE", "0.3")
+        sup = Supervisor(SupervisorPolicy(max_retries=6, chunk_windows=2,
+                                          **_FAST_BACKOFF))
+        ctx = ExperimentContext(_TINY, jobs=3, supervisor=sup)
+        _, characterization = ctx.campaign("mcf")
+        assert characterization.characterization == s_char.characterization
+        assert sup.status == "complete"
+        assert not sup.quarantined
+        retries = sum(r.retries for r in sup.reports)
+        rebuilds = sum(r.pool_rebuilds for r in sup.reports)
+        assert retries > 0 or rebuilds > 0
+
+
+# ----------------------------------------------------------------------
+# poison-window quarantine
+# ----------------------------------------------------------------------
+class TestQuarantine:
+    def test_poison_window_quarantined_alone(self, serial_reference,
+                                             monkeypatch, tmp_path):
+        """A deterministically crashing window is bisected down and
+        quarantined; its innocent pool-mates all complete bit-for-bit."""
+        s_char, _ = serial_reference
+        monkeypatch.setenv("REPRO_CHAOS_POISON", "baseline:4")
+        run_dir = tmp_path / "run"
+        sup = Supervisor(SupervisorPolicy(max_retries=1, chunk_windows=3,
+                                          **_FAST_BACKOFF),
+                         run_dir=run_dir)
+        ctx = ExperimentContext(_TINY, jobs=3, supervisor=sup)
+        _, characterization = ctx.campaign("mcf")
+        sup.close()
+        assert sup.status == "complete-with-quarantine"
+        assert sup.exit_code == EXIT_QUARANTINE
+        assert [q.index for q in sup.quarantined] == [4]
+        assert sup.quarantined[0].reason == "crash"
+        expected = [w for i, w in enumerate(s_char.characterization)
+                    if i != 4]
+        assert characterization.characterization == expected
+        assert characterization.quarantined == sup.quarantined
+        assert characterization.throughput.quarantined == 1
+        # the quarantine is journalled and in poisoned.jsonl
+        poisoned = read_poisoned(run_dir)
+        assert len(poisoned) == 1 and poisoned[0]["index"] == 4
+        assert '"index": 4' in (run_dir / "poisoned.jsonl").read_text()
+        summary = summarize_run_dir(run_dir)
+        assert summary["poisoned"] == 1
+        assert summary["poisoned_windows"][0]["index"] == 4
+
+    def test_hung_window_times_out_and_quarantines(self, serial_reference,
+                                                   monkeypatch, tmp_path):
+        """A worker that never returns trips the hard watchdog deadline
+        instead of wedging the campaign."""
+        s_char, _ = serial_reference
+        monkeypatch.setenv("REPRO_CHAOS_HANG", "baseline:2")
+        sup = Supervisor(SupervisorPolicy(max_retries=1, bisect_retries=0,
+                                          chunk_windows=3,
+                                          chunk_timeout=1.5,
+                                          soft_timeout_factor=0.0,
+                                          **_FAST_BACKOFF),
+                         run_dir=tmp_path / "run")
+        ctx = ExperimentContext(_TINY, jobs=3, supervisor=sup)
+        _, characterization = ctx.campaign("mcf")
+        sup.close()
+        assert sup.status == "complete-with-quarantine"
+        assert [q.index for q in sup.quarantined] == [2]
+        assert sup.quarantined[0].reason == "timeout"
+        assert sum(r.timeouts for r in sup.reports) > 0
+        expected = [w for i, w in enumerate(s_char.characterization)
+                    if i != 2]
+        assert characterization.characterization == expected
+
+    def test_chaos_index_parsing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS_POISON",
+                           "baseline:4, faulthound:2, 7")
+        var = "REPRO_CHAOS_POISON"
+        assert _chaos_indices(var, "baseline") == [4, 7]
+        assert _chaos_indices(var, "faulthound") == [2, 7]
+        assert _chaos_indices(var, "pbfs") == [7]
+        monkeypatch.delenv("REPRO_CHAOS_POISON")
+        assert _chaos_indices(var, "baseline") == []
+
+
+# ----------------------------------------------------------------------
+# drain / abort
+# ----------------------------------------------------------------------
+class TestDrain:
+    def test_drain_aborts_with_resume_hint(self, tmp_path):
+        run_dir = tmp_path / "run"
+        sup = Supervisor(SupervisorPolicy(chunk_windows=3),
+                         run_dir=run_dir)
+        sup.request_drain()
+        ctx = ExperimentContext(_TINY, jobs=1, supervisor=sup)
+        with pytest.raises(CampaignAborted) as excinfo:
+            ctx.campaign("mcf")
+        sup.close()
+        assert sup.status == "aborted"
+        assert sup.exit_code == EXIT_ABORTED
+        assert "repro resume" in str(excinfo.value)
+
+    def test_graceful_handler_requests_drain(self):
+        before = signal.getsignal(signal.SIGTERM)
+        sup = Supervisor(SupervisorPolicy())
+        with sup.graceful():
+            os.kill(os.getpid(), signal.SIGTERM)
+            # the handler runs synchronously on the main thread
+            assert sup.drain
+        # original disposition restored on exit
+        assert signal.getsignal(signal.SIGTERM) == before
+
+
+# ----------------------------------------------------------------------
+# journal
+# ----------------------------------------------------------------------
+class TestJournal:
+    def test_truncated_tail_is_skipped(self, tmp_path):
+        journal = CampaignJournal(tmp_path)
+        journal.append({"type": "plan", "chunks": 4})
+        journal.append({"type": "chunk_done", "key": "k", "lo": 0,
+                        "hi": 3, "windows": 3, "attempt": 1})
+        journal.close()
+        with open(tmp_path / "journal.jsonl", "a") as handle:
+            handle.write('{"type": "chunk_done", "key": "trunc')
+        records = list(CampaignJournal.read(tmp_path))
+        assert [r["type"] for r in records] == ["plan", "chunk_done"]
+
+    def test_resume_skips_journalled_chunks(self, serial_reference,
+                                            tmp_path):
+        """Re-running a completed campaign in the same run dir adopts
+        every chunk from the journal and recomputes nothing."""
+        s_char, s_cov = serial_reference
+        run_dir = tmp_path / "run"
+        policy = SupervisorPolicy(chunk_windows=3)
+        first = Supervisor(policy, run_dir=run_dir)
+        ctx = ExperimentContext(_TINY, jobs=2, supervisor=first)
+        ctx.campaign("mcf")
+        ctx.coverage("mcf", "faulthound")
+        first.close()
+
+        second = Supervisor(policy, run_dir=run_dir)
+        ctx2 = ExperimentContext(_TINY, jobs=2, supervisor=second)
+        _, characterization = ctx2.campaign("mcf")
+        coverage = ctx2.coverage("mcf", "faulthound")
+        second.close()
+        assert characterization.characterization == s_char.characterization
+        assert coverage.coverage_results == s_cov.coverage_results
+        assert all(r.chunks_run == 0 for r in second.reports)
+        assert sum(r.chunks_resumed for r in second.reports) > 0
+
+
+# ----------------------------------------------------------------------
+# SIGKILL + resume, end to end via the CLI
+# ----------------------------------------------------------------------
+def _campaign_argv(run_dir, jobs):
+    return [sys.executable, "-m", "repro.cli", "campaign", "mcf",
+            "--scheme", "faulthound", "--faults", "10",
+            "--jobs", str(jobs), "--no-cache", "--run-dir", str(run_dir)]
+
+
+def _cli_env():
+    env = dict(os.environ)
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env["PYTHONPATH"] = os.path.join(root, "src")
+    return env
+
+
+@pytest.mark.slow
+@pytest.mark.timeout(300)
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_sigkill_then_resume_is_bit_for_bit(tmp_path, jobs):
+    env = _cli_env()
+    ref_dir = tmp_path / "ref"
+    reference = subprocess.run(_campaign_argv(ref_dir, jobs), env=env,
+                               capture_output=True, text=True, timeout=240)
+    assert reference.returncode == 0, reference.stderr
+
+    int_dir = tmp_path / "interrupted"
+    victim = subprocess.Popen(_campaign_argv(int_dir, jobs), env=env,
+                              stdout=subprocess.DEVNULL,
+                              stderr=subprocess.DEVNULL,
+                              start_new_session=True)
+    journal = int_dir / "journal.jsonl"
+    deadline = time.monotonic() + 120
+    try:
+        while time.monotonic() < deadline:
+            if victim.poll() is not None:
+                break
+            if journal.exists() and "chunk_done" in journal.read_text():
+                break
+            time.sleep(0.05)
+        assert victim.poll() is None, "campaign finished before the kill"
+    finally:
+        try:
+            os.killpg(victim.pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+        victim.wait(timeout=30)
+
+    resumed = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "resume", str(int_dir)],
+        env=env, capture_output=True, text=True, timeout=240)
+    assert resumed.returncode == 0, resumed.stderr
+    assert resumed.stdout == reference.stdout
+    records = list(CampaignJournal.read(int_dir))
+    assert any(r["type"] == "resume" for r in records)
+
+
+@pytest.mark.slow
+@pytest.mark.timeout(300)
+def test_sigkill_then_resume_cache_warm(tmp_path):
+    """Resume equivalence with a warm artifact cache: chunk adoption and
+    cache hits must not double-apply."""
+    env = _cli_env()
+    env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+    # drop --no-cache everywhere so the artifact cache actually warms up
+    argv = [a for a in _campaign_argv(tmp_path / "warm", 2)
+            if a != "--no-cache"]
+    warm = subprocess.run(argv, env=env, capture_output=True, text=True,
+                          timeout=240)
+    assert warm.returncode == 0, warm.stderr
+    argv = [a for a in _campaign_argv(tmp_path / "ref", 2)
+            if a != "--no-cache"]
+    reference = subprocess.run(argv, env=env, capture_output=True,
+                               text=True, timeout=240)
+    assert reference.returncode == 0, reference.stderr
+
+    int_dir = tmp_path / "interrupted"
+    argv = [a for a in _campaign_argv(int_dir, 2) if a != "--no-cache"]
+    victim = subprocess.Popen(argv, env=env, stdout=subprocess.DEVNULL,
+                              stderr=subprocess.DEVNULL,
+                              start_new_session=True)
+    time.sleep(0.3)
+    try:
+        os.killpg(victim.pid, signal.SIGKILL)
+    except ProcessLookupError:
+        pass
+    victim.wait(timeout=30)
+
+    resumed = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "resume", str(int_dir)],
+        env=env, capture_output=True, text=True, timeout=240)
+    if not (int_dir / "campaign.json").exists():
+        # the kill can land before the manifest write; then there is
+        # nothing to resume and the CLI must say so
+        assert resumed.returncode == 1
+        assert "campaign.json" in resumed.stderr
+        return
+    assert resumed.returncode == 0, resumed.stderr
+    assert resumed.stdout == reference.stdout

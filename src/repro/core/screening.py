@@ -43,6 +43,15 @@ class ScreeningUnit:
         """Screen *value* when its load/store reaches commit (LSQ check)."""
         raise NotImplementedError
 
+    def next_event_cycle(self, now: int):
+        """Event-skip contract (see PipelineCore.quiescent_until): the
+        earliest future cycle at which this unit can change pipeline
+        state unprompted, or None. Every in-tree unit acts only when
+        consulted at complete/commit, so the base answers None; a future
+        unit with autonomous timing (a periodic flash-clear modelled in
+        cycles, say) overrides this."""
+        return None
+
     def clone(self) -> "ScreeningUnit":
         """An independent copy carrying all learned filter state — the
         checkpoint protocol's fork point for screening hardware.

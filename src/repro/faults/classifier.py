@@ -198,14 +198,10 @@ class TandemClassifier:
 
     def _advance_to(self, core: PipelineCore, total_commits: int) -> bool:
         """Advance *core* until its total committed count reaches
-        *total_commits*; False when it halted first."""
-        for _ in range(self.max_window_cycles * 4):
-            if core.stats.committed >= total_commits:
-                return True
-            if core.all_halted:
-                return False
-            core.step()
-        return False
+        *total_commits*; False when it halted first. Delegates to the
+        core's event-skip driver: idle stretches (long-latency misses,
+        redirect stalls) are jumped instead of stepped."""
+        return core.run_to_commit(total_commits, self.max_window_cycles * 4)
 
     def _classify_one(self, golden: PipelineCore,
                       record: FaultRecord) -> WindowResult:
@@ -283,24 +279,35 @@ class TandemClassifier:
     def _apply_with_retry(self, faulty: PipelineCore,
                           record: FaultRecord) -> bool:
         """Inject; LSQ faults wait (a bounded number of cycles) for an
-        executed entry to exist."""
+        executed entry to exist.
+
+        The retry loop elides provably idle cycles: the LSQ's executed-
+        entry set cannot change while the core is quiescent, so a failing
+        ``apply`` keeps failing identically across the skipped stretch
+        and the injection lands at exactly the cycle the cycle-by-cycle
+        loop would have found.
+        """
         if self.injector.apply(faulty, record):
             return True
         if record.site is not FaultSite.LSQ:
             return False
-        for _ in range(self.lsq_wait_cycles):
+        bound = faulty.cycle + self.lsq_wait_cycles
+        signature = -1
+        while faulty.cycle < bound:
             if faulty.all_halted:
                 return False
+            current = faulty.activity_signature()
+            if (current == signature and faulty.elide_idle_cycles(bound)
+                    and faulty.cycle >= bound):
+                break
+            signature = current
             faulty.step()
             if self.injector.apply(faulty, record):
                 return True
         return False
 
     def _run_to_capture(self, core: PipelineCore) -> None:
-        for _ in range(self.max_window_cycles):
-            if core.all_snapshots_captured or core.all_halted:
-                return
-            core.step()
+        core.run_to_capture(self.max_window_cycles)
 
 
 class _Delta:

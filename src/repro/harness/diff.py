@@ -168,7 +168,15 @@ def lockstep_diff(programs: Sequence[Program],
     divergence = None
     while divergence is None and not core.all_halted \
             and core.cycle < max_cycles:
-        core.step()
+        # run to the next cycle in which anything commits (eliding
+        # provably idle stretches — with a periodic sanitizer armed the
+        # core caps each jump so the per-cycle checks still run); the
+        # per-thread diff below only ever acts on commit-count changes,
+        # so this is the legacy per-cycle loop minus its no-op iterations
+        before = core.stats.committed
+        core.run_to_commit(before + 1, max_cycles - core.cycle)
+        if core.stats.committed == before:
+            break    # halted or cycle budget exhausted without a commit
         for thread, interp in zip(core.threads, interps):
             tid = thread.thread_id
             if checked[tid] == thread.committed_count:

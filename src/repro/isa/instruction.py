@@ -20,12 +20,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .opcodes import (Opcode, OpClass, has_dest, is_branch, op_class,
-                      reads_two_regs)
+                      op_latency, reads_two_regs)
 
 
 @dataclass(frozen=True)
 class Instruction:
-    """One static instruction; immutable so programs can be shared freely."""
+    """One static instruction; immutable so programs can be shared freely.
+
+    The derived operand facts (``is_mem``, ``writes_reg``, ...) are fixed
+    by the opcode, and the pipeline reads them on every dispatch, issue
+    and commit of every dynamic instance — so they are materialised once
+    at construction instead of recomputed per access. They are plain
+    attributes, not dataclass fields: equality, repr and ``replace`` see
+    only the five encoding fields.
+    """
 
     opcode: Opcode
     rd: int = 0
@@ -38,49 +46,40 @@ class Instruction:
             reg = getattr(self, name)
             if not 0 <= reg < 32:
                 raise ValueError(f"{name}={reg} outside r0-r31")
+        op = self.opcode
+        cache = object.__setattr__
+        cache(self, "op_class", op_class(op))
+        cache(self, "latency", op_latency(op))
+        cache(self, "is_load", op is Opcode.LD)
+        cache(self, "is_store", op is Opcode.ST)
+        cache(self, "is_mem", op is Opcode.LD or op is Opcode.ST)
+        cache(self, "is_branch", is_branch(op))
+        # has_dest only: the r0-discard rule is a rename-time decision,
+        # applied where the MicroOp caches its own writes_reg flag
+        cache(self, "writes_reg", has_dest(op))
+        if op in (Opcode.NOP, Opcode.HALT, Opcode.JMP, Opcode.MOVI):
+            srcs = ()
+        elif op is Opcode.LD:
+            srcs = (self.rs1,)
+        elif reads_two_regs(op):
+            srcs = (self.rs1, self.rs2)
+        else:
+            srcs = (self.rs1,)
+        cache(self, "_source_regs", srcs)
 
     def __deepcopy__(self, memo) -> "Instruction":
         return self    # frozen: shared by deep copies of in-flight ops
 
-    @property
-    def op_class(self) -> OpClass:
-        return op_class(self.opcode)
-
-    @property
-    def is_load(self) -> bool:
-        return self.opcode is Opcode.LD
-
-    @property
-    def is_store(self) -> bool:
-        return self.opcode is Opcode.ST
-
-    @property
-    def is_mem(self) -> bool:
-        return self.opcode in (Opcode.LD, Opcode.ST)
-
-    @property
-    def is_branch(self) -> bool:
-        return is_branch(self.opcode)
-
-    @property
-    def writes_reg(self) -> bool:
-        """True when the instruction defines a destination register.
-
-        A write to ``r0`` is architecturally discarded but still allocates a
-        physical register in the pipeline, matching real renamed designs.
-        """
-        return has_dest(self.opcode)
+    def __setstate__(self, state) -> None:
+        # instructions pickled before the derived facts were materialised
+        # carry only the five encoding fields; re-derive the rest
+        self.__dict__.update(state)
+        if "latency" not in state:
+            self.__post_init__()
 
     def source_regs(self) -> tuple:
         """Logical registers this instruction reads, in operand order."""
-        op = self.opcode
-        if op in (Opcode.NOP, Opcode.HALT, Opcode.JMP, Opcode.MOVI):
-            return ()
-        if op is Opcode.LD:
-            return (self.rs1,)
-        if reads_two_regs(op):
-            return (self.rs1, self.rs2)
-        return (self.rs1,)
+        return self._source_regs
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         op = self.opcode

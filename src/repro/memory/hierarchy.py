@@ -95,6 +95,13 @@ class MemoryHierarchy:
                     self._prefetched.add(pf_line)
         return AccessResult(latency, level)
 
+    def next_event_cycle(self, now: int):
+        """Event-skip contract: in-flight fills (``_fill_ready``) are
+        consulted only when an access probes their line, and accesses
+        happen only at issue — the hierarchy never changes core state on
+        its own, so it contributes no autonomous events."""
+        return None
+
     def clone(self) -> "MemoryHierarchy":
         """Independent copy for core forking (checkpoint protocol)."""
         twin = MemoryHierarchy.__new__(MemoryHierarchy)

@@ -16,7 +16,9 @@ flow-through.
 
 from __future__ import annotations
 
+import weakref
 from collections import deque
+from time import perf_counter
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..config import HardwareConfig
@@ -24,7 +26,7 @@ from ..core.actions import CheckAction, CheckKind
 from ..core.screening import NullScreeningUnit, ScreeningUnit
 from ..errors import MemoryFault, SimulationError
 from ..isa.interpreter import Interpreter
-from ..isa.opcodes import Opcode, op_latency
+from ..isa.opcodes import Opcode
 from ..isa.program import Program
 from ..isa.semantics import (alu_result, branch_taken, check_address,
                              effective_address)
@@ -54,6 +56,19 @@ _SEVERITY = {
 }
 #: Hoisted bound method: the screening path runs once per memory op.
 _SEVERITY_OF = _SEVERITY.__getitem__
+
+#: Event horizon for :meth:`PipelineCore.quiescent_until`: returned when
+#: nothing is pending at all, so a hung window jumps straight to its
+#: cycle bound — exactly where cycle-by-cycle stepping would land.
+_NO_EVENT = 1 << 62
+
+#: Branch-oracle cache: ``(id(program), max_commits)`` → recorded
+#: outcomes. Keyed by the program object the caller passed to the
+#: constructor (campaigns hold and reuse those across every fresh core),
+#: relying on Program's immutable-once-built convention. A finalizer
+#: evicts entries when the program is collected, so recycled ids can
+#: never alias.
+_ORACLE_CACHE: Dict[Tuple[int, Optional[int]], Tuple[bool, ...]] = {}
 
 
 class PipelineCore:
@@ -98,9 +113,14 @@ class PipelineCore:
             self.threads.append(thread)
             self.predictors.append(
                 BranchPredictor(ideal=thread.ideal_branch))
-        self._branch_oracles: Dict[int, Deque[bool]] = {
-            t.thread_id: self._build_branch_oracle(t)
-            for t in self.threads if t.ideal_branch}
+        self._branch_oracles: Dict[int, Deque[bool]] = {}
+        for program, thread in zip(programs, self.threads):
+            if thread.ideal_branch:
+                self._branch_oracles[thread.thread_id] = deque(
+                    self._cached_branch_outcomes(program, thread))
+        # every rotation of the round-robin thread priority, prebuilt so
+        # the commit/dispatch stages never allocate per cycle
+        self._thread_orders = self._build_thread_orders()
 
         self.fus = FunctionalUnits(self.hw)
         self.cycle = 0
@@ -136,10 +156,33 @@ class PipelineCore:
         #: :meth:`enable_sanitizer` and repro.pipeline.invariants).
         self._sanitizer = None
         self._sanitize_every = 1
+        #: Idle-cycle elision (event-skip fast-forward). On by default;
+        #: :meth:`enable_fast_forward` turns it off for cycle-by-cycle
+        #: reference runs (equivalence tests, before/after benchmarks).
+        self.fast_forward = True
+        #: Cycles jumped over by :meth:`elide_idle_cycles` (diagnostic).
+        self.cycles_elided = 0
+        self.stats.bind_cycle_source(self)
 
     # ------------------------------------------------------------------
     # construction helpers
     # ------------------------------------------------------------------
+    def _cached_branch_outcomes(self, program: Program,
+                                thread: ThreadContext) -> Tuple[bool, ...]:
+        """Branch-oracle outcomes for *thread*, memoised per
+        ``(program identity, max_commits)`` so campaigns constructing
+        many fresh cores re-interpret each program once, not per core.
+        *program* is the caller's object (pre-``ensure_halts``; appending
+        a HALT never adds branch outcomes, so the recording is keyed on
+        the object callers actually share)."""
+        key = (id(program), thread.max_commits)
+        outcomes = _ORACLE_CACHE.get(key)
+        if outcomes is None:
+            outcomes = tuple(self._build_branch_oracle(thread))
+            _ORACLE_CACHE[key] = outcomes
+            weakref.finalize(program, _ORACLE_CACHE.pop, key, None)
+        return outcomes
+
     def _build_branch_oracle(self, thread: ThreadContext) -> Deque[bool]:
         """Pre-execute the program to record conditional-branch outcomes
         (SRT-iso's perfect trailing-thread branch prediction)."""
@@ -171,23 +214,24 @@ class PipelineCore:
     def step(self) -> None:
         """Advance the core by one cycle."""
         self.cycle += 1
-        self.stats.cycles = self.cycle
         self.fus.new_cycle()
         if self._stage_profiling:
             self._step_stages_timed()
             return
         self._commit_stage()
-        self._complete_stage()
+        if self._executing:
+            self._complete_stage()
         self._issue_stage()
         self._dispatch_stage()
         self._fetch_stage()
 
     def enable_stage_profiling(self, enabled: bool = True) -> None:
-        """Opt into per-stage wall-clock accounting (``stage_seconds``)."""
+        """Opt into per-stage wall-clock accounting (``stage_seconds``).
+        Fast-forward scans and jumps are attributed to the dedicated
+        ``"idle-skip"`` bucket."""
         self._stage_profiling = enabled
 
     def _step_stages_timed(self) -> None:
-        from time import perf_counter
         accumulate = self.stage_seconds
         for name, stage in (("commit", self._commit_stage),
                             ("complete", self._complete_stage),
@@ -216,8 +260,12 @@ class PipelineCore:
         if sanitizer is None:
             sanitizer = InvariantSanitizer()
         self._sanitizer = sanitizer
+        # record the mode: 0 (explicit-check) imposes no per-cycle
+        # cadence, so idle-cycle elision stays unrestricted; N >= 1 makes
+        # elide_idle_cycles stop short of every Nth cycle so the periodic
+        # checks run at exactly the legacy cycles
+        self._sanitize_every = every
         if every:
-            self._sanitize_every = every
             self.step = self._step_sanitized
         else:
             self.__dict__.pop("step", None)
@@ -310,27 +358,278 @@ class PipelineCore:
         # explicitly (clone never copies the instance-level step shadow)
         twin._sanitizer = None
         twin._sanitize_every = 1
+        twin.fast_forward = self.fast_forward
+        twin.cycles_elided = self.cycles_elided
+        twin._thread_orders = twin._build_thread_orders()
+        twin.stats.bind_cycle_source(twin)
         return twin
 
-    def run(self, max_cycles: int = 2_000_000) -> PipelineStats:
-        """Run until every thread halts, or *max_cycles*."""
-        for _ in range(max_cycles):
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        # cores pickled before fast-forward existed restore with defaults
+        self.__dict__.setdefault("fast_forward", True)
+        self.__dict__.setdefault("cycles_elided", 0)
+        if "_thread_orders" not in self.__dict__:
+            self._thread_orders = self._build_thread_orders()
+        stats = self.__dict__.get("stats")
+        if stats is not None:
+            stats.bind_cycle_source(self)
+
+    # ------------------------------------------------------------------
+    # event-skip fast-forward
+    # ------------------------------------------------------------------
+    def enable_fast_forward(self, enabled: bool = True) -> None:
+        """Toggle idle-cycle elision in the run drivers. Disabling forces
+        the cycle-by-cycle reference behaviour (the fast path is bit-for-
+        bit equivalent; the toggle exists for before/after measurement
+        and equivalence testing)."""
+        self.fast_forward = enabled
+
+    def activity_signature(self) -> int:
+        """Cheap digest of the event counters that any state-changing
+        cycle bumps in practice. Run drivers consult the (more expensive)
+        :meth:`quiescent_until` scan only after a step that left this
+        unchanged; the scan alone is authoritative, so a counter missed
+        here costs one wasted scan, never correctness."""
+        stats = self.stats
+        return (stats.fetched + stats.dispatched + stats.issued
+                + stats.completed + stats.committed + stats.squashed
+                + stats.exceptions + stats.replay_events
+                + stats.branch_mispredicts)
+
+    def quiescent_until(self) -> int:
+        """The earliest cycle > ``self.cycle`` at which any stage can
+        change state, aggregated from every structure's
+        ``next_event_cycle()`` contract.
+
+        Conservative by construction: an event may be reported early
+        (the core just steps normally through it) but never late, so
+        jumping to ``quiescent_until() - 1`` is always safe. Returns
+        ``cycle + 1`` when the core may be busy next cycle and the
+        :data:`_NO_EVENT` horizon when nothing is pending at all (a
+        deadlocked window then jumps straight to its cycle bound).
+        """
+        now = self.cycle
+        horizon = now + 1
+
+        # commit: acts exactly on a COMPLETED head (retire, exception,
+        # singleton_stall decrement) — an event every cycle while true
+        for thread in self.threads:
+            if thread.rob.next_event_cycle(now) is not None:
+                return horizon
+
+        nxt = _NO_EVENT
+
+        # complete: the earliest in-flight execution finish
+        executing = self._executing
+        if executing:
+            done = min(op.exec_done_at for op in executing)
+            if done <= horizon:
+                return horizon
+            if done < nxt:
+                nxt = done
+
+        # issue: a ready WAITING op issues next cycle (or once a
+        # singleton suspension lifts); loads whose forwarding probe
+        # stalls retry every cycle without changing anything
+        event = self.iq.next_event_cycle(now, self.prf.ready,
+                                         self._issue_blocked)
+        if event is not None:
+            event = max(event, self._issue_suspended_until)
+            if event <= horizon:
+                return horizon
+            if event < nxt:
+                nxt = event
+
+        # frontend: fetch-buffer dispatch readiness and fetch eligibility
+        event = self._frontend_next_event(now)
+        if event is not None:
+            if event <= horizon:
+                return horizon
+            if event < nxt:
+                nxt = event
+
+        # structures with no autonomous events today honour the contract
+        # anyway, so future subclasses participate without core changes
+        for source in (self.fus, self.screening, self.hierarchy,
+                       self._ideal_hierarchy):
+            event = source.next_event_cycle(now)
+            if event is not None:
+                if event <= horizon:
+                    return horizon
+                if event < nxt:
+                    nxt = event
+        for thread in self.threads:
+            event = thread.lsq.next_event_cycle(now)
+            if event is not None:
+                if event <= horizon:
+                    return horizon
+                if event < nxt:
+                    nxt = event
+        return nxt
+
+    def _issue_blocked(self, op: MicroOp) -> bool:
+        """True when a ready WAITING op still cannot leave the issue
+        stage: a valid-address load whose store-to-load forwarding probe
+        stalls (it retries every cycle with no effect until the blocking
+        store's value resolves — a completion event). Pure: mirrors the
+        issue stage's own side-effect-free probe."""
+        if not op.is_load:
+            return False
+        base = self.prf.read(op.phys_srcs[0])
+        address = effective_address(base, op.inst.imm)
+        if not check_address(address):
+            return False    # would issue and resolve as an exception
+        status, _value, _uid = self.threads[op.thread_id].lsq.forward_value(
+            op, address)
+        return status is ForwardStatus.STALL
+
+    def _frontend_next_event(self, now: int) -> Optional[int]:
+        """Dispatch/fetch events: the earliest cycle either front-end
+        stage can act, or None when both are blocked on events tracked
+        elsewhere (every resource that gates dispatch — ROB/IQ/LSQ slots,
+        free-list tags — frees only in commit/complete/squash paths)."""
+        nxt = None
+        buffers = self._fetch_buffers
+        threads = self.threads
+        rob_total = -1
+        for thread in threads:
+            buffer = buffers[thread.thread_id]
+            if not buffer:
+                continue
+            op = buffer[0]
+            ready_at = op.dispatch_ready_at
+            if ready_at > now:
+                if nxt is None or ready_at < nxt:
+                    nxt = ready_at
+                continue
+            # mirror _dispatch_op's resource gates without mutating
+            if rob_total < 0:
+                rob_total = sum(len(t.rob) for t in threads)
+                lsq_total = sum(len(t.lsq) for t in threads)
+            if thread.rob.full or rob_total >= self.hw.rob_size:
+                continue
+            if not self.iq.can_accept():
+                continue
+            if op.is_mem and (thread.lsq.full
+                              or lsq_total >= self.hw.lsq_size):
+                continue
+            if (op.inst.writes_reg and op.inst.rd != 0
+                    and self.free_list.empty):
+                continue
+            return now + 1    # dispatchable as soon as the stage runs
+        for thread in threads:
+            # program exhaustion still counts: the stage must run once to
+            # latch stop_fetch, which feeds the ICOUNT fairness timing
+            if (not thread.fetch_active
+                    or len(buffers[thread.thread_id]) >= FETCH_BUFFER_CAP):
+                continue
+            event = thread.fetch_stalled_until
+            if event <= now:
+                return now + 1
+            if nxt is None or event < nxt:
+                nxt = event
+        return nxt
+
+    def elide_idle_cycles(self, bound: int) -> bool:
+        """Jump ``self.cycle`` to one cycle before the next event (clamped
+        to *bound*) when the core is provably idle; True when at least one
+        cycle was elided. Safe to call at any time — the jump happens only
+        when :meth:`quiescent_until` proves the skipped cycles are no-ops.
+        A periodic sanitizer caps the jump so its checks still run at the
+        legacy cycles; under stage profiling the scan/jump cost lands in
+        the ``"idle-skip"`` bucket of ``stage_seconds``."""
+        if not self.fast_forward:
+            return False
+        profiling = self._stage_profiling
+        if profiling:
+            started = perf_counter()
+        landing = self.quiescent_until() - 1
+        if landing > bound:
+            landing = bound
+        if self._sanitizer is not None and self._sanitize_every:
+            every = self._sanitize_every
+            next_check = (self.cycle // every + 1) * every
+            if landing >= next_check:
+                landing = next_check - 1
+        elided = landing - self.cycle
+        if elided > 0:
+            self.cycle = landing
+            self.cycles_elided += elided
+        if profiling:
+            self.stage_seconds["idle-skip"] = (
+                self.stage_seconds.get("idle-skip", 0.0)
+                + perf_counter() - started)
+        return elided > 0
+
+    # ------------------------------------------------------------------
+    # run drivers
+    # ------------------------------------------------------------------
+    def step_until(self, target_cycle: int) -> None:
+        """Advance to *target_cycle* (or until every thread halts),
+        eliding provably idle stretches."""
+        step = self.step
+        signature = -1
+        while self.cycle < target_cycle:
             if self.all_halted:
-                break
-            self.step()
+                return
+            current = self.activity_signature()
+            if (current == signature
+                    and self.elide_idle_cycles(target_cycle)
+                    and self.cycle >= target_cycle):
+                return
+            signature = current
+            step()
+
+    def run(self, max_cycles: int = 2_000_000) -> PipelineStats:
+        """Run until every thread halts, or *max_cycles* more cycles."""
+        self.step_until(self.cycle + max_cycles)
         return self.stats
+
+    def run_to_commit(self, total_commits: int,
+                      max_cycles: int = 2_000_000) -> bool:
+        """Run until the all-thread committed count reaches the absolute
+        coordinate *total_commits*; True when reached, False when every
+        thread halted or the cycle budget ran out first."""
+        bound = self.cycle + max_cycles
+        step = self.step
+        stats = self.stats
+        signature = -1
+        while stats.committed < total_commits:
+            if self.all_halted or self.cycle >= bound:
+                break
+            current = self.activity_signature()
+            if (current == signature and self.elide_idle_cycles(bound)
+                    and self.cycle >= bound):
+                break
+            signature = current
+            step()
+        return stats.committed >= total_commits
 
     def run_until_commits(self, total_commits: int,
                           max_cycles: int = 2_000_000) -> int:
         """Run until *total_commits* more instructions commit (across all
         threads); returns the number actually committed (may be fewer if
         every thread halts first)."""
-        target = self.stats.committed + total_commits
-        for _ in range(max_cycles):
-            if self.all_halted or self.stats.committed >= target:
-                break
-            self.step()
-        return self.stats.committed - (target - total_commits)
+        before = self.stats.committed
+        self.run_to_commit(before + total_commits, max_cycles)
+        return self.stats.committed - before
+
+    def run_to_capture(self, max_cycles: int) -> None:
+        """Run until every armed snapshot target is captured or every
+        thread halts, bounded by *max_cycles* more cycles (the tandem
+        classifier's window driver)."""
+        bound = self.cycle + max_cycles
+        step = self.step
+        signature = -1
+        while not (self.all_snapshots_captured or self.all_halted) \
+                and self.cycle < bound:
+            current = self.activity_signature()
+            if (current == signature and self.elide_idle_cycles(bound)
+                    and self.cycle >= bound):
+                return
+            signature = current
+            step()
 
     def arch_snapshot(self) -> Tuple:
         """Digest of every thread's architectural state (classifier input)."""
@@ -372,6 +671,14 @@ class PipelineCore:
     # commit stage
     # ------------------------------------------------------------------
     def _commit_stage(self) -> None:
+        # gate: commit acts only on a COMPLETED head; every other head
+        # state (and an empty ROB) is a stall this stage cannot clear
+        for thread in self.threads:
+            head = thread.rob.head()
+            if head is not None and head.state is OpState.COMPLETED:
+                break
+        else:
+            return
         budget = self.hw.commit_width
         order = self._thread_order()
         for thread in order:
@@ -544,6 +851,8 @@ class PipelineCore:
     # complete stage
     # ------------------------------------------------------------------
     def _complete_stage(self) -> None:
+        if not self._executing:
+            return    # gate for the profiled path; step() gates inline
         finished = [op for op in self._executing
                     if op.exec_done_at <= self.cycle]
         if not finished:
@@ -811,11 +1120,22 @@ class PipelineCore:
     # issue stage
     # ------------------------------------------------------------------
     def _issue_stage(self) -> None:
-        if self.cycle < self._issue_suspended_until:
+        if self.iq.empty or self.cycle < self._issue_suspended_until:
             return
         budget = self.hw.issue_width
-        ready_bits = self.prf.ready
-        for op in self.iq.waiting_ops():
+        # hot loop: hoist the shared-structure attribute lookups and walk
+        # the queue's list directly (waiting_ops() semantics inlined —
+        # dispatch order, WAITING only; issuing flips states but never
+        # mutates the list)
+        threads = self.threads
+        prf = self.prf
+        fus = self.fus
+        stats = self.stats
+        ready_bits = prf.ready
+        waiting = OpState.WAITING
+        for op in self.iq._ops:
+            if op.state is not waiting:
+                continue
             if budget <= 0:
                 break
             # hot path: inline operand-ready check
@@ -826,11 +1146,12 @@ class PipelineCore:
                     break
             if not srcs_ready:
                 continue
-            thread = self.threads[op.thread_id]
-            latency = op_latency(op.inst.opcode)
+            thread = threads[op.thread_id]
+            inst = op.inst
+            latency = inst.latency
             if op.is_load:
-                base = self.prf.read(op.phys_srcs[0])
-                address = effective_address(base, op.inst.imm)
+                base = prf.read(op.phys_srcs[0])
+                address = effective_address(base, inst.imm)
                 valid = check_address(address)
                 status = ForwardStatus.MISS
                 if valid:
@@ -841,7 +1162,7 @@ class PipelineCore:
                         op, address)
                     if status is ForwardStatus.STALL:
                         continue
-                if not self.fus.try_claim(op.inst.op_class):
+                if not fus.try_claim(inst.op_class):
                     continue
                 if not valid:
                     latency = 1  # exception resolved at completion
@@ -853,13 +1174,13 @@ class PipelineCore:
                     latency = hierarchy.access(
                         address, now=self.cycle,
                         space=op.thread_id).latency
-            elif not self.fus.try_claim(op.inst.op_class):
+            elif not fus.try_claim(inst.op_class):
                 continue
             op.state = OpState.EXECUTING
             op.cycle_issued = self.cycle
             op.exec_done_at = self.cycle + latency
             self._executing.append(op)
-            self.stats.issued += 1
+            stats.issued += 1
             budget -= 1
 
     # ------------------------------------------------------------------
@@ -868,6 +1189,9 @@ class PipelineCore:
     def _dispatch_stage(self) -> None:
         if not any(self._fetch_buffers):
             return    # nothing to dispatch: skip the occupancy sums too
+        if not self.iq.can_accept():
+            return    # dispatch only fills the IQ, so a full queue at
+            # stage entry blocks every candidate this cycle
         budget = self.hw.decode_width
         # snapshot aggregate occupancies once per cycle; dispatches below
         # update the running totals
@@ -888,25 +1212,27 @@ class PipelineCore:
 
     def _dispatch_op(self, thread: ThreadContext, op: MicroOp) -> bool:
         # ROB and LSQ are shared dynamically: dispatch checks aggregate
-        # occupancy across all SMT contexts.
-        if thread.rob.full or not self.iq.can_accept():
-            return False
-        if self._rob_total >= self.hw.rob_size:
+        # occupancy across all SMT contexts (cheapest comparisons first —
+        # all the gates are pure, so order is free).
+        if self._rob_total >= self.hw.rob_size or thread.rob.full \
+                or not self.iq.can_accept():
             return False
         if op.is_mem and (thread.lsq.full
                           or self._lsq_total >= self.hw.lsq_size):
             return False
-        if op.inst.writes_reg and op.inst.rd != 0 and self.free_list.empty:
+        # op.writes_reg already folds in the rd != 0 discard rule
+        if op.writes_reg and self.free_list.empty:
             return False
 
+        inst = op.inst
         op.phys_srcs = tuple(thread.spec_rat.get(r)
-                             for r in op.inst.source_regs())
-        if op.inst.writes_reg and op.inst.rd != 0:
+                             for r in inst.source_regs())
+        if op.writes_reg:
             new_phys = self.free_list.allocate()
-            op.old_phys_dest = thread.spec_rat.get(op.inst.rd)
+            op.old_phys_dest = thread.spec_rat.get(inst.rd)
             op.phys_dest = new_phys
             self.prf.mark_pending(new_phys)
-            thread.spec_rat.set(op.inst.rd, new_phys)
+            thread.spec_rat.set(inst.rd, new_phys)
 
         if not self.iq.insert(op):
             # roll the rename back; this should not happen after can_accept
@@ -990,15 +1316,14 @@ class PipelineCore:
                 best, best_count = thread, in_flight
         return best
 
-    def _thread_order(self) -> List[ThreadContext]:
+    def _build_thread_orders(self) -> List[List[ThreadContext]]:
         threads = self.threads
         n = len(threads)
-        if n == 1:
-            return threads
-        start = self.cycle % n
-        if start == 0:
-            return threads
-        return threads[start:] + threads[:start]
+        return [threads[i:] + threads[:i] for i in range(n)]
+
+    def _thread_order(self) -> List[ThreadContext]:
+        orders = self._thread_orders
+        return orders[self.cycle % len(orders)]
 
 
 __all__ = ["PipelineCore", "FRONTEND_DEPTH"]

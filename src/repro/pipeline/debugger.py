@@ -60,6 +60,14 @@ class PipelineDebugger:
         self.core = core
         self.breakpoints: List[Breakpoint] = []
         self.last_stop: Optional[str] = None
+        #: ``cont`` elides provably idle stretches (long cache misses,
+        #: drain stalls) by default. Built-in breakpoints only fire on
+        #: commits or stat-counter changes, which never happen inside an
+        #: elided stretch, so they stop at exactly the same cycle either
+        #: way. Set False before ``cont`` when a custom ``break_when``
+        #: predicate watches something (e.g. ``core.cycle == N``) that an
+        #: idle cycle could satisfy.
+        self.fast_forward = True
 
     # -- breakpoints ------------------------------------------------------
     def break_at_pc(self, pc: int, thread_id: int = 0) -> Breakpoint:
@@ -117,14 +125,29 @@ class PipelineDebugger:
             self.core.step()
 
     def cont(self, max_cycles: int = 1_000_000) -> Optional[Breakpoint]:
-        """Run until a breakpoint fires, the core halts, or *max_cycles*."""
-        for _ in range(max_cycles):
-            if self.core.all_halted:
+        """Run until a breakpoint fires, the core halts, or *max_cycles*.
+
+        Breakpoints are evaluated after every *eventful* cycle; with
+        :attr:`fast_forward` set (the default) provably idle cycles in
+        between are jumped over (see
+        :meth:`PipelineCore.elide_idle_cycles`).
+        """
+        core = self.core
+        bound = core.cycle + max_cycles
+        signature = -1
+        while core.cycle < bound:
+            if core.all_halted:
                 self.last_stop = "halted"
                 return None
-            self.core.step()
+            if self.fast_forward:
+                current = core.activity_signature()
+                if (current == signature and core.elide_idle_cycles(bound)
+                        and core.cycle >= bound):
+                    break
+                signature = current
+            core.step()
             for bp in self.breakpoints:
-                if bp.check(self.core):
+                if bp.check(core):
                     self.last_stop = bp.description
                     return bp
         self.last_stop = "max_cycles"

@@ -3,7 +3,7 @@ plus 2 data-cache ports for loads/stores)."""
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from ..config import HardwareConfig
 from ..isa.opcodes import OpClass
@@ -44,22 +44,34 @@ class FunctionalUnits:
         twin._mem_available = self._mem_available
         return twin
 
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Event-skip contract: bandwidth renews every cycle via
+        ``new_cycle``, so exhausted units never block anything across a
+        cycle boundary — no autonomous events."""
+        return None
+
     def try_claim(self, op_class: OpClass) -> bool:
-        """Claim an issue slot for *op_class*; False when exhausted."""
-        if op_class in (OpClass.LOAD, OpClass.STORE):
+        """Claim an issue slot for *op_class*; False when exhausted.
+
+        Hot path: identity comparisons against the enum members instead of
+        containment tests — ``in`` on a tuple and dict indexing both go
+        through the (Python-level) enum hash/eq machinery.
+        """
+        if op_class is OpClass.LOAD or op_class is OpClass.STORE:
             if self._mem_available <= 0:
                 return False
             self._mem_available -= 1
             return True
-        if self._available[op_class] <= 0:
+        available = self._available
+        if available[op_class] <= 0:
             return False
-        if op_class in (OpClass.BRANCH, OpClass.OTHER):
+        if op_class is OpClass.BRANCH or op_class is OpClass.OTHER:
             # shared with plain ALU ops
-            if self._available[OpClass.ALU] <= 0:
+            if available[OpClass.ALU] <= 0:
                 return False
-            self._available[OpClass.ALU] -= 1
+            available[OpClass.ALU] -= 1
             return True
-        self._available[op_class] -= 1
+        available[op_class] -= 1
         return True
 
 

@@ -12,7 +12,7 @@ completed instruction, in which case the whole delay buffer is squashed
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Deque, Iterator, List, Optional
 
 from .uops import MicroOp, OpState
 
@@ -67,6 +67,12 @@ class DelayBuffer:
         """Buffered ops older than *uid* — the replay candidates."""
         return [op for op in self._ops if op.uid < uid]
 
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Event-skip contract: the delay buffer never acts on its own —
+        aging is driven by completions and evictions by dispatches, both
+        of which have their own event sources."""
+        return None
+
 
 class IssueQueue:
     """Shared out-of-order scheduling window.
@@ -90,6 +96,10 @@ class IssueQueue:
 
     def __contains__(self, op: MicroOp) -> bool:
         return op in self._ops
+
+    @property
+    def empty(self) -> bool:
+        return not self._ops
 
     @property
     def has_free_slot(self) -> bool:
@@ -137,15 +147,47 @@ class IssueQueue:
         twin._ops = [clone_op(op) for op in self._ops]
         return twin
 
-    def waiting_ops(self) -> List[MicroOp]:
+    def waiting_ops(self) -> Iterator[MicroOp]:
         """Schedulable candidates, oldest-first.
 
         ``_ops`` is kept in dispatch order, which is age order per thread
         (and nearly so globally); replay-marked ops re-enter WAITING in
         place, preserving their position. Avoiding a per-cycle sort is a
-        measurable win in the hottest loop.
+        measurable win in the hottest loop, and the lazy generator lets
+        the issue stage stop scanning the moment its width budget runs
+        out (issuing flips states but never mutates the list itself, so
+        iterating live is safe)."""
+        for op in self._ops:
+            if op.state is OpState.WAITING:
+                yield op
+
+    def next_event_cycle(self, now: int, ready: List[bool],
+                         cannot_issue=None) -> Optional[int]:
+        """Event-skip contract: the earliest future cycle at which the
+        issue stage can act, or None when every queued op is blocked on
+        events tracked elsewhere (operand readiness changes only at
+        completion; dispatch inserts have frontend events).
+
+        A WAITING op with every source ready issues next cycle —
+        functional-unit bandwidth renews every cycle, so readiness is the
+        only persistent gate. *cannot_issue* (when given) is a pure
+        predicate refining that: the core passes the store-to-load STALL
+        probe, whose loads retry every cycle without changing any state.
         """
-        return [op for op in self._ops if op.state is OpState.WAITING]
+        for op in self._ops:
+            if op.state is not OpState.WAITING:
+                continue
+            srcs_ready = True
+            for phys in op.phys_srcs:
+                if not ready[phys]:
+                    srcs_ready = False
+                    break
+            if not srcs_ready:
+                continue
+            if cannot_issue is not None and cannot_issue(op):
+                continue
+            return now + 1
+        return None
 
     def mark_predecessors_for_replay(self, trigger_uid: int) -> List[MicroOp]:
         """Flip every delay-buffered predecessor of *trigger_uid* back to

@@ -76,6 +76,13 @@ class LoadStoreQueue:
         twin._ops = [clone_op(op) for op in self._ops]
         return twin
 
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Event-skip contract: the queue never acts on its own. Entries
+        resolve at issue/complete, forward at completion probes, and
+        drain at commit — all driven by stages with their own event
+        sources."""
+        return None
+
     def older_stores_resolved(self, load: MicroOp) -> bool:
         """True when every store older than *load* has a known address."""
         for op in self._ops:

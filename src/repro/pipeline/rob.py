@@ -5,7 +5,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Iterator, List, Optional
 
-from .uops import MicroOp
+from .uops import MicroOp, OpState
 
 
 class ReorderBuffer:
@@ -34,6 +34,22 @@ class ReorderBuffer:
 
     def head(self) -> Optional[MicroOp]:
         return self._ops[0] if self._ops else None
+
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Event-skip contract: the earliest future cycle at which the
+        commit stage can act on this buffer, or None when no such cycle
+        exists without outside help.
+
+        Commit acts exactly when the head is COMPLETED — that covers
+        retirement, exception delivery, and the per-cycle
+        ``singleton_stall`` decrement. Any other head state (or an empty
+        buffer) is a stall only the complete stage can clear, and
+        completion has its own event source.
+        """
+        ops = self._ops
+        if ops and ops[0].state is OpState.COMPLETED:
+            return now + 1
+        return None
 
     def pop_head(self) -> MicroOp:
         return self._ops.popleft()

@@ -11,9 +11,16 @@ from typing import Deque, Dict, Tuple
 class PipelineStats:
     """Per-run event counts. Every field feeds either the performance
     metrics (Figure 9), the energy model (Figure 10) or the breakdown
-    analyses (Figures 11/12)."""
+    analyses (Figures 11/12).
 
-    cycles: int = 0
+    ``cycles`` is *derived*: a core binds itself as the cycle source
+    (:meth:`bind_cycle_source`) and the property reads ``core.cycle``
+    live, so the hot loop never writes a per-cycle counter. Detached
+    stats objects (clones, unpickled checkpoints, hand-built tests) fall
+    back to the materialised ``_cycles`` field.
+    """
+
+    _cycles: int = 0
     fetched: int = 0
     dispatched: int = 0
     issued: int = 0
@@ -53,6 +60,42 @@ class PipelineStats:
     recent_commits: Deque[Tuple[int, int]] = field(
         default_factory=lambda: deque(maxlen=32))
 
+    #: Live cycle source (the owning core), or None when detached. A
+    #: plain class attribute, not a dataclass field: ``replace``-based
+    #: clones and unpickled copies start detached by construction.
+    _cycle_source = None
+
+    @property
+    def cycles(self) -> int:
+        source = self._cycle_source
+        if source is not None:
+            return source.cycle
+        return self._cycles
+
+    @cycles.setter
+    def cycles(self, value: int) -> None:
+        self._cycles = value
+
+    def bind_cycle_source(self, core) -> None:
+        """Derive ``cycles`` from *core*.cycle at read time (no per-step
+        write). The binding is dropped on pickle and on ``clone`` — both
+        materialise the current count first."""
+        self._cycle_source = core
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_cycle_source", None)
+        state["_cycles"] = self.cycles
+        return state
+
+    def __setstate__(self, state):
+        state.pop("_cycle_source", None)
+        # stats pickled before cycles became derived carry the old field
+        legacy = state.pop("cycles", None)
+        if legacy is not None and "_cycles" not in state:
+            state["_cycles"] = legacy
+        self.__dict__.update(state)
+
     @property
     def ipc(self) -> float:
         return self.committed / self.cycles if self.cycles else 0.0
@@ -64,8 +107,11 @@ class PipelineStats:
     def clone(self) -> "PipelineStats":
         """Independent copy for core forking. ``replace`` carries every
         scalar counter (including any added later); only the two container
-        fields need their own copies."""
+        fields need their own copies. The twin starts detached from any
+        cycle source with the current count materialised — the cloning
+        core re-binds it."""
         twin = replace(self)
+        twin._cycles = self.cycles
         twin.per_thread_committed = dict(self.per_thread_committed)
         twin.recent_commits = deque(self.recent_commits,
                                     maxlen=self.recent_commits.maxlen)

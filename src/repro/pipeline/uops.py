@@ -37,6 +37,7 @@ class MicroOp:
         "exception_addr", "forwarded_from",
         "replay_marked", "in_delay_buffer", "singleton_stall",
         "screen_suppressed", "lsq_checked",
+        "is_load", "is_store", "is_mem", "is_branch", "writes_reg",
     )
 
     def __init__(self, uid: int, thread_id: int, pc: int, inst: Instruction,
@@ -46,6 +47,13 @@ class MicroOp:
         self.pc = pc
         self.inst = inst
         self.state = OpState.FETCHED
+        # static facts, copied out of the (shared, precomputed)
+        # instruction: every stage tests these on every pass over the op
+        self.is_load = inst.is_load
+        self.is_store = inst.is_store
+        self.is_mem = inst.is_mem
+        self.is_branch = inst.is_branch
+        self.writes_reg = inst.writes_reg and inst.rd != 0
 
         self.phys_dest: Optional[int] = None
         self.old_phys_dest: Optional[int] = None
@@ -96,27 +104,21 @@ class MicroOp:
             setattr(twin, slot, getattr(self, slot))
         return twin
 
+    def __setstate__(self, state) -> None:
+        # ops pickled before the static facts became slots lack them;
+        # re-derive from the instruction (checkpoint compatibility)
+        _, slots = state
+        for name, value in slots.items():
+            setattr(self, name, value)
+        if "is_mem" not in slots:
+            inst = self.inst
+            self.is_load = inst.is_load
+            self.is_store = inst.is_store
+            self.is_mem = inst.is_mem
+            self.is_branch = inst.is_branch
+            self.writes_reg = inst.writes_reg and inst.rd != 0
+
     # -- convenience ------------------------------------------------------
-    @property
-    def is_load(self) -> bool:
-        return self.inst.is_load
-
-    @property
-    def is_store(self) -> bool:
-        return self.inst.is_store
-
-    @property
-    def is_mem(self) -> bool:
-        return self.inst.is_mem
-
-    @property
-    def is_branch(self) -> bool:
-        return self.inst.is_branch
-
-    @property
-    def writes_reg(self) -> bool:
-        return self.inst.writes_reg and self.inst.rd != 0
-
     @property
     def completed(self) -> bool:
         return self.state is OpState.COMPLETED

@@ -243,7 +243,13 @@ its state from the explicit seeds. Finished artefacts persist in
 `benchmarks/.cache/<kind>/<digest>.pkl`, keyed by the configs plus a
 code-version salt over the package source, so reruns are incremental and
 any simulator change invalidates the cache automatically (`REPRO_NO_CACHE=1`
-or `--no-cache` forces recomputation).
+or `--no-cache` forces recomputation). Parallel window workers start from
+serialized golden-core checkpoints captured at chunk boundaries (and
+persisted in the same cache), so repeated runs skip the golden prefix
+entirely; and every run driver elides provably idle cycles (event-skip
+fast-forward — 3.4× cycles/sec on the cache-miss-heavy profile,
+`benchmarks/results/bench_fastforward.json`). See `docs/performance.md`
+for both mechanisms and their bit-for-bit equivalence guarantees.
 
 **Observability.** Any campaign/figure command accepts `--emit-events
 PATH` (`REPRO_EVENTS=PATH` for the benchmark suite) to stream a typed
@@ -254,7 +260,20 @@ outcome). `repro report --events PATH` validates the log against the
 schema, verifies the run manifest's config digest, and prints a summary;
 `--profile` adds a cProfile dump. Provenance manifests
 (`*.manifest.json`) sit next to every cached artefact and recorded
-figure. See `docs/observability.md`.
+figure. Campaigns run with `--run-dir` stream live telemetry too: a
+typed metrics registry (zero-cost when off, bit-for-bit identical
+results when on — `benchmarks/results/bench_metrics_overhead.json`)
+and a second-process monitor behind `repro top` / `repro status --json`
+/ `repro metrics export`, whose streamed aggregates equal the post-hoc
+report's exactly. See `docs/observability.md`.
+
+**Simulator validation.** Every number below rests on the simulator
+being faithful, so the methodology includes self-checks: an invariant
+sanitizer armed on the golden core of every campaign (one structural
+check per run-window capture point) and an ISA-differential fuzz corpus
+(`repro verify`, 200 fixed seeds in `tests/test_differential.py`)
+diffing the out-of-order core against the golden interpreter at every
+commit. See `docs/validation.md`.
 """
 
 

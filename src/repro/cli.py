@@ -26,11 +26,26 @@ Subcommands
     ISA-differential fuzz: seeded random programs through the OoO core
     and the architectural interpreter in lockstep, with the pipeline
     invariant sanitizer armed (see docs/validation.md).
+``repro status RUN_DIR [--json]``
+    One snapshot of a (possibly still running) supervised campaign:
+    per-phase progress, worker health, throughput/ETA and the running
+    fault-audit aggregates, folded live from the run directory's
+    journal and event log.
+``repro top RUN_DIR [--interval S]``
+    The same snapshot, refreshed in place until the campaign finishes.
+``repro tail TARGET [--type T ...] [--follow]``
+    Print events from a run's JSONL log, optionally filtered by type
+    and followed as they arrive.
+``repro metrics export SOURCE``
+    Prometheus text exposition of the metrics snapshots recorded in a
+    run's event log.
 
 Observability: ``--emit-events PATH`` streams a structured JSONL event
 log (spans, cache traffic, fault audit trail) from any campaign/figure
-command; ``--profile`` wraps the command in cProfile; ``repro report
---events PATH`` validates and summarises a recorded log.
+command; a campaign with ``--run-dir D`` defaults the log to
+``D/events.jsonl`` so the live monitor has something to tail;
+``--profile`` wraps the command in cProfile; ``repro report --events
+PATH`` validates and summarises a recorded log.
 """
 
 from __future__ import annotations
@@ -40,6 +55,7 @@ import json
 import os
 import pathlib
 import sys
+import time
 from contextlib import contextmanager
 from typing import Iterator, List, Optional
 
@@ -52,10 +68,12 @@ from .harness import (ArtifactCache, ExperimentConfig, ExperimentContext,
                       SCHEMES, figures)
 from .harness.experiment import scheme_unit
 from .isa import assemble
-from .obs import (EventLog, NULL_LOG, build_manifest, format_stage_seconds,
-                  load_manifest, manifest_path_for, profiled, read_events,
-                  summarize_events, validate_events, verify_manifest,
-                  write_manifest)
+from .obs import (CampaignMonitor, EventLog, JsonlFollower, MetricsRegistry,
+                  NULL_LOG, aggregates_from_events, build_manifest,
+                  format_stage_seconds, load_manifest, manifest_path_for,
+                  profiled, read_events, render_status, snapshot_from_events,
+                  summarize_events, to_prometheus, validate_events,
+                  verify_manifest, write_manifest)
 from .pipeline import PipelineCore
 from .workloads import PROFILES, build_smt_programs
 
@@ -115,10 +133,11 @@ def _add_supervisor_flags(sub: argparse.ArgumentParser) -> None:
 
 
 def _make_context(cfg: ExperimentConfig, args, events=None,
-                  supervisor=None) -> ExperimentContext:
+                  supervisor=None, metrics=None) -> ExperimentContext:
     cache = None if args.no_cache else ArtifactCache.default()
     return ExperimentContext(cfg, jobs=args.jobs, cache=cache,
-                             events=events, supervisor=supervisor)
+                             events=events, supervisor=supervisor,
+                             metrics=metrics)
 
 
 @contextmanager
@@ -126,15 +145,21 @@ def _session(cfg: ExperimentConfig, args,
              supervisor=None) -> Iterator[ExperimentContext]:
     """An ExperimentContext wired to the requested observability: event
     log opened/closed around the command, optional cProfile, and a
-    run-level manifest written next to the event log on exit."""
+    run-level manifest written next to the event log on exit. When the
+    event log is live a real metrics registry rides along (otherwise
+    the harness keeps the zero-cost NULL registry) and its final
+    snapshot is emitted as the log's closing ``metrics`` event."""
     events = (EventLog(args.emit_events)
               if getattr(args, "emit_events", None) else NULL_LOG)
-    ctx = _make_context(cfg, args, events=events, supervisor=supervisor)
+    registry = MetricsRegistry() if events.enabled else None
+    ctx = _make_context(cfg, args, events=events, supervisor=supervisor,
+                        metrics=registry)
     try:
         with profiled(getattr(args, "profile", False)):
             yield ctx
     finally:
         if events.enabled:
+            ctx.metrics_registry.emit(events)
             events.close()
             manifest = build_manifest(
                 "run", ctx.cfg, ctx.hw, jobs=ctx.jobs,
@@ -229,6 +254,55 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--run-dir", metavar="DIR", default=None,
                         help="summarise a supervised campaign run "
                              "directory (journal + poisoned windows)")
+
+    status = sub.add_parser(
+        "status", help="one snapshot of a supervised campaign run "
+                       "directory (works while it is still running)")
+    status.add_argument("run_dir", help="the campaign's --run-dir")
+    status.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable CampaignStatus instead "
+                             "of the rendered summary")
+
+    top = sub.add_parser(
+        "top", help="live refreshing view of a running campaign "
+                    "(exits when the campaign finishes)")
+    top.add_argument("run_dir", help="the campaign's --run-dir")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="seconds between refreshes (default 1)")
+    top.add_argument("--iterations", type=int, default=None,
+                     help="stop after N refreshes instead of waiting "
+                          "for the campaign to finish")
+    top.add_argument("--once", action="store_true",
+                     help="render one frame and exit (= --iterations 1)")
+    top.add_argument("--no-clear", action="store_true",
+                     help="append frames instead of redrawing in place")
+
+    tail = sub.add_parser(
+        "tail", help="print a run's JSONL events, optionally filtered "
+                     "and followed live")
+    tail.add_argument("target", help="run directory or events.jsonl path")
+    tail.add_argument("--type", action="append", dest="types",
+                      metavar="TYPE", default=None,
+                      help="only events of this type (repeatable)")
+    tail.add_argument("--follow", "-f", action="store_true",
+                      help="keep polling for new events (Ctrl-C stops)")
+    tail.add_argument("--interval", type=float, default=0.5,
+                      help="poll interval with --follow (default 0.5s)")
+    tail.add_argument("--max-events", type=int, default=None,
+                      help="stop after printing N events")
+
+    metrics_cmd = sub.add_parser(
+        "metrics", help="metrics-registry tooling")
+    metrics_sub = metrics_cmd.add_subparsers(dest="metrics_command",
+                                             required=True)
+    metrics_export = metrics_sub.add_parser(
+        "export", help="Prometheus text exposition of the metrics "
+                       "snapshots in a recorded event log")
+    metrics_export.add_argument(
+        "source", help="run directory or events.jsonl path")
+    metrics_export.add_argument(
+        "--namespace", default="repro",
+        help="metric-name prefix (default: repro)")
 
     validate = sub.add_parser(
         "validate", help="measure a workload profile's achieved character")
@@ -360,6 +434,12 @@ def _cmd_campaign(args) -> int:
     from .harness.supervisor import (CampaignAborted, EXIT_ABORTED,
                                      Supervisor, SupervisorPolicy)
     cfg = _campaign_config(args)
+    if args.run_dir and not getattr(args, "emit_events", None):
+        # a journaled campaign defaults its event log into the run dir
+        # so `repro top/status/tail` have something to follow; stderr
+        # only — stdout stays byte-identical for the equivalence checks
+        args.emit_events = str(pathlib.Path(args.run_dir) / "events.jsonl")
+        print(f"events: {args.emit_events}", file=sys.stderr)
     supervisor = None
     if not getattr(args, "no_supervise", False):
         policy = SupervisorPolicy(max_retries=args.max_retries,
@@ -501,6 +581,7 @@ def _report_events(args) -> int:
                           for e in verify_manifest(manifest))
     summary = summarize_events(events)
     summary["schema_errors"] = len(errors)
+    summary["aggregates"] = aggregates_from_events(events)
     print(json.dumps(summary, indent=2))
     for error in errors:
         print(f"error: {error}", file=sys.stderr)
@@ -561,6 +642,99 @@ def _cmd_verify(args) -> int:
     return 0 if report.ok else 1
 
 
+def _events_path(target: str) -> pathlib.Path:
+    """Accept either a run directory or an events.jsonl path."""
+    path = pathlib.Path(target)
+    return path / "events.jsonl" if path.is_dir() else path
+
+
+def _cmd_status(args) -> int:
+    """One CampaignMonitor poll over the run directory; the JSON form
+    is the machine interface the live-monitor CI smoke job diffs
+    against ``repro report --events``."""
+    run_dir = pathlib.Path(args.run_dir)
+    if not run_dir.is_dir():
+        print(f"error: {run_dir} is not a run directory", file=sys.stderr)
+        return 1
+    status = CampaignMonitor(run_dir).poll()
+    if args.as_json:
+        print(json.dumps(status.as_json(), indent=2, sort_keys=True))
+    else:
+        print(render_status(status))
+    return 0
+
+
+def _cmd_top(args) -> int:
+    """Refresh the status frame until the campaign finishes (or for a
+    fixed number of iterations, the testable path)."""
+    run_dir = pathlib.Path(args.run_dir)
+    if not run_dir.is_dir():
+        print(f"error: {run_dir} is not a run directory", file=sys.stderr)
+        return 1
+    monitor = CampaignMonitor(run_dir)
+    limit = 1 if args.once else args.iterations
+    clear = not args.no_clear and sys.stdout.isatty()
+    frames = 0
+    try:
+        while True:
+            status = monitor.poll()
+            if clear and frames:
+                print("\x1b[2J\x1b[H", end="")
+            print(render_status(status))
+            frames += 1
+            if limit is not None and frames >= limit:
+                break
+            if status.finished:
+                break
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_tail(args) -> int:
+    """Filtered event stream off a JsonlFollower — the raw counterpart
+    to the folded ``repro status`` view."""
+    path = _events_path(args.target)
+    if not path.exists() and not args.follow:
+        print(f"error: {path} not found", file=sys.stderr)
+        return 1
+    follower = JsonlFollower(path)
+    wanted = set(args.types) if args.types else None
+    printed = 0
+    try:
+        while True:
+            for event in follower.poll():
+                if wanted is not None and event.get("type") not in wanted:
+                    continue
+                print(json.dumps(event, sort_keys=True))
+                printed += 1
+                if args.max_events and printed >= args.max_events:
+                    return 0
+            if not args.follow:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_metrics(args) -> int:
+    """Prometheus text exposition of a recorded log's metrics events."""
+    path = _events_path(args.source)
+    try:
+        events = read_events(path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    text = to_prometheus(snapshot_from_events(events),
+                         namespace=args.namespace)
+    if text:
+        print(text, end="" if text.endswith("\n") else "\n")
+    else:
+        print("# no metrics events recorded", file=sys.stderr)
+    return 0
+
+
 def _cmd_validate(args) -> int:
     from .workloads.validation import validate_profile
     report = validate_profile(PROFILES[args.name], args.instructions)
@@ -577,8 +751,12 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "campaign": _cmd_campaign,
     "figure": _cmd_figure,
+    "metrics": _cmd_metrics,
     "report": _cmd_report,
     "resume": _cmd_resume,
+    "status": _cmd_status,
+    "tail": _cmd_tail,
+    "top": _cmd_top,
     "validate": _cmd_validate,
     "verify": _cmd_verify,
 }

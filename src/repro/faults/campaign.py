@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.screening import ScreeningUnit
+from ..obs.metrics import NULL_METRICS
 from ..pipeline.core import PipelineCore
 from .classifier import TandemClassifier, WindowResult
 from .injector import FaultInjector
@@ -137,9 +138,11 @@ class Campaign:
                  num_phys_regs: int, num_threads: int,
                  num_faults: int = 200, seed: int = 1,
                  warmup_commits: int = 500, window_commits: int = 300,
-                 max_window_cycles: int = 60_000):
+                 max_window_cycles: int = 60_000,
+                 metrics=NULL_METRICS):
         self.benchmark = benchmark
         self.baseline_factory = baseline_factory
+        self.metrics = metrics
         self.num_faults = num_faults
         self.seed = seed
         self.warmup_commits = warmup_commits
@@ -157,12 +160,17 @@ class Campaign:
             record.inject_at_commit = (self.warmup_commits
                                        + i * self.window_commits)
 
-    def classifier(self, factory) -> TandemClassifier:
+    def classifier(self, factory, metrics=None) -> TandemClassifier:
         """A tandem classifier over this campaign's window geometry (also
-        used by parallel window-chunk workers)."""
+        used by parallel window-chunk workers, which pass their own
+        per-process *metrics* accumulator)."""
+        # explicit None check: an empty-but-live registry is falsy
+        # (len 0), and `or` would silently drop it
         return TandemClassifier(factory, self.injector,
                                 window_commits=self.window_commits,
-                                max_window_cycles=self.max_window_cycles)
+                                max_window_cycles=self.max_window_cycles,
+                                metrics=(metrics if metrics is not None
+                                         else self.metrics))
 
     # ------------------------------------------------------------------
     def characterize(self) -> CampaignResult:

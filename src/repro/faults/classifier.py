@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from ..obs.metrics import LATENCY_CYCLE_BUCKETS, NULL_METRICS
 from ..pipeline.core import PipelineCore
 from .injector import FaultInjector
 from .model import FaultClass, FaultRecord, FaultSite
@@ -80,12 +81,17 @@ class TandemClassifier:
                  window_commits: int = 300,
                  max_window_cycles: int = 60_000,
                  lsq_wait_cycles: int = 200,
-                 sanitize: bool = True):
+                 sanitize: bool = True,
+                 metrics=NULL_METRICS):
         self.core_factory = core_factory
         self.injector = injector
         self.window_commits = window_commits
         self.max_window_cycles = max_window_cycles
         self.lsq_wait_cycles = lsq_wait_cycles
+        #: Live-telemetry registry (repro.obs.metrics); NULL when off.
+        #: Observes only per-window facts, never the golden core's
+        #: cumulative stats, so results stay bit-for-bit metrics on/off.
+        self.metrics = metrics
         #: Arm the invariant sanitizer on the golden core, checked at
         #: every window's capture point (repro.pipeline.invariants) —
         #: campaigns self-validate their golden reference. Faulty forks
@@ -131,7 +137,21 @@ class TandemClassifier:
         for record in records:
             result = self._classify_one(golden, record)
             results.append(result)
+        self._record_metrics(results)
         return results
+
+    def _record_metrics(self, results: Sequence[WindowResult]) -> None:
+        """Fold one run's per-window observations into the registry."""
+        if not self.metrics.enabled or not results:
+            return
+        self.metrics.counter("classifier_windows_total").inc(len(results))
+        self.metrics.counter("classifier_applied_total").inc(
+            sum(1 for r in results if r.applied))
+        latency = self.metrics.histogram("classifier_detection_latency_cycles",
+                                         LATENCY_CYCLE_BUCKETS)
+        for result in results:
+            if result.detection_latency >= 0:
+                latency.observe(result.detection_latency)
 
     def advance_golden(self, golden: PipelineCore,
                        records: Sequence[FaultRecord]) -> None:

@@ -33,6 +33,7 @@ import tempfile
 from typing import Any, Dict, Optional
 
 from ..obs.events import NULL_LOG
+from ..obs.metrics import BYTES_BUCKETS, NULL_METRICS
 
 _SALT: Optional[str] = None
 
@@ -102,6 +103,7 @@ class ArtifactCache:
         self.misses = 0
         self.corrupt = 0
         self.events = events if events is not None else NULL_LOG
+        self.metrics = NULL_METRICS
 
     @classmethod
     def default(cls, events=None) -> "ArtifactCache":
@@ -138,6 +140,7 @@ class ArtifactCache:
             if path.exists():
                 # corrupt entry: drop it so the rewrite starts clean
                 self.corrupt += 1
+                self.metrics.counter("cache_corrupt_total").inc()
                 self.events.emit("cache_corrupt", kind=kind, key=key,
                                  path=str(path), action="dropped",
                                  error=f"{type(exc).__name__}: {exc}")
@@ -146,8 +149,17 @@ class ArtifactCache:
                 except OSError:
                     pass
             self.misses += 1
+            self.metrics.counter("cache_misses_total").inc()
             return None
         self.hits += 1
+        if self.metrics.enabled:
+            self.metrics.counter("cache_hits_total").inc()
+            try:
+                self.metrics.histogram(
+                    "cache_artifact_bytes",
+                    BYTES_BUCKETS).observe(path.stat().st_size)
+            except OSError:
+                pass
         return artefact
 
     def put(self, kind: str, key: str, artefact: Any) -> bool:
@@ -170,6 +182,14 @@ class ArtifactCache:
                 raise
         except (OSError, pickle.PicklingError, TypeError):
             return False
+        if self.metrics.enabled:
+            self.metrics.counter("cache_puts_total").inc()
+            try:
+                self.metrics.histogram(
+                    "cache_artifact_bytes",
+                    BYTES_BUCKETS).observe(path.stat().st_size)
+            except OSError:
+                pass
         return True
 
     # -- maintenance ---------------------------------------------------

@@ -25,6 +25,7 @@ from ..faults.campaign import ThroughputRecord
 from ..analysis.metrics import fp_rate
 from ..obs.audit import audit_records
 from ..obs.events import NULL_LOG
+from ..obs.metrics import NULL_METRICS, SECONDS_BUCKETS
 from ..obs.manifest import build_manifest, manifest_path_for, write_manifest
 from ..pipeline import PipelineCore
 from ..redundancy import dynamic_length, srt_iso_core
@@ -135,7 +136,7 @@ class ExperimentContext:
                  hw: HardwareConfig | None = None,
                  jobs: Optional[int] = None,
                  cache: Optional[ArtifactCache] = None,
-                 events=None, supervisor=None):
+                 events=None, supervisor=None, metrics=None):
         self.cfg = cfg or ExperimentConfig()
         self.hw = hw or HardwareConfig()
         self.jobs = max(1, jobs if jobs is not None
@@ -144,16 +145,26 @@ class ExperimentContext:
         #: Structured event log (``repro.obs``); defaults to the no-op
         #: sink, so phases span/emit unconditionally at zero cost.
         self.events = events if events is not None else NULL_LOG
+        #: Live-telemetry registry (``repro.obs.metrics``); defaults to
+        #: the no-op NULL registry, same pattern as ``events``. Named
+        #: ``metrics_registry`` because ``metrics`` below is the legacy
+        #: :class:`ContextMetrics` throughput record.
+        self.metrics_registry = metrics if metrics is not None \
+            else NULL_METRICS
         #: Optional :class:`~repro.harness.supervisor.Supervisor`; when
         #: given, campaign window fan-outs run under its retry/timeout/
         #: quarantine/journal protection instead of the bare dispatcher.
         self.supervisor = supervisor
         if supervisor is not None:
-            supervisor.bind(jobs=self.jobs, events=self.events)
+            supervisor.bind(jobs=self.jobs, events=self.events,
+                            metrics=self.metrics_registry)
         if cache is not None and cache.events is NULL_LOG:
             cache.events = self.events
+        if cache is not None and cache.metrics is NULL_METRICS:
+            cache.metrics = self.metrics_registry
         self.metrics = ContextMetrics()
-        self._executor = ParallelExecutor(self.jobs, events=self.events)
+        self._executor = ParallelExecutor(self.jobs, events=self.events,
+                                          metrics=self.metrics_registry)
         self._programs: Dict[str, List] = {}
         self._lengths: Dict[str, List[int]] = {}
         self._fault_free: Dict[Tuple[str, str], FaultFreeRun] = {}
@@ -242,6 +253,7 @@ class ExperimentContext:
                       CheckAction.SINGLETON))
         rate = (steady_actions / steady_committed
                 if steady_committed else 0.0)
+        core.record_metrics(self.metrics_registry)
         return FaultFreeRun(
             benchmark=benchmark, scheme=scheme,
             cycles=core.stats.cycles, committed=core.stats.committed,
@@ -289,6 +301,7 @@ class ExperimentContext:
                             coverage=coverage,
                             lengths=self.lengths(benchmark))
         core.run(max_cycles=8_000_000)
+        core.record_metrics(self.metrics_registry)
         return FaultFreeRun(
             benchmark=benchmark, scheme=f"srt-iso@{round(coverage, 3)}",
             cycles=core.stats.cycles, committed=core.stats.committed,
@@ -315,7 +328,8 @@ class ExperimentContext:
             num_faults=cfg.num_faults, seed=cfg.seed,
             warmup_commits=cfg.warmup_commits,
             window_commits=cfg.window_commits,
-            max_window_cycles=cfg.max_window_cycles)
+            max_window_cycles=cfg.max_window_cycles,
+            metrics=self.metrics_registry)
 
     def campaign(self, benchmark: str) -> Tuple[Campaign, CampaignResult]:
         if benchmark not in self._campaigns:
@@ -374,6 +388,8 @@ class ExperimentContext:
                                       sup_report)
                 self.metrics.note_phase("characterize", elapsed,
                                         windows=0 if from_cache else windows)
+                self.metrics_registry.histogram(
+                    "phase_seconds", SECONDS_BUCKETS).observe(elapsed)
                 self._emit_audit(characterization, "characterize")
             self._campaigns[benchmark] = (campaign, characterization)
         return self._campaigns[benchmark]
@@ -432,6 +448,8 @@ class ExperimentContext:
                 self._note_supervised(result.throughput, sup_report)
                 self.metrics.note_phase("coverage", elapsed,
                                         windows=0 if from_cache else windows)
+                self.metrics_registry.histogram(
+                    "phase_seconds", SECONDS_BUCKETS).observe(elapsed)
                 self._emit_audit(result, "coverage")
             self._coverage[key] = result
         return self._coverage[key]

@@ -44,6 +44,7 @@ from ..faults import CampaignResult
 from ..faults.classifier import WindowResult
 from ..faults.model import FaultRecord
 from ..obs.events import NULL_LOG, WORKER_DIR_ENV, worker_task_span
+from ..obs.metrics import NULL_METRICS, SECONDS_BUCKETS, worker_metrics
 from ..pipeline.checkpoint import CoreCheckpoint
 
 # ----------------------------------------------------------------------
@@ -118,16 +119,20 @@ class ParallelExecutor:
     pool that fails to start) it degrades to in-process execution.
     """
 
-    def __init__(self, jobs: int | None = None, events=None):
+    def __init__(self, jobs: int | None = None, events=None, metrics=None):
         self.jobs = max(1, jobs if jobs is not None else default_jobs())
         self.events = events if events is not None else NULL_LOG
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self._pool_broken = False
 
     def map(self, fn: Callable[[Any], Any],
             tasks: Sequence[Any]) -> List[Any]:
         tasks = list(tasks)
+        self.metrics.counter("dispatcher_tasks_total").inc(len(tasks))
         if self.jobs == 1 or len(tasks) <= 1 or self._pool_broken:
             return [fn(task) for task in tasks]
+        self.metrics.counter("dispatcher_fanouts_total").inc()
+        self.metrics.gauge("dispatcher_jobs").set(self.jobs)
         # Hand workers their event spool through the environment (fork
         # inherits it); absorb their per-worker files once the fan-out
         # completes so the main log stays the single source of truth.
@@ -277,6 +282,7 @@ def chunk_checkpoints(cfg, hw, benchmark: str, scheme,
     golden = None       # live core, advanced through records[:golden_at]
     golden_at = 0
     base: Optional[CoreCheckpoint] = None   # nearest cached boundary
+    captured_before, hits_before = stats.captured, stats.hits
     started = time.perf_counter()
     for lo, _hi in bounds:
         key = checkpoint = None
@@ -339,7 +345,16 @@ def chunk_checkpoints(cfg, hw, benchmark: str, scheme,
                         cache.artifact_path("checkpoint", key)),
                     manifest)
         checkpoints.append(checkpoint)
-    stats.golden_pass_seconds += time.perf_counter() - started
+    elapsed = time.perf_counter() - started
+    stats.golden_pass_seconds += elapsed
+    metrics = getattr(ctx, "metrics_registry", NULL_METRICS)
+    if metrics.enabled:
+        metrics.histogram("golden_pass_seconds",
+                          SECONDS_BUCKETS).observe(elapsed)
+        metrics.counter("checkpoints_captured_total").inc(
+            stats.captured - captured_before)
+        metrics.counter("checkpoint_hits_total").inc(
+            stats.hits - hits_before)
     return checkpoints
 
 
@@ -366,7 +381,10 @@ def window_chunk_task(args) -> List[WindowResult]:
             factory = campaign.baseline_factory
         else:
             factory = lambda: ctx.make_core(benchmark, scheme)
-        classifier = campaign.classifier(factory)
+        # worker_metrics() is the per-process accumulator, drained into
+        # the worker's event spool by the enclosing worker_task_span
+        classifier = campaign.classifier(factory,
+                                         metrics=worker_metrics())
         if checkpoint is None:
             return classifier.run(records[lo:hi], skip=records[:lo])
         with worker_task_span("checkpoint:restore", window=lo,

@@ -65,6 +65,7 @@ from ..faults.classifier import WindowResult
 from ..faults.model import FaultRecord
 from ..obs.events import NULL_LOG, WORKER_DIR_ENV
 from ..obs.manifest import config_digest
+from ..obs.metrics import NULL_METRICS
 from . import parallel as _parallel
 from .cache import ArtifactCache
 
@@ -181,6 +182,9 @@ class SupervisorPolicy:
     pool_break_limit: int = 3
     #: Seconds to wait for in-flight chunks during a graceful drain.
     drain_grace: float = 30.0
+    #: Seconds between ``heartbeat`` events while a fan-out is in
+    #: flight (worker health for ``repro top``); <= 0 disables them.
+    heartbeat_interval: float = 5.0
 
 
 @dataclass
@@ -220,6 +224,10 @@ class PhaseReport:
     downshifts: int = 0
     chunks_run: int = 0
     chunks_resumed: int = 0
+    #: Live-progress coordinates behind the ``campaign_progress``
+    #: counter trail (windows_done starts at the resumed baseline).
+    windows_total: int = 0
+    windows_done: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -328,10 +336,11 @@ class Supervisor:
 
     def __init__(self, policy: Optional[SupervisorPolicy] = None,
                  run_dir: Optional[str | os.PathLike] = None,
-                 jobs: Optional[int] = None, events=None):
+                 jobs: Optional[int] = None, events=None, metrics=None):
         self.policy = policy or SupervisorPolicy()
         self.jobs = max(1, jobs) if jobs is not None else None
         self.events = events if events is not None else NULL_LOG
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.run_dir = pathlib.Path(run_dir) if run_dir else None
         self.journal: Optional[CampaignJournal] = None
         self.chunk_store: Optional[ArtifactCache] = None
@@ -356,14 +365,18 @@ class Supervisor:
         self.drain = False
         self._force_serial = False
         self._jitter_salt = 0
+        self._last_heartbeat = 0.0
 
     # -- lifecycle -----------------------------------------------------
-    def bind(self, jobs: Optional[int] = None, events=None) -> None:
+    def bind(self, jobs: Optional[int] = None, events=None,
+             metrics=None) -> None:
         """Late wiring from the owning ExperimentContext."""
         if self.jobs is None and jobs is not None:
             self.jobs = max(1, jobs)
         if events is not None and self.events is NULL_LOG:
             self.events = events
+        if metrics is not None and self.metrics is NULL_METRICS:
+            self.metrics = metrics
 
     def request_drain(self) -> None:
         """Stop submitting new chunks; flush and abort gracefully."""
@@ -438,6 +451,8 @@ class Supervisor:
         done: Dict[int, Tuple[int, List[WindowResult]]] = {}
         quarantined: List[QuarantineRecord] = []
         self._load_journal_state(phase_ctx, done, quarantined, report)
+        report.windows_total = len(records)
+        report.windows_done = sum(hi - lo for lo, (hi, _) in done.items())
 
         gaps = self._gaps(len(records), done, quarantined)
         bounds = self._chunk_gaps(gaps, jobs)
@@ -450,6 +465,9 @@ class Supervisor:
                 "bounds": [list(b) for b in bounds],
                 "resumed_chunks": report.chunks_resumed,
                 "config_digest": phase_ctx.digest, "jobs": jobs})
+        # baseline progress sample: a resumed run's monitor restarts ETA
+        # estimation from the journal-adopted windows, not from zero
+        self._progress(phase_ctx, report)
 
         if bounds:
             serial = jobs == 1 or self._force_serial
@@ -678,6 +696,9 @@ class Supervisor:
             position = chunk.hi
             resume_commit = records[chunk.hi - 1].inject_at_commit
             self._complete(phase_ctx, chunk, windows, done, report)
+            self._maybe_heartbeat(phase_ctx, report, running=0,
+                                  pending=len(queue),
+                                  workers=[os.getpid()])
 
     # -- dispatch: pool ------------------------------------------------
     def _run_pool(self, phase_ctx: _Phase, chunks: "deque[_Chunk]",
@@ -759,6 +780,8 @@ class Supervisor:
                         pool = None
                         build_failures += 1
                         report.pool_rebuilds += 1
+                        self.metrics.counter(
+                            "supervisor_pool_rebuilds_total").inc()
                         self._emit("pool_rebuild", phase_ctx,
                                    error=repr(exc))
                         if build_failures >= self.policy.pool_break_limit:
@@ -772,8 +795,11 @@ class Supervisor:
                                                  ctx=ctx)
                                 return
                         break
-                    running[future] = (chunk,
-                                       self._deadline(phase_ctx, chunk))
+                    deadline = self._deadline(phase_ctx, chunk)
+                    if deadline > 0:
+                        self.metrics.counter(
+                            "supervisor_watchdog_armed_total").inc()
+                    running[future] = (chunk, deadline)
                 if not running:
                     waiting = list(probe) + list(pending)
                     if waiting:
@@ -782,6 +808,12 @@ class Supervisor:
                                                  wake - time.monotonic())))
                         continue
                     break
+                self._maybe_heartbeat(
+                    phase_ctx, report, running=len(running),
+                    pending=len(pending) + len(probe),
+                    workers=[proc.pid for proc in
+                             (getattr(pool, "_processes", None)
+                              or {}).values()] if pool is not None else ())
                 completed, _ = wait(list(running), timeout=0.25,
                                     return_when=FIRST_COMPLETED)
                 crashed: List[_Chunk] = []
@@ -810,6 +842,8 @@ class Supervisor:
                     for future in timed_out:
                         chunk, _deadline = running.pop(future)
                         report.timeouts += 1
+                        self.metrics.counter(
+                            "supervisor_watchdog_fired_total").inc()
                         self._note_failure(phase_ctx, chunk, report,
                                            "timeout",
                                            f"exceeded chunk deadline "
@@ -857,6 +891,8 @@ class Supervisor:
                     self._teardown_pool(pool)
                     pool = None
                     report.pool_rebuilds += 1
+                    self.metrics.counter(
+                        "supervisor_pool_rebuilds_total").inc()
                     self._emit("pool_rebuild", phase_ctx,
                                reason="crash" if crashed else "timeout")
         finally:
@@ -894,6 +930,7 @@ class Supervisor:
         """Halve the worker count (degrade to in-process at 1) instead
         of aborting the campaign."""
         report.downshifts += 1
+        self.metrics.counter("supervisor_downshifts_total").inc()
         if current_jobs <= 1:
             self._force_serial = True
             self.events.emit("degradation", reason=reason,
@@ -950,11 +987,40 @@ class Supervisor:
                          benchmark=phase_ctx.benchmark,
                          scheme=phase_ctx.label, **fields)
 
+    def _progress(self, phase_ctx: _Phase, report: PhaseReport) -> None:
+        """One ``campaign_progress`` counter sample (live ETA feed)."""
+        self.events.counter("campaign_progress", report.windows_done,
+                            phase=phase_ctx.phase,
+                            benchmark=phase_ctx.benchmark,
+                            scheme=phase_ctx.label,
+                            total=report.windows_total)
+
+    def _maybe_heartbeat(self, phase_ctx: _Phase, report: PhaseReport,
+                         running: int, pending: int,
+                         workers: Sequence[int] = ()) -> None:
+        """Rate-limited liveness beacon while a fan-out is in flight."""
+        interval = self.policy.heartbeat_interval
+        if interval <= 0 or not self.events.enabled:
+            return
+        now = time.monotonic()
+        if now - self._last_heartbeat < interval:
+            return
+        self._last_heartbeat = now
+        self.events.emit("heartbeat", phase=phase_ctx.phase,
+                         benchmark=phase_ctx.benchmark,
+                         scheme=phase_ctx.label, running=running,
+                         pending=pending, workers=list(workers),
+                         windows_done=report.windows_done,
+                         windows_total=report.windows_total)
+        self.metrics.gauge("supervisor_workers_alive").set(
+            len(workers) or running)
+
     def _complete(self, phase_ctx: _Phase, chunk: _Chunk,
                   windows: List[WindowResult], done,
                   report: PhaseReport) -> None:
         done[chunk.lo] = (chunk.hi, windows)
         report.chunks_run += 1
+        report.windows_done += chunk.windows
         self._emit("chunk_done", phase_ctx, lo=chunk.lo, hi=chunk.hi,
                    attempt=chunk.attempts, key=chunk.key)
         if self.journal is not None:
@@ -963,12 +1029,18 @@ class Supervisor:
                 "type": "chunk_done", "phase": phase_ctx.phase,
                 "key": chunk.key, "lo": chunk.lo, "hi": chunk.hi,
                 "windows": len(windows), "attempt": chunk.attempts})
+        self._progress(phase_ctx, report)
+        if self.metrics.enabled:
+            self.metrics.counter("supervisor_chunks_done_total").inc()
+            self.metrics.counter("supervisor_windows_done_total").inc(
+                chunk.windows)
 
     def _note_failure(self, phase_ctx: _Phase, chunk: _Chunk,
                       report: PhaseReport, reason: str,
                       error: str) -> None:
         chunk.last_reason = reason
         chunk.last_error = error
+        self.metrics.counter("supervisor_failures_total").inc()
         self._emit("retry", phase_ctx, lo=chunk.lo, hi=chunk.hi,
                    attempt=chunk.attempts, reason=reason,
                    error=error[-400:])
@@ -980,6 +1052,7 @@ class Supervisor:
         toward the offending window(s) and quarantine at size one."""
         if chunk.attempts < chunk.max_attempts:
             report.retries += 1
+            self.metrics.counter("supervisor_retries_total").inc()
             chunk.eligible_at = time.monotonic() + self._backoff(chunk)
             pending.append(chunk)
             return
@@ -1012,6 +1085,7 @@ class Supervisor:
             attempts=chunk.attempts, reason=chunk.last_reason or "?",
             error=chunk.last_error, config_digest=phase_ctx.digest)
         quarantined.append(quarantine)
+        self.metrics.counter("supervisor_quarantined_total").inc()
         self._emit("quarantine", phase_ctx, lo=chunk.lo, hi=chunk.hi,
                    attempt=chunk.attempts, reason=quarantine.reason)
         if self.run_dir is not None:

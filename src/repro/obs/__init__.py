@@ -1,6 +1,6 @@
-"""Structured observability: event tracing, run manifests, audit trail.
+"""Structured observability: tracing, manifests, audit, live telemetry.
 
-The subsystem has four legs (see docs/observability.md):
+The subsystem has five legs (see docs/observability.md):
 
 - :mod:`repro.obs.events` — typed JSONL event log with nested spans,
   safe to feed from process-pool workers;
@@ -8,7 +8,11 @@ The subsystem has four legs (see docs/observability.md):
   every cached artefact and figure;
 - :mod:`repro.obs.audit` — one record per injected fault plus the
   recovery-mix and detection-latency aggregates;
-- :mod:`repro.obs.profile` — opt-in cProfile and per-stage accounting.
+- :mod:`repro.obs.profile` — opt-in cProfile and per-stage accounting;
+- :mod:`repro.obs.metrics` + :mod:`repro.obs.stream` — live campaign
+  telemetry: a typed metrics registry threaded through the harness and
+  a streaming monitor that tails a running campaign's logs into a
+  :class:`~repro.obs.stream.CampaignStatus` snapshot (``repro top``).
 """
 
 from .audit import (FaultAuditRecord, aggregates_from_events,
@@ -19,15 +23,31 @@ from .events import (EventLog, NULL_LOG, NullEventLog, WORKER_DIR_ENV,
 from .manifest import (RunManifest, build_manifest, config_digest,
                        load_manifest, manifest_path_for, verify_manifest,
                        write_manifest)
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                      NULL_METRICS, NullMetricsRegistry,
+                      drain_worker_metrics, snapshot_from_events,
+                      to_prometheus, worker_metrics)
 from .profile import format_stage_seconds, profiled
 from .schema import check_spans, summarize_events, validate_event, \
     validate_events
+from .stream import (CampaignMonitor, CampaignStatus, JsonlFollower,
+                     PhaseProgress, render_status)
 
 __all__ = [
+    "CampaignMonitor",
+    "CampaignStatus",
+    "Counter",
     "EventLog",
     "FaultAuditRecord",
+    "Gauge",
+    "Histogram",
+    "JsonlFollower",
+    "MetricsRegistry",
     "NULL_LOG",
+    "NULL_METRICS",
     "NullEventLog",
+    "NullMetricsRegistry",
+    "PhaseProgress",
     "RunManifest",
     "WORKER_DIR_ENV",
     "aggregates_from_events",
@@ -37,16 +57,21 @@ __all__ = [
     "check_spans",
     "config_digest",
     "detection_latency_histogram",
+    "drain_worker_metrics",
     "format_stage_seconds",
     "load_manifest",
     "manifest_path_for",
     "profiled",
     "read_events",
     "recovery_mix",
+    "render_status",
+    "snapshot_from_events",
     "summarize_events",
+    "to_prometheus",
     "validate_event",
     "validate_events",
     "verify_manifest",
+    "worker_metrics",
     "worker_task_span",
     "write_manifest",
 ]

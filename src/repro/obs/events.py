@@ -45,6 +45,27 @@ def _now() -> float:
     return round(time.time(), 6)
 
 
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process we may not steal spools from."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True     # exists but not ours (EPERM) — still alive
+    return True
+
+
+def _spool_pid(spool: pathlib.Path) -> int:
+    """The owning pid encoded in a ``worker-<pid>.jsonl`` filename."""
+    try:
+        return int(spool.stem.rsplit("-", 1)[1])
+    except (IndexError, ValueError):
+        return -1
+
+
 class NullEventLog:
     """Do-nothing sink: the disabled-observability fast path."""
 
@@ -106,12 +127,17 @@ class EventLog:
         died mid-campaign — leaves ``worker-*.jsonl`` files in the spool
         directory. They belong to a different run, so merging them here
         would corrupt this log's timeline; sweep them instead, leaving
-        one ``orphan_spool`` marker behind."""
+        one ``orphan_spool`` marker behind. A spool whose encoded pid is
+        still alive (a concurrent run's active worker) is kept."""
         directory = self.worker_dir
         if not directory.is_dir():
             return
-        swept = 0
+        swept = kept = 0
         for spool in sorted(directory.glob("worker-*.jsonl")):
+            pid = _spool_pid(spool)
+            if pid != os.getpid() and _pid_alive(pid):
+                kept += 1
+                continue
             try:
                 spool.unlink()
                 swept += 1
@@ -119,6 +145,8 @@ class EventLog:
                 pass
         if swept:
             self.emit("orphan_spool", files=swept, action="swept_stale")
+        if kept:
+            self.emit("orphan_spool", files=kept, action="kept_live")
 
     # -- emission ------------------------------------------------------
     def emit(self, event_type: str, **fields: Any) -> None:
@@ -217,13 +245,18 @@ class EventLog:
 
         Everything mergeable was just absorbed; whatever remains is an
         orphan (a spool the absorb pass could not read, or one written
-        by a worker racing the shutdown). Delete the leftovers, record
-        the fact, and remove the empty directory."""
+        by a worker racing the shutdown). Delete the leftovers — except
+        any owned by a still-live foreign pid — record the fact, and
+        remove the (now empty) directory."""
         directory = self.worker_dir
         if not directory.is_dir():
             return
-        dropped = 0
+        dropped = kept = 0
         for spool in directory.glob("worker-*.jsonl"):
+            pid = _spool_pid(spool)
+            if pid != os.getpid() and _pid_alive(pid):
+                kept += 1
+                continue
             try:
                 spool.unlink()
                 dropped += 1
@@ -231,10 +264,12 @@ class EventLog:
                 pass
         if dropped:
             self.emit("orphan_spool", files=dropped, action="deleted")
+        if kept:
+            self.emit("orphan_spool", files=kept, action="kept_live")
         try:
             directory.rmdir()
         except OSError:
-            pass    # non-spool files present, or a concurrent writer
+            pass    # live spools or nested dirs present, or a racer
 
     def __enter__(self) -> "EventLog":
         return self
@@ -283,6 +318,10 @@ def worker_task_span(name: str, **attrs: Any) -> Iterator[None]:
     finally:
         emit("span_end", span=span_id, name=name,
              seconds=round(time.perf_counter() - started, 6))
+        from .metrics import drain_worker_metrics
+        snapshot = drain_worker_metrics()
+        if snapshot:
+            emit("metrics", snapshot=snapshot, scope="worker")
         try:
             path = pathlib.Path(directory) / f"worker-{pid}.jsonl"
             with open(path, "a", encoding="utf-8") as handle:
@@ -293,17 +332,36 @@ def worker_task_span(name: str, **attrs: Any) -> Iterator[None]:
 
 
 def read_events(path: str | os.PathLike) -> List[Dict[str, Any]]:
-    """Load a JSONL event log into a list of dicts (strict parsing)."""
-    events = []
-    with open(path, encoding="utf-8") as handle:
-        for number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                events.append(json.loads(line))
-            except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{number}: not JSON: {exc}") from None
+    """Load a JSONL event log into a list of dicts.
+
+    Parsing is strict for every *complete* (newline-terminated) line —
+    a corrupt one raises ``ValueError``. A torn final line with no
+    trailing newline is the signature of a writer killed mid-append;
+    it is tolerated: if it parses it is kept, otherwise it is replaced
+    by one synthesized ``truncated_tail`` note event so downstream
+    consumers can see the log ended raggedly without crashing.
+    """
+    with open(path, encoding="utf-8", newline="") as handle:
+        content = handle.read()
+    lines = content.split("\n")
+    tail = lines.pop()          # "" when content ends with a newline
+    events: List[Dict[str, Any]] = []
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{number}: not JSON: {exc}") from None
+    if tail.strip():
+        try:
+            events.append(json.loads(tail))
+        except json.JSONDecodeError:
+            last_ts = events[-1].get("ts", 0.0) if events else 0.0
+            events.append({"ts": last_ts, "type": "truncated_tail",
+                           "pid": 0, "line": len(lines) + 1,
+                           "bytes": len(tail.encode("utf-8"))})
     return events
 
 

@@ -51,6 +51,12 @@ REQUIRED_FIELDS: Dict[str, Dict[str, tuple]] = {
     "cache_corrupt": {"kind": (str,)},
     # worker event spools left behind by dead workers, swept by the parent
     "orphan_spool": {"files": (int,)},
+    # one folded metrics-registry snapshot (session close / worker drain)
+    "metrics": {"snapshot": (dict,)},
+    # periodic supervisor liveness beacon while a fan-out is in flight
+    "heartbeat": {"phase": (str,), "running": (int,), "pending": (int,)},
+    # synthesized by read_events/the follower for a torn final JSONL line
+    "truncated_tail": {"line": (int,), "bytes": (int,)},
 }
 
 #: Optional fields that, when present, must have these types
@@ -78,6 +84,10 @@ OPTIONAL_FIELDS: Dict[str, Dict[str, tuple]] = {
     "cache_corrupt": {"key": (str,), "path": (str,), "error": (str,),
                       "action": (str,)},
     "orphan_spool": {"action": (str,), "events": (int,)},
+    "metrics": {"scope": (str,)},
+    "heartbeat": {"benchmark": (str,), "scheme": (str,),
+                  "workers": (list,), "windows_done": (int,),
+                  "windows_total": (int,)},
 }
 
 #: The recovery labels a ``fault_audit`` event may carry.
@@ -95,8 +105,10 @@ SUPERVISOR_ACTIONS = ("plan", "chunk_done", "retry", "timeout",
 #: What the cache did about a corrupt entry.
 CACHE_CORRUPT_ACTIONS = ("dropped", "quarantined")
 
-#: What the parent did about an orphaned worker spool file.
-ORPHAN_SPOOL_ACTIONS = ("swept_stale", "deleted")
+#: What the parent did about an orphaned worker spool file:
+#: swept a stale one on open, deleted a leftover on close, or kept one
+#: whose owning pid is still alive (a concurrent run's active worker).
+ORPHAN_SPOOL_ACTIONS = ("swept_stale", "deleted", "kept_live")
 
 
 def validate_event(event: Any, where: str = "event") -> List[str]:

@@ -243,6 +243,35 @@ class PipelineCore:
             accumulate[name] = (accumulate.get(name, 0.0)
                                 + perf_counter() - started)
 
+    def record_metrics(self, metrics, prefix: str = "core") -> None:
+        """Fold this core's cumulative state into a live-telemetry
+        registry (repro.obs.metrics). Read-only over the core — called
+        once per completed run, never per cycle, so it cannot perturb
+        results and costs nothing against :data:`~repro.obs.metrics.
+        NULL_METRICS`."""
+        if not metrics.enabled:
+            return
+        stats = self.stats
+        metrics.counter(f"{prefix}_cycles_total").inc(self.cycle)
+        metrics.counter(f"{prefix}_cycles_elided_total").inc(
+            self.cycles_elided)
+        metrics.counter(f"{prefix}_commits_total").inc(stats.committed)
+        metrics.counter(f"{prefix}_replay_events_total").inc(
+            stats.replay_events)
+        metrics.counter(f"{prefix}_rollback_events_total").inc(
+            stats.rollback_events)
+        metrics.counter(f"{prefix}_singleton_reexecs_total").inc(
+            stats.singleton_reexecs)
+        metrics.counter(f"{prefix}_branch_mispredicts_total").inc(
+            stats.branch_mispredicts)
+        metrics.gauge(f"{prefix}_ipc").set(stats.ipc)
+        metrics.gauge(f"{prefix}_rob_occupancy").set(self._rob_total)
+        metrics.gauge(f"{prefix}_lsq_occupancy").set(self._lsq_total)
+        for stage, seconds in self.stage_seconds.items():
+            metrics.counter(
+                f"{prefix}_stage_{stage.replace('-', '_')}_seconds"
+            ).inc(seconds)
+
     # ------------------------------------------------------------------
     # invariant sanitizer (repro.pipeline.invariants)
     # ------------------------------------------------------------------

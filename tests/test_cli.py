@@ -192,3 +192,60 @@ def test_supervised_campaign_cli_roundtrip(tmp_path, capsys, monkeypatch):
     code, out, _ = run_cli(capsys, "resume", str(run_dir))
     assert code == 0
     assert out == first
+
+
+def test_run_dir_defaults_event_log_into_it(tmp_path, capsys,
+                                            monkeypatch):
+    """A journaled campaign gets events.jsonl in the run dir by default
+    (announced on stderr, stdout untouched) so the monitor surfaces
+    have something to tail."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    run_dir = tmp_path / "run"
+    code, _, err = run_cli(capsys, "campaign", "mcf", "--faults", "4",
+                           "--jobs", "1", "--run-dir", str(run_dir))
+    assert code == 0
+    assert (run_dir / "events.jsonl").exists()
+    assert f"events: {run_dir / 'events.jsonl'}" in err
+    # report gained the audit aggregates alongside the summary
+    code, out, _ = run_cli(capsys, "report", "--events",
+                           str(run_dir / "events.jsonl"))
+    assert code == 0
+    summary = json.loads(out)
+    assert summary["aggregates"]["records"] == 4
+    assert summary["aggregates"]["applied"] > 0
+    # and the session metrics snapshot rode the log
+    assert summary["by_type"]["metrics"] >= 1
+
+
+def test_status_and_top_reject_missing_run_dir(tmp_path, capsys):
+    code, _, err = run_cli(capsys, "status", str(tmp_path / "nope"))
+    assert code == 1
+    assert "not a run directory" in err
+    code, _, err = run_cli(capsys, "top", str(tmp_path / "nope"), "--once")
+    assert code == 1
+
+
+def test_tail_rejects_missing_log(tmp_path, capsys):
+    code, _, err = run_cli(capsys, "tail", str(tmp_path / "none.jsonl"))
+    assert code == 1
+    assert "not found" in err
+
+
+def test_metrics_export_from_plain_log(tmp_path, capsys):
+    log = tmp_path / "events.jsonl"
+    log.write_text(json.dumps(
+        {"ts": 1.0, "type": "metrics", "pid": 1,
+         "snapshot": {"counters": {"n_total": 3}}}) + "\n")
+    code, out, _ = run_cli(capsys, "metrics", "export", str(log))
+    assert code == 0
+    assert "repro_n_total 3" in out
+
+
+def test_metrics_export_empty_log_notes_it(tmp_path, capsys):
+    log = tmp_path / "events.jsonl"
+    log.write_text(json.dumps(
+        {"ts": 1.0, "type": "worker_start", "pid": 1}) + "\n")
+    code, out, err = run_cli(capsys, "metrics", "export", str(log))
+    assert code == 0
+    assert out == ""
+    assert "no metrics" in err

@@ -1,7 +1,11 @@
-"""Event-log tests: span nesting, worker spool merge, schema validity."""
+"""Event-log tests: span nesting, worker spool merge, schema validity,
+torn-tail tolerance and spool liveness sweeps."""
 
 import json
 import os
+import signal
+import subprocess
+import sys
 
 import pytest
 
@@ -9,6 +13,7 @@ from repro.harness.experiment import ExperimentConfig, ExperimentContext
 from repro.obs import (EventLog, NULL_LOG, WORKER_DIR_ENV, check_spans,
                        read_events, summarize_events, validate_events,
                        worker_task_span)
+from repro.obs import events as events_mod
 
 _TINY = ExperimentConfig(benchmarks=("mcf",), dynamic_target=3_000,
                          num_faults=10, warmup_commits=200,
@@ -93,9 +98,10 @@ class TestWorkerSpool:
         assert log.absorb_worker_files() == 1
         log.close()
 
-    def test_stale_spools_swept_on_open(self, tmp_path):
+    def test_stale_spools_swept_on_open(self, tmp_path, monkeypatch):
         """Spool files left by a crashed previous run belong to a dead
         timeline: a fresh log deletes them instead of merging them."""
+        monkeypatch.setattr(events_mod, "_pid_alive", lambda pid: False)
         path = tmp_path / "events.jsonl"
         stale_dir = path.with_name(path.name + ".workers")
         stale_dir.mkdir()
@@ -116,6 +122,7 @@ class TestWorkerSpool:
     def test_orphan_spools_dropped_on_close(self, tmp_path, monkeypatch):
         """A spool a worker is still writing at shutdown is absorbed by
         close(); an unreadable leftover is deleted and recorded."""
+        monkeypatch.setattr(events_mod, "_pid_alive", lambda pid: False)
         log = EventLog(tmp_path / "events.jsonl")
         spool_dir = log.worker_spool()
         # simulate absorb_worker_files failing to consume one spool
@@ -137,6 +144,169 @@ class TestWorkerSpool:
         drops = [e for e in events if e["type"] == "orphan_spool"]
         assert len(drops) == 1
         assert drops[0]["action"] == "deleted"
+        assert validate_events(events) == []
+
+
+# ----------------------------------------------------------------------
+# spool sweep edge cases: empty spools, live owners, nested dirs
+# ----------------------------------------------------------------------
+class TestSpoolSweepEdges:
+    def test_empty_spool_is_swept_without_marker(self, tmp_path,
+                                                 monkeypatch):
+        """A zero-byte spool (worker died before its first flush) is
+        deleted on open like any stale spool."""
+        monkeypatch.setattr(events_mod, "_pid_alive", lambda pid: False)
+        path = tmp_path / "events.jsonl"
+        stale_dir = path.with_name(path.name + ".workers")
+        stale_dir.mkdir()
+        empty = stale_dir / "worker-321.jsonl"
+        empty.touch()
+        log = EventLog(path)
+        assert not empty.exists()
+        log.close()
+        events = read_events(path)
+        sweeps = [e for e in events if e["type"] == "orphan_spool"]
+        assert [e["action"] for e in sweeps] == ["swept_stale"]
+        assert validate_events(events) == []
+
+    def test_live_foreign_spool_is_kept_on_open(self, tmp_path,
+                                                monkeypatch):
+        """A spool whose encoded pid is a *live* foreign process (a
+        concurrent run's worker) must not be stolen by the sweep."""
+        monkeypatch.setattr(events_mod, "_pid_alive", lambda pid: True)
+        path = tmp_path / "events.jsonl"
+        stale_dir = path.with_name(path.name + ".workers")
+        stale_dir.mkdir()
+        live = stale_dir / "worker-4242.jsonl"
+        live.write_text(json.dumps(
+            {"ts": 1.0, "type": "worker_start", "pid": 4242}) + "\n")
+        log = EventLog(path)
+        assert live.exists()
+        events_so_far = read_events(path)
+        kept = [e for e in events_so_far if e["type"] == "orphan_spool"]
+        assert len(kept) == 1
+        assert kept[0]["action"] == "kept_live"
+        assert kept[0]["files"] == 1
+        live.unlink()   # let close() tear down cleanly
+        log.close()
+        assert validate_events(read_events(path)) == []
+
+    def test_own_pid_spool_is_swept_even_while_alive(self, tmp_path):
+        """Our own pid is always sweepable: a spool named after us is a
+        leftover from a previous log in the same process."""
+        path = tmp_path / "events.jsonl"
+        stale_dir = path.with_name(path.name + ".workers")
+        stale_dir.mkdir()
+        own = stale_dir / f"worker-{os.getpid()}.jsonl"
+        own.write_text(json.dumps(
+            {"ts": 1.0, "type": "worker_start", "pid": os.getpid()}) + "\n")
+        log = EventLog(path)
+        assert not own.exists()
+        log.close()
+        sweeps = [e for e in read_events(path)
+                  if e["type"] == "orphan_spool"]
+        assert [e["action"] for e in sweeps] == ["swept_stale"]
+
+    def test_nested_directory_in_spool_dir_survives(self, tmp_path,
+                                                    monkeypatch):
+        """A directory that happens to match the spool glob is not a
+        spool: the sweep skips it (unlink fails), close() leaves the
+        spool dir in place, and nothing raises."""
+        monkeypatch.setattr(events_mod, "_pid_alive", lambda pid: False)
+        path = tmp_path / "events.jsonl"
+        spool_dir = path.with_name(path.name + ".workers")
+        nested = spool_dir / "worker-777.jsonl"
+        nested.mkdir(parents=True)
+        (nested / "inner.txt").write_text("not a spool\n")
+        log = EventLog(path)
+        log.close()
+        assert nested.is_dir()                 # untouched
+        assert (nested / "inner.txt").exists()
+        assert spool_dir.is_dir()              # rmdir declined, no raise
+        events = read_events(path)
+        assert not any(e["type"] == "worker_merge" for e in events)
+        assert validate_events(events) == []
+
+    def test_live_foreign_spool_kept_on_close(self, tmp_path,
+                                              monkeypatch):
+        """The close-time orphan drop honours liveness too: a live
+        foreign spool is recorded as kept, not deleted."""
+        monkeypatch.setattr(events_mod, "_pid_alive", lambda pid: True)
+        log = EventLog(tmp_path / "events.jsonl")
+        spool_dir = log.worker_spool()
+        orphan = os.path.join(spool_dir, "worker-5151.jsonl")
+        real_absorb = log.absorb_worker_files
+
+        def absorb_then_orphan():
+            count = real_absorb()
+            with open(orphan, "w") as handle:
+                handle.write(json.dumps({"ts": 9.0, "type": "worker_start",
+                                         "pid": 5151}) + "\n")
+            return count
+
+        monkeypatch.setattr(log, "absorb_worker_files", absorb_then_orphan)
+        log.close()
+        assert os.path.exists(orphan)          # not stolen
+        assert os.path.isdir(spool_dir)        # rmdir declined
+        drops = [e for e in read_events(log.path)
+                 if e["type"] == "orphan_spool"]
+        assert len(drops) == 1
+        assert drops[0]["action"] == "kept_live"
+        assert validate_events(read_events(log.path)) == []
+
+
+# ----------------------------------------------------------------------
+# torn final lines: a writer SIGKILLed mid-append must not poison reads
+# ----------------------------------------------------------------------
+class TestTornTail:
+    def test_unparseable_tail_becomes_note_event(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        tail = '{"ts": 2.0, "type": "counter", "na'
+        path.write_text('{"ts": 1.5, "type": "worker_start", "pid": 7}\n'
+                        + tail)
+        events = read_events(path)
+        assert [e["type"] for e in events] == ["worker_start",
+                                               "truncated_tail"]
+        note = events[-1]
+        assert note["line"] == 2
+        assert note["bytes"] == len(tail.encode())
+        assert note["ts"] == 1.5       # inherits the last good timestamp
+        assert validate_events(events) == []
+
+    def test_parseable_tail_without_newline_is_kept(self, tmp_path):
+        path = tmp_path / "flushless.jsonl"
+        path.write_text('{"ts": 1.0, "type": "worker_start", "pid": 7}\n'
+                        '{"ts": 2.0, "type": "counter", "pid": 7, '
+                        '"name": "n", "value": 1, "attrs": {}}')
+        events = read_events(path)
+        assert [e["type"] for e in events] == ["worker_start", "counter"]
+
+    def test_corrupt_interior_line_still_fatal(self, tmp_path):
+        """Torn-tail tolerance is only for the final newline-less line;
+        garbage *with* a newline stays a hard error."""
+        path = tmp_path / "bad.jsonl"
+        path.write_text('not json\n{"ts": 2.0, "type": "x", "pid": 1}\n')
+        with pytest.raises(ValueError, match="not JSON"):
+            read_events(path)
+
+    def test_sigkilled_writer_leaves_readable_log(self, tmp_path):
+        """End to end: a child process SIGKILLs itself halfway through
+        an append; the log stays readable and the ragged end surfaces
+        as one truncated_tail note."""
+        path = tmp_path / "killed.jsonl"
+        script = (
+            "import os, signal, sys\n"
+            "handle = open(sys.argv[1], 'w')\n"
+            "handle.write('{\"ts\": 1.0, \"type\": \"worker_start\", "
+            "\"pid\": 7}\\n')\n"
+            "handle.write('{\"ts\": 2.0, \"type\": \"counter\", \"val')\n"
+            "handle.flush()\n"
+            "os.kill(os.getpid(), signal.SIGKILL)\n")
+        proc = subprocess.run([sys.executable, "-c", script, str(path)])
+        assert proc.returncode == -signal.SIGKILL
+        events = read_events(path)
+        assert [e["type"] for e in events] == ["worker_start",
+                                               "truncated_tail"]
         assert validate_events(events) == []
 
 

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick figures examples clean
+.PHONY: install test bench bench-quick bench-summary figures examples clean
 
 install:
 	pip install -e .[test]
@@ -21,6 +21,9 @@ bench-log:
 
 bench-quick:
 	REPRO_SCALE=quick $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-summary:
+	$(PYTHON) benchmarks/summarize.py
 
 figures:
 	$(PYTHON) -m repro.cli figure table1

@@ -1,0 +1,516 @@
+"""Batched lockstep fault execution: dormant lanes over a shared golden core.
+
+The scalar tandem path (:meth:`TandemClassifier._classify_one`) pays, for
+*every* planned fault, one full ``clone()`` plus a complete faulty-side
+re-execution of the run-window — even though, until the flipped bit is
+actually *read*, the faulty twin is cycle-for-cycle identical to the
+golden core it was cloned from. The paper's AVF results make that the
+common case: most register-file faults land in dead or free registers and
+stay invisible forever.
+
+This module exploits it. A :class:`LaneBatch` takes the group of faults
+planned for consecutive windows, registers each as a **dormant lane** —
+logically the golden core *plus a one-entry patch* (the XOR'd physical
+register value, or the XOR'd rename mapping) — and steps only the golden
+core. Dormancy is maintained by two exact mechanisms:
+
+- a **divergence probe**, run before every golden step, that decides
+  whether the coming cycle *could read* the patched entry: a numpy scan
+  of the SoA mirror of all in-flight source operands (REGFILE — every
+  PRF read in the core reads an op resident in some ROB), or a scan of
+  the thread's fetch buffer for instructions naming the patched logical
+  register (RENAME — dispatch is the only speculative-RAT reader). The
+  probe is conservative: firing early just materializes a lane that
+  would have stayed dormant, which is result-neutral.
+- a **write watch** — an instance-level shadow of ``prf.write`` (or the
+  rename table's ``set``/``copy_from``) — that detects the patched entry
+  being overwritten. Because the probe guarantees the patch was never
+  read, the overwriting value was computed from un-patched state and is
+  identical in both lanes: the fault is dead and the lane **converges**
+  (classified from golden state alone, like a fully dormant lane).
+
+Only when the probe fires does the lane **materialize**: a real
+``clone()`` of the golden core at the last pre-divergence cycle (its
+trajectory up to there is provably identical to the scalar faulty
+twin's), the patch applied directly, and the window finished on the
+existing scalar path — so batched results are bit-for-bit equal to
+``batch_lanes=1`` by construction, not by tolerance.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.screening import NullScreeningUnit
+from ..pipeline.core import PipelineCore
+from ..pipeline.regfile import PhysicalRegisterFile
+from ..pipeline.rename import RenameTable
+from .classifier import LaneStats, WindowResult, _EventBaseline
+from .injector import FaultInjector
+from .model import FaultRecord, FaultSite, RegStatus
+
+
+# ----------------------------------------------------------------------
+# SoA state mirrors
+# ----------------------------------------------------------------------
+class CoreSoAView:
+    """Structure-of-arrays mirrors of a core's fault-reachable state.
+
+    Two consumers with different cost profiles share the view:
+
+    - the dormant-lane divergence probe needs only the flattened source-
+      operand matrix (:meth:`src_matrix`), rebuilt at most once per
+      cycle (memoised on a cheap activity stamp);
+    - equivalence tests and debugging compare two cores field-by-field
+      (:meth:`refresh` + :meth:`divergent_fields`) across regfile
+      values/ready bits and the ROB/LSQ scalar columns.
+
+    Mirrors are memoised on ``(cycle, uid, committed, squashed,
+    issued)``; out-of-band mutation (a direct ``inject_prf_bit``)
+    doesn't move the stamp, so such callers pass ``force=True``.
+    """
+
+    _STATE_CODES: dict = {}
+
+    def __init__(self, core: PipelineCore):
+        self.core = core
+        self._srcs_at: Optional[tuple] = None
+        self._srcs: Optional[np.ndarray] = None
+        self._built_at: Optional[tuple] = None
+
+    def _stamp(self) -> tuple:
+        core = self.core
+        stats = core.stats
+        return (core.cycle, core._uid, stats.committed, stats.squashed,
+                stats.issued)
+
+    # -- probe path ----------------------------------------------------
+    def src_matrix(self) -> np.ndarray:
+        """Flattened physical source operands of every ROB-resident op
+        (all threads). Every PRF value read in the core — issue-stage
+        address probes, execute-stage operand reads, commit-time
+        singleton re-reads, the quiescence scan's load-base peek — reads
+        an op that is resident in some ROB at the start of the cycle, so
+        this matrix is a sound overapproximation of the registers the
+        coming cycle can read."""
+        stamp = self._stamp()
+        if stamp != self._srcs_at:
+            srcs: List[int] = []
+            for thread in self.core.threads:
+                for op in thread.rob:
+                    srcs.extend(op.phys_srcs)
+            self._srcs = np.asarray(srcs, dtype=np.int32)
+            self._srcs_at = stamp
+        return self._srcs
+
+    def reads_phys(self, reg: int) -> bool:
+        """Vectorized probe: may any in-flight op read physical *reg*?"""
+        srcs = self.src_matrix()
+        return srcs.size > 0 and bool((srcs == reg).any())
+
+    # -- compare path --------------------------------------------------
+    FIELDS = ("prf_values", "prf_ready", "rob_uid", "rob_state",
+              "rob_dest", "rob_result", "rob_result_ok", "rob_addr",
+              "lsq_uid", "lsq_addr", "lsq_value", "lsq_value_ok")
+
+    @classmethod
+    def _state_code(cls, state) -> int:
+        code = cls._STATE_CODES.get(state)
+        if code is None:
+            code = cls._STATE_CODES[state] = len(cls._STATE_CODES)
+        return code
+
+    def refresh(self, force: bool = False) -> "CoreSoAView":
+        """(Re)build the full scalar-field mirrors."""
+        stamp = self._stamp()
+        if not force and stamp == self._built_at:
+            return self
+        core = self.core
+        self.prf_values = np.array(core.prf.values, dtype=np.uint64)
+        self.prf_ready = np.array(core.prf.ready, dtype=bool)
+        rob_uid: List[int] = []
+        rob_state: List[int] = []
+        rob_dest: List[int] = []
+        rob_result: List[int] = []
+        rob_result_ok: List[bool] = []
+        rob_addr: List[int] = []
+        lsq_uid: List[int] = []
+        lsq_addr: List[int] = []
+        lsq_value: List[int] = []
+        lsq_value_ok: List[bool] = []
+        for thread in core.threads:
+            for op in thread.rob:
+                rob_uid.append(op.uid)
+                rob_state.append(self._state_code(op.state))
+                rob_dest.append(-1 if op.phys_dest is None else op.phys_dest)
+                rob_result.append(0 if op.result is None else op.result)
+                rob_result_ok.append(op.result is not None)
+                rob_addr.append(-1 if op.eff_addr is None else op.eff_addr)
+            for op in thread.lsq:
+                lsq_uid.append(op.uid)
+                lsq_addr.append(-1 if op.eff_addr is None else op.eff_addr)
+                lsq_value.append(0 if op.store_value is None
+                                 else op.store_value)
+                lsq_value_ok.append(op.store_value is not None)
+        self.rob_uid = np.asarray(rob_uid, dtype=np.int64)
+        self.rob_state = np.asarray(rob_state, dtype=np.int8)
+        self.rob_dest = np.asarray(rob_dest, dtype=np.int32)
+        self.rob_result = np.asarray(rob_result, dtype=np.uint64)
+        self.rob_result_ok = np.asarray(rob_result_ok, dtype=bool)
+        self.rob_addr = np.asarray(rob_addr, dtype=np.int64)
+        self.lsq_uid = np.asarray(lsq_uid, dtype=np.int64)
+        self.lsq_addr = np.asarray(lsq_addr, dtype=np.int64)
+        self.lsq_value = np.asarray(lsq_value, dtype=np.uint64)
+        self.lsq_value_ok = np.asarray(lsq_value_ok, dtype=bool)
+        self._built_at = stamp
+        return self
+
+    def divergent_fields(self, other: "CoreSoAView",
+                         force: bool = False) -> List[str]:
+        """Names of the mirrored fields on which the two cores differ."""
+        self.refresh(force=force)
+        other.refresh(force=force)
+        return [name for name in self.FIELDS
+                if not np.array_equal(getattr(self, name),
+                                      getattr(other, name))]
+
+
+# ----------------------------------------------------------------------
+# divergence probes (per fault site)
+# ----------------------------------------------------------------------
+class _RegfileProbe:
+    """May the coming cycle read physical register *reg*?
+
+    The base answer is "some in-flight op names *reg* as a source". On a
+    null-screening core the probe is additionally gated on the ready bit,
+    which is exact there: every value read is ready-gated (the issue
+    stage checks ``srcs_ready`` inline before its load-base ``prf.read``;
+    ``IssueQueue.next_event_cycle`` consults ``cannot_issue`` only after
+    its own ``srcs_ready`` loop; completion-side reads belong to ops that
+    issued with ready sources, and a fault-free golden never frees a
+    register before all its consumers commit, so their ready bit cannot
+    be cleared mid-flight) and the only non-ready read path in the
+    pipeline — the commit-time singleton re-execute — exists solely
+    under ``wants_commit_checks`` schemes. Replay/squash actions, which
+    *can* clear ready bits of in-flight producers, never come out of the
+    null unit either. For any real screening scheme the gate is dropped
+    and the conservative source scan stands alone.
+
+    With the gate, a free register reallocated mid-window merely parks
+    its new consumers in the ROB (sources pending); the new producer's
+    ``prf.write`` then lands on the write-watch and retires the lane as
+    CONVERGED before anything could observe the stale value.
+    """
+
+    def __init__(self, core: PipelineCore, reg: int,
+                 free_at_arm: bool = False):
+        self.view = core.soa_view()
+        self.reg = reg
+        self.prf = core.prf
+        self.gated = isinstance(core.screening, NullScreeningUnit)
+        # A register that is FREE at arm (no committed-RAT entry, no ROB
+        # dest) is unreachable: every old consumer has committed and
+        # left the ROB, and any future consumer must be renamed through
+        # a fresh allocation of this tag — which runs ``mark_pending``
+        # and cannot issue before the new producer's ``prf.write`` lands
+        # on the write-watch. On a gated (null-screening) core the probe
+        # is therefore a constant False for the whole dormancy, costing
+        # nothing per cycle.
+        self.never = free_at_arm and self.gated
+
+    def may_read(self) -> bool:
+        if self.never:
+            return False
+        if self.gated and not self.prf.ready[self.reg]:
+            return False
+        return self.view.reads_phys(self.reg)
+
+
+class _RenameProbe:
+    """May the coming cycle read the speculative mapping of *logical*?
+
+    Dispatch is the only reader of the speculative RAT, and it only
+    dispatches ops sitting in the thread's fetch buffer at stage entry —
+    ``spec_rat.get`` for each source register, plus ``get(rd)`` (the
+    old-mapping read) for register writers. Scanning the whole buffer
+    (it is capped at a handful of entries) overapproximates the per-
+    cycle decode budget, which is safe: an early fire just materializes
+    a lane a cycle or two sooner.
+    """
+
+    def __init__(self, core: PipelineCore, thread_id: int, logical: int):
+        self.buffer = core._fetch_buffers[thread_id]
+        self.logical = logical
+
+    def may_read(self) -> bool:
+        logical = self.logical
+        for op in self.buffer:
+            inst = op.inst
+            if logical in inst.source_regs():
+                return True
+            if op.writes_reg and inst.rd == logical:
+                return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# write watches (patch-death detection)
+# ----------------------------------------------------------------------
+class _PrfWatch:
+    """Instance-level shadow of ``prf.write`` flagging writes to *reg*.
+
+    Armed only inside a window and always disarmed in ``finally`` —
+    the shadow closure is unpicklable by design, and checkpoints are
+    captured strictly between windows (``checkpoint.capture`` guards).
+    """
+
+    def __init__(self, prf: PhysicalRegisterFile, reg: int):
+        self.prf = prf
+        self.reg = reg
+        self.hit = False
+        self.armed = False
+
+    def arm(self) -> None:
+        prf, reg = self.prf, self.reg
+        unshadowed = PhysicalRegisterFile.write
+
+        def write(target: int, value: int) -> None:
+            if target == reg:
+                self.hit = True
+            unshadowed(prf, target, value)
+
+        prf.write = write
+        self.armed = True
+
+    def disarm(self) -> None:
+        if self.armed:
+            self.prf.__dict__.pop("write", None)
+            self.armed = False
+
+
+class _RatWatch:
+    """Shadow of a rename table's ``set``/``copy_from`` flagging writes
+    to the patched *logical* mapping (``copy_from`` overwrites every
+    entry, so it always counts)."""
+
+    def __init__(self, rat: RenameTable, logical: int):
+        self.rat = rat
+        self.logical = logical
+        self.hit = False
+        self.armed = False
+
+    def arm(self) -> None:
+        rat, logical = self.rat, self.logical
+        unshadowed_set = RenameTable.set
+        unshadowed_copy = RenameTable.copy_from
+
+        def set_(target: int, phys: int) -> None:
+            if target == logical:
+                self.hit = True
+            unshadowed_set(rat, target, phys)
+
+        def copy_from(other: RenameTable) -> None:
+            self.hit = True
+            unshadowed_copy(rat, other)
+
+        rat.set = set_
+        rat.copy_from = copy_from
+        self.armed = True
+
+    def disarm(self) -> None:
+        if self.armed:
+            self.rat.__dict__.pop("set", None)
+            self.rat.__dict__.pop("copy_from", None)
+            self.armed = False
+
+
+def assert_unwatched(core: PipelineCore) -> None:
+    """Raise if *core* carries an armed lane watch (unpicklable shadow
+    closures) — the checkpoint layer's defense against capturing one."""
+    if "write" in vars(core.prf):
+        raise RuntimeError("core carries an armed PRF write watch; "
+                           "checkpoints must be captured between windows")
+    for thread in core.threads:
+        shadows = vars(thread.spec_rat)
+        if "set" in shadows or "copy_from" in shadows:
+            raise RuntimeError("core carries an armed rename-table watch; "
+                               "checkpoints must be captured between windows")
+
+
+# ----------------------------------------------------------------------
+# lanes
+# ----------------------------------------------------------------------
+class LaneState(enum.Enum):
+    DORMANT = "dormant"
+    CONVERGED = "converged"
+    MATERIALIZED = "materialized"
+
+
+class LaneBatch:
+    """Runs one group of planned faults against a shared golden core.
+
+    Lanes are registered up front (arming a lane records its patch
+    coordinates, event baseline and ``reg_status`` — exactly what the
+    scalar ``injector.apply`` records at injection time) and stepped in
+    lockstep behind the golden core: because the campaign planner tiles
+    the commit space one window per fault, at any golden cycle at most
+    one lane's window is open, and "lockstep" degenerates to sharing the
+    single golden pass across every lane — which is precisely where the
+    win lives: a lane that never leaves dormancy costs zero clones, zero
+    faulty-side stepping and zero snapshot comparisons.
+
+    LSQ faults fall back to the scalar path wholesale (counted in
+    ``batch_fallbacks``): whether such a fault even *lands* is decided
+    by faulty-side stepping (the executed-entry retry loop), so there is
+    no dormant phase to elide.
+    """
+
+    def __init__(self, classifier):
+        self.classifier = classifier
+        self.stats = LaneStats()
+
+    # -- public entry --------------------------------------------------
+    def run(self, golden: PipelineCore,
+            records: Sequence[FaultRecord]) -> List[WindowResult]:
+        results = [self._run_lane(golden, record) for record in records]
+        # Amortised golden audit: the scalar path runs the armed
+        # sanitizer after every window; one batch is audited as a unit,
+        # so a (hypothetical) simulator bug surfaces at most K windows
+        # later while the dormant fast path sheds the per-window O(ROB)
+        # structural scan. Classification results are unaffected either
+        # way — the sanitizer only raises, it never feeds results.
+        self.classifier._check_golden(golden)
+        self._fold_stats()
+        return results
+
+    def _fold_stats(self) -> None:
+        classifier = self.classifier
+        classifier.lane_stats.merge(self.stats)
+        metrics = classifier.metrics
+        if metrics.enabled:
+            metrics.counter("lanes_dormant_cycles").inc(
+                self.stats.dormant_cycles)
+            metrics.counter("lane_divergences").inc(self.stats.materialized)
+            metrics.counter("batch_fallbacks").inc(self.stats.fallbacks)
+
+    # -- one lane ------------------------------------------------------
+    def _run_lane(self, golden: PipelineCore,
+                  record: FaultRecord) -> WindowResult:
+        classifier = self.classifier
+        self.stats.lanes += 1
+        if record.site is FaultSite.LSQ:
+            self.stats.fallbacks += 1
+            return classifier._classify_one(golden, record)
+        result = WindowResult(record=record)
+        if not classifier._advance_to(golden, record.inject_at_commit):
+            result.applied = False
+            record.applied = False
+            return result
+
+        # Arm the lane. A dormant lane IS the golden core plus this
+        # patch descriptor; registration is the injection.
+        inject_cycle = golden.cycle
+        before = _EventBaseline.of(golden)
+        triggers_before = len(golden.screen_trigger_cycles)
+        state = LaneState.DORMANT
+        if record.site is FaultSite.REGFILE:
+            # what the scalar injector.apply records, computed read-only
+            record.reg_status = FaultInjector.reg_status(golden, record.reg)
+            reg = record.reg % golden.prf.num_regs
+            watch = _PrfWatch(golden.prf, reg)
+            probe = _RegfileProbe(
+                golden, reg,
+                free_at_arm=record.reg_status is RegStatus.FREE)
+        else:
+            rat = golden.threads[record.thread_id].spec_rat
+            old = rat.get(record.logical)
+            if (old ^ (1 << record.bit)) % rat.num_phys == old:
+                # identity flip: the wrap leaves the mapping unchanged,
+                # so the lanes are equal from cycle zero
+                state = LaneState.CONVERGED
+            watch = _RatWatch(rat, record.logical)
+            probe = _RenameProbe(golden, record.thread_id, record.logical)
+        record.applied = True
+
+        targets = {t.thread_id: t.committed_count + classifier.window_commits
+                   for t in golden.threads}
+        golden.set_snapshot_targets(targets)
+        bound = golden.cycle + classifier.max_window_cycles
+        faulty: Optional[PipelineCore] = None
+        dormant_until = golden.cycle
+        if state is LaneState.DORMANT:
+            watch.arm()
+        try:
+            # One continuous run_to_capture-shaped loop: the elision
+            # signature must span the whole window, or golden's elide
+            # pattern (and cycles_elided) would diverge from the scalar
+            # path's single golden run_to_capture call.
+            signature = -1
+            step = golden.step
+            while not (golden.all_snapshots_captured or golden.all_halted) \
+                    and golden.cycle < bound:
+                if state is LaneState.DORMANT and probe.may_read():
+                    # First cycle that could observe the patch: clone a
+                    # real twin pre-step (its trajectory so far is
+                    # provably identical to the scalar faulty core's).
+                    watch.disarm()
+                    dormant_until = golden.cycle
+                    faulty = self._materialize(golden, record)
+                    state = LaneState.MATERIALIZED
+                current = golden.activity_signature()
+                if (current == signature
+                        and golden.elide_idle_cycles(bound)
+                        and golden.cycle >= bound):
+                    break
+                signature = current
+                step()
+                if state is LaneState.DORMANT and watch.hit:
+                    # The patched entry was overwritten with a value
+                    # computed from un-patched state (the probe rules
+                    # out any earlier read): the fault is dead, the
+                    # lanes are equal again.
+                    watch.disarm()
+                    dormant_until = golden.cycle
+                    state = LaneState.CONVERGED
+        finally:
+            watch.disarm()
+        if state is LaneState.DORMANT:
+            dormant_until = golden.cycle
+        self.stats.dormant_cycles += dormant_until - inject_cycle
+
+        if state is LaneState.MATERIALIZED:
+            self.stats.materialized += 1
+            # The scalar faulty run's cycle budget is measured from the
+            # injection cycle, which is exactly this window's bound.
+            faulty.run_to_capture(bound - faulty.cycle)
+            return classifier._compare_window(golden, faulty, record, before,
+                                              triggers_before, inject_cycle)
+        if state is LaneState.CONVERGED:
+            self.stats.converged += 1
+        self.stats.dormant += 1
+        # Dormant (or converged) to the end: the faulty lane is the
+        # golden core — compare golden against itself, which reproduces
+        # every scalar formula (zero event deltas except declared-fault
+        # background, state_equal iff all snapshots captured, MASKED).
+        return classifier._compare_window(golden, golden, record, before,
+                                          triggers_before, inject_cycle)
+
+    def _materialize(self, golden: PipelineCore,
+                     record: FaultRecord) -> PipelineCore:
+        """A real faulty twin at the last pre-divergence cycle: clone
+        golden (targets and any mid-window snapshots ride along) and
+        re-apply the patch directly. ``reg_status`` was already recorded
+        at arm time, so this must not go through ``injector.apply``."""
+        faulty = golden.clone()
+        if record.site is FaultSite.REGFILE:
+            faulty.inject_prf_bit(record.reg, record.bit)
+        else:
+            faulty.inject_rat_bit(record.thread_id, record.logical,
+                                  record.bit)
+        return faulty
+
+
+__all__ = ["CoreSoAView", "LaneBatch", "LaneState", "assert_unwatched"]

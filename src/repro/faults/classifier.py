@@ -51,6 +51,28 @@ class WindowResult:
 
 
 @dataclass
+class LaneStats:
+    """Lane lifecycle tallies from the batched tandem engine (always
+    maintained, independent of the metrics registry, so equivalence
+    tests can assert e.g. "no masked fault ever materialized")."""
+
+    lanes: int = 0              # lanes processed by the batched engine
+    dormant: int = 0            # lanes classified without a clone
+    converged: int = 0          # ... of which via patch-death detection
+    materialized: int = 0       # lanes that diverged (lane_divergences)
+    fallbacks: int = 0          # LSQ scalar delegations (batch_fallbacks)
+    dormant_cycles: int = 0     # golden cycles spent with a lane dormant
+
+    def merge(self, other: "LaneStats") -> None:
+        self.lanes += other.lanes
+        self.dormant += other.dormant
+        self.converged += other.converged
+        self.materialized += other.materialized
+        self.fallbacks += other.fallbacks
+        self.dormant_cycles += other.dormant_cycles
+
+
+@dataclass
 class _EventBaseline:
     replays: int
     rollbacks: int
@@ -82,12 +104,21 @@ class TandemClassifier:
                  max_window_cycles: int = 60_000,
                  lsq_wait_cycles: int = 200,
                  sanitize: bool = True,
+                 batch_lanes: int = 1,
                  metrics=NULL_METRICS):
         self.core_factory = core_factory
         self.injector = injector
         self.window_commits = window_commits
         self.max_window_cycles = max_window_cycles
         self.lsq_wait_cycles = lsq_wait_cycles
+        #: Lane-batch width for the batched tandem engine
+        #: (repro.faults.batched). 1 = the scalar clone-per-fault path;
+        #: K > 1 groups K consecutive windows into one lane batch whose
+        #: dormant lanes skip the clone and the faulty-side re-execution
+        #: entirely. Results are bit-for-bit identical either way.
+        self.batch_lanes = max(1, batch_lanes)
+        #: Cumulative lane lifecycle tallies (empty on the scalar path).
+        self.lane_stats = LaneStats()
         #: Live-telemetry registry (repro.obs.metrics); NULL when off.
         #: Observes only per-window facts, never the golden core's
         #: cumulative stats, so results stay bit-for-bit metrics on/off.
@@ -133,12 +164,24 @@ class TandemClassifier:
         self._arm_sanitizer(golden)
         for record in skip:
             self._skip_window(golden, record)
-        results = []
-        for record in records:
-            result = self._classify_one(golden, record)
-            results.append(result)
+        results: List[WindowResult] = []
+        if self.batch_lanes > 1:
+            for start in range(0, len(records), self.batch_lanes):
+                group = records[start:start + self.batch_lanes]
+                results.extend(self._classify_batch(golden, group))
+        else:
+            for record in records:
+                result = self._classify_one(golden, record)
+                results.append(result)
         self._record_metrics(results)
         return results
+
+    def _classify_batch(self, golden: PipelineCore,
+                        records: Sequence[FaultRecord]) -> List[WindowResult]:
+        """One lane batch over the shared golden core (imported lazily:
+        repro.faults.batched imports this module)."""
+        from .batched import LaneBatch
+        return LaneBatch(self).run(golden, records)
 
     def _record_metrics(self, results: Sequence[WindowResult]) -> None:
         """Fold one run's per-window observations into the registry."""
@@ -236,7 +279,7 @@ class TandemClassifier:
             result.applied = False
             return result
         before = _EventBaseline.of(faulty)
-        result.inject_cycle = faulty.cycle
+        inject_cycle = faulty.cycle
         triggers_before = len(faulty.screen_trigger_cycles)
 
         # Arm both cores to capture each thread's state one run-window of
@@ -248,6 +291,27 @@ class TandemClassifier:
         self._run_to_capture(golden)
         self._check_golden(golden)
         self._run_to_capture(faulty)
+
+        return self._compare_window(golden, faulty, record, before,
+                                    triggers_before, inject_cycle)
+
+    def _compare_window(self, golden: PipelineCore, faulty: PipelineCore,
+                        record: FaultRecord, before: _EventBaseline,
+                        triggers_before: int,
+                        inject_cycle: int) -> WindowResult:
+        """Classify one finished window from its golden/faulty pair.
+
+        The comparison tail shared by the scalar path and the batched
+        engine's materialized lanes — and, with ``faulty is golden``, the
+        batched engine's dormant/converged lanes: a lane whose patch was
+        never read (and, if overwritten, overwritten with a value
+        computed from un-patched state) is the golden core, and feeding
+        golden for both sides reproduces every scalar formula exactly
+        (zero event deltas bar the declared-fault count, ``state_equal``
+        iff all snapshots captured, never noisy — masked).
+        """
+        result = WindowResult(record=record)
+        result.inject_cycle = inject_cycle
 
         if not faulty.all_snapshots_captured and not faulty.all_halted:
             result.hung = True
@@ -342,4 +406,4 @@ class _Delta:
         self.triggers = after.triggers - before.triggers
 
 
-__all__ = ["TandemClassifier", "WindowResult"]
+__all__ = ["LaneStats", "TandemClassifier", "WindowResult"]

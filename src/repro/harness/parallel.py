@@ -104,6 +104,51 @@ def chunk_bounds(count: int, chunks: int) -> List[Tuple[int, int]]:
     return bounds
 
 
+def align_chunk_bounds(bounds: Sequence[Tuple[int, int]],
+                       records: Sequence[FaultRecord]
+                       ) -> List[Tuple[int, int]]:
+    """Snap chunk cuts so faults sharing an ``inject_at_commit`` (one
+    run-window) never split across chunks.
+
+    A raw :func:`chunk_bounds` cut through the middle of a window both
+    wastes a checkpoint restore (two workers replay the same golden
+    window) and would split a lane batch, so every producer of window
+    chunks runs its bounds through this. Each interior cut is snapped
+    *down* to the start of the window it lands in; cuts that collapse
+    onto each other drop the resulting empty chunk. Bounds may cover
+    several non-contiguous runs (the supervisor's gap list) — cuts only
+    move within their own run, so covered/quarantined windows between
+    runs are never re-entered. Plans with all-distinct injection points
+    (every evenly spaced campaign) pass through unchanged, keeping chunk
+    identities — cache keys, journal chunk keys — stable.
+    """
+    bounds = list(bounds)
+    if not bounds:
+        return []
+    runs: List[List[Tuple[int, int]]] = [[bounds[0]]]
+    for bound in bounds[1:]:
+        if bound[0] == runs[-1][-1][1]:
+            runs[-1].append(bound)
+        else:
+            runs.append([bound])
+    aligned: List[Tuple[int, int]] = []
+    for run in runs:
+        floor, ceil = run[0][0], run[-1][1]
+        edges = [floor]
+        for lo, _hi in run[1:]:
+            cut = lo
+            while cut > floor and (records[cut].inject_at_commit
+                                   == records[cut - 1].inject_at_commit):
+                cut -= 1
+            # a cut snapped at or below the previous edge leaves an
+            # empty chunk: drop it (the previous chunk absorbs it)
+            if cut > edges[-1]:
+                edges.append(cut)
+        edges.append(ceil)
+        aligned.extend((a, b) for a, b in zip(edges, edges[1:]) if b > a)
+    return aligned
+
+
 def _mp_context():
     try:
         return multiprocessing.get_context("fork")
@@ -411,7 +456,8 @@ def classify_windows_parallel(cfg, hw, benchmark: str, scheme,
     the dispatcher's capture/hit counts and golden-pass wall-clock.
     """
     records = list(records)
-    bounds = chunk_bounds(len(records), executor.jobs)
+    bounds = align_chunk_bounds(chunk_bounds(len(records), executor.jobs),
+                                records)
     if use_checkpoints and bounds:
         checkpoints = chunk_checkpoints(
             cfg, hw, benchmark, scheme, records, bounds,
@@ -429,6 +475,7 @@ __all__ = [
     "CheckpointStats",
     "ContextMetrics",
     "ParallelExecutor",
+    "align_chunk_bounds",
     "chunk_bounds",
     "chunk_checkpoints",
     "classify_windows_parallel",

@@ -455,7 +455,7 @@ class Supervisor:
         report.windows_done = sum(hi - lo for lo, (hi, _) in done.items())
 
         gaps = self._gaps(len(records), done, quarantined)
-        bounds = self._chunk_gaps(gaps, jobs)
+        bounds = self._chunk_gaps(gaps, jobs, records)
         self._emit("plan", phase_ctx, chunks=len(bounds),
                    windows=len(records), resumed=report.chunks_resumed)
         if self.journal is not None:
@@ -597,10 +597,13 @@ class Supervisor:
             gaps.append((cursor, count))
         return gaps
 
-    def _chunk_gaps(self, gaps: List[Tuple[int, int]],
-                    jobs: int) -> List[Tuple[int, int]]:
+    def _chunk_gaps(self, gaps: List[Tuple[int, int]], jobs: int,
+                    records: Sequence[FaultRecord]) -> List[Tuple[int, int]]:
         """Split uncovered runs into chunks of ~``chunk_windows`` each
-        (at least *jobs* chunks overall, so the pool stays busy)."""
+        (at least *jobs* chunks overall, so the pool stays busy). Cuts
+        are window-aligned per gap: faults sharing an injection commit
+        stay in one chunk (gap edges themselves are fixed — they border
+        windows already done or quarantined)."""
         total = sum(hi - lo for lo, hi in gaps)
         if total <= 0:
             return []
@@ -613,7 +616,7 @@ class Supervisor:
                 want = max(want, min(jobs, span))
             bounds.extend((lo + a, lo + b)
                           for a, b in _parallel.chunk_bounds(span, want))
-        return bounds
+        return _parallel.align_chunk_bounds(bounds, records)
 
     # -- dispatch: serial ----------------------------------------------
     def _run_serial(self, phase_ctx: _Phase, chunks: "deque[_Chunk]",

@@ -54,6 +54,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
+import numpy as np
+
 from ..errors import SimulationError
 from .uops import OpState
 
@@ -255,7 +257,7 @@ class InvariantSanitizer:
 
     def _check_registers(self, core: "PipelineCore", all_rob_ops,
                          fail) -> None:
-        free_tags = set(core.free_list)
+        free_tags = core.free_list.tag_set()
         duplicates = core.free_list.duplicates()
         for tag in duplicates[:8]:
             fail("freelist-disjoint", f"tag p{tag} freed more than once")
@@ -288,9 +290,13 @@ class InvariantSanitizer:
         for tag in sorted(overlap)[:8]:
             fail("freelist-disjoint", f"free tag p{tag} is still live "
                                       f"(rename mapping or in-flight op)")
-        for reg, is_ready in enumerate(ready):
-            if not is_ready and reg not in pending_writers \
-                    and reg not in free_tags:
+        # Vectorised pending scan: the ready list is O(phys_regs) and the
+        # set of pending registers is tiny, so collapse the Python loop
+        # to a numpy nonzero before the (rare) membership checks.
+        pending = np.flatnonzero(
+            ~np.fromiter(ready, dtype=bool, count=len(ready)))
+        for reg in pending.tolist():
+            if reg not in pending_writers and reg not in free_tags:
                 fail("prf-ready", f"p{reg} marked pending with no in-flight "
                                   f"writer and not on the free list")
 

@@ -102,8 +102,18 @@ class FreeList:
     def contains(self, tag: int) -> bool:
         return tag in self._counts
 
+    def tag_set(self):
+        """Live view of the distinct free tags (a dict keys view: O(1)
+        membership and C-speed set intersection for the sanitizer,
+        without materialising a fresh set per check)."""
+        return self._counts.keys()
+
     def duplicates(self) -> List[int]:
         """Tags currently freed more than once (invariant sanitizer)."""
+        if len(self._tags) == len(self._counts):
+            # every tag counted once — skip the O(free) scan on the
+            # (overwhelmingly common) duplicate-free list
+            return []
         return sorted(t for t, n in self._counts.items() if n > 1)
 
     def clone(self) -> "FreeList":

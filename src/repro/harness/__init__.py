@@ -7,6 +7,8 @@ from .diff import (DiffOutcome, Divergence, FuzzCase, FuzzReport,
 from .experiment import (ExperimentConfig, ExperimentContext, FaultFreeRun,
                          SCHEMES, scheme_unit)
 from .parallel import ContextMetrics, ParallelExecutor
+from .spec import (SpecError, compile_file, compile_spec, load_run,
+                   load_spec, task_argv, task_key)
 from .supervisor import (CampaignAborted, CampaignJournal, EXIT_ABORTED,
                          EXIT_COMPLETE, EXIT_QUARANTINE, PhaseReport,
                          QuarantineRecord, Supervisor, SupervisorPolicy,
@@ -32,15 +34,22 @@ __all__ = [
     "PhaseReport",
     "QuarantineRecord",
     "SCHEMES",
+    "SpecError",
     "Supervisor",
     "SupervisorPolicy",
     "ThroughputRecord",
     "build_case",
+    "compile_file",
+    "compile_spec",
     "lockstep_diff",
+    "load_run",
+    "load_spec",
     "read_poisoned",
     "run_case",
     "run_corpus",
     "scheme_unit",
     "summarize_run_dir",
+    "task_argv",
+    "task_key",
     "figures",
 ]

@@ -1,0 +1,191 @@
+"""Client side of the campaign job server: submit, watch, steer.
+
+The filesystem is the wire format. A submission is one atomic rename
+into ``<serve-dir>/queue/`` — identical whether the server is up or
+down, so ``repro submit`` never fails just because the server is
+restarting; the job runs on the next start. The control socket
+(newline-delimited JSON over a unix domain socket, see
+:mod:`repro.harness.server`) is used when the server is alive — for a
+wake-up poke after submit, live progress in ``status``, and the
+``cancel``/``resume``/``shutdown`` verbs; ``resume`` falls back to
+rewriting ``job.json`` on disk when the server is down (the next
+server start adopts it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import socket
+import time
+from typing import Any, Dict, List, Optional
+
+from .server import (TERMINAL_STATES, ServeError, atomic_write_json,
+                     job_doc_from_submission, job_summary, new_job_id,
+                     pid_alive, read_json, socket_path_for)
+from .spec import load_run
+
+
+class ServeClient:
+    """Talk to (or around) the job server for one serve directory."""
+
+    def __init__(self, serve_dir: str | os.PathLike,
+                 timeout: float = 10.0):
+        self.serve_dir = pathlib.Path(serve_dir).resolve()
+        self.queue_dir = self.serve_dir / "queue"
+        self.jobs_dir = self.serve_dir / "jobs"
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+    def _socket_path(self) -> pathlib.Path:
+        marker = read_json(self.serve_dir / "server.json")
+        if marker and marker.get("socket"):
+            return pathlib.Path(marker["socket"])
+        return socket_path_for(self.serve_dir)
+
+    def server_alive(self) -> bool:
+        marker = read_json(self.serve_dir / "server.json")
+        return bool(marker) and pid_alive(int(marker.get("pid", -1)))
+
+    def request(self, op: str, **fields: Any) -> Optional[Dict[str, Any]]:
+        """One socket round-trip; ``None`` when the server is away."""
+        payload = dict(fields, op=op)
+        try:
+            with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as conn:
+                conn.settimeout(self.timeout)
+                conn.connect(str(self._socket_path()))
+                conn.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+                blob = b""
+                while not blob.endswith(b"\n"):
+                    piece = conn.recv(65536)
+                    if not piece:
+                        break
+                    blob += piece
+        except (OSError, socket.timeout):
+            return None
+        try:
+            response = json.loads(blob.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return None
+        return response if isinstance(response, dict) else None
+
+    # -- verbs ---------------------------------------------------------
+    def submit(self, spec_path: str | os.PathLike,
+               priority: Optional[int] = None,
+               name: Optional[str] = None) -> str:
+        """Queue a campaign spec (``.src.json`` compiled on the fly,
+        ``.run.json`` validated as-is); returns the new job id."""
+        run = load_run(spec_path)
+        job_name = name or str(run.get("name", "campaign"))
+        job_id = new_job_id(job_name)
+        submission = {
+            "id": job_id,
+            "name": job_name,
+            "priority": int(priority if priority is not None
+                            else run.get("priority", 0)),
+            "submitted_at": time.time(),
+            "run": run,
+        }
+        self.queue_dir.mkdir(parents=True, exist_ok=True)
+        atomic_write_json(self.queue_dir / f"{job_id}.json", submission)
+        self.request("poke")        # wake the scan; harmless when away
+        return job_id
+
+    def list(self) -> List[Dict[str, Any]]:
+        """Every known job, queued submissions included."""
+        documents: Dict[str, Dict[str, Any]] = {}
+        for queue_file in sorted(self.queue_dir.glob("*.json")):
+            submission = read_json(queue_file)
+            if submission and "id" in submission and "run" in submission:
+                documents[str(submission["id"])] = (
+                    job_doc_from_submission(submission))
+        for job_json in sorted(self.jobs_dir.glob("*/job.json")):
+            doc = read_json(job_json)
+            if doc and "id" in doc:
+                documents[str(doc["id"])] = doc
+        return [job_summary(doc) for doc in
+                sorted(documents.values(),
+                       key=lambda d: (d.get("submitted_at", 0.0),
+                                      str(d.get("id"))))]
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """Job document plus, when the server is live and the job is
+        running, the folded :class:`CampaignMonitor` progress snapshot
+        of its in-flight task."""
+        response = self.request("status", job=job_id)
+        if response is not None and response.get("ok"):
+            return response
+        doc = self._read_doc(job_id)
+        if doc is None:
+            return {"ok": False, "error": f"unknown job {job_id!r}"}
+        return {"ok": True, "job": doc}
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        response = self.request("cancel", job=job_id)
+        if response is not None:
+            return response
+        # server away: only a still-queued submission can be cancelled
+        # from the outside — a running job has no server to stop it
+        queue_file = self.queue_dir / f"{job_id}.json"
+        submission = read_json(queue_file)
+        if submission is not None:
+            doc = job_doc_from_submission(submission)
+            doc["state"] = "cancelled"
+            atomic_write_json(self.jobs_dir / job_id / "job.json", doc)
+            queue_file.unlink(missing_ok=True)
+            return {"ok": True, "state": "cancelled"}
+        doc = self._read_doc(job_id)
+        if doc is not None and doc.get("state") == "queued":
+            doc["state"] = "cancelled"
+            atomic_write_json(self.jobs_dir / job_id / "job.json", doc)
+            return {"ok": True, "state": "cancelled"}
+        return {"ok": False,
+                "error": "server is not running; only queued jobs can "
+                         "be cancelled offline"}
+
+    def resume(self, job_id: str) -> Dict[str, Any]:
+        response = self.request("resume", job=job_id)
+        if response is not None:
+            return response
+        doc = self._read_doc(job_id)
+        if doc is None:
+            return {"ok": False, "error": f"unknown job {job_id!r}"}
+        if doc.get("state") in ("queued", "running"):
+            return {"ok": True, "state": doc["state"]}
+        from .server import TASK_SETTLED
+        for task_doc in doc.get("tasks", []):
+            if task_doc.get("state") not in TASK_SETTLED:
+                task_doc["state"] = "pending"
+                task_doc["exit_code"] = None
+        doc["state"] = "queued"
+        atomic_write_json(self.jobs_dir / job_id / "job.json", doc)
+        return {"ok": True, "state": "queued"}
+
+    def wait(self, job_id: str, timeout: Optional[float] = None,
+             poll: float = 0.5) -> Dict[str, Any]:
+        """Block until the job reaches a terminal state."""
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
+        while True:
+            doc = self._read_doc(job_id)
+            if doc is not None and doc.get("state") in TERMINAL_STATES:
+                return doc
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServeError(
+                    f"timed out waiting for job {job_id} "
+                    f"(state {doc.get('state') if doc else 'unknown'})")
+            time.sleep(poll)
+
+    # -- helpers -------------------------------------------------------
+    def _read_doc(self, job_id: str) -> Optional[Dict[str, Any]]:
+        doc = read_json(self.jobs_dir / job_id / "job.json")
+        if doc is not None:
+            return doc
+        submission = read_json(self.queue_dir / f"{job_id}.json")
+        if submission and "id" in submission and "run" in submission:
+            return job_doc_from_submission(submission)
+        return None
+
+
+__all__ = ["ServeClient"]

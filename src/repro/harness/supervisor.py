@@ -295,6 +295,11 @@ class _Chunk:
     #: set when this chunk was in flight during a pool break; suspects
     #: are re-run solo so a repeat crash is unambiguously attributable
     suspect: bool = False
+    #: serial-path retry stash: ``(golden_clone, resume_commit)`` taken
+    #: at this chunk's start boundary, so a backing-off chunk can be
+    #: skipped (letting later chunks advance the live golden core) and
+    #: still restart from its own boundary on revisit
+    rewind: Optional[Tuple[Any, int]] = None
 
     @property
     def windows(self) -> int:
@@ -631,9 +636,11 @@ class Supervisor:
         ``clone()`` per chunk boundary kept as the rewind point for
         retries. Same retry/bisect/quarantine semantics as the pool; no
         watchdog (a single process cannot preempt itself; SIGKILL-grade
-        failures are covered by the journal + resume). Retried and
-        bisected chunks re-enter at the front of the queue so the
-        golden core still only ever moves forward.
+        failures are covered by the journal + resume). A chunk in
+        retry backoff is *skipped*, not slept on: later ready chunks
+        keep dispatching (threading the live golden forward) and the
+        backing-off chunk restarts from its stashed boundary clone
+        (``_Chunk.rewind``) once its ``eligible_at`` deadline passes.
         """
         queue = deque(sorted(chunks, key=lambda c: c.lo))
         if not queue:
@@ -654,6 +661,18 @@ class Supervisor:
         def golden_for(chunk: _Chunk):
             """The golden core advanced to *chunk*'s start boundary."""
             nonlocal golden, position, resume_commit
+            if chunk.rewind is not None and (golden is None
+                                             or position != chunk.lo):
+                # revisit of a skipped chunk: the live golden moved past
+                # this boundary while the chunk backed off — restart
+                # from the clone stashed when it failed
+                golden, resume_commit = chunk.rewind
+                position = chunk.lo
+                return golden
+            if golden is not None and position > chunk.lo:
+                # min-lo dispatch makes this unreachable for chunks
+                # without a rewind stash; cold-rebuild if it ever trips
+                golden = None
             if golden is None:
                 checkpoint = chunk.checkpoint   # downshifted from a pool
                 if (checkpoint is not None
@@ -674,10 +693,17 @@ class Supervisor:
             if self.drain:
                 report.status = "aborted"
                 return
-            chunk = queue.popleft()
-            delay = chunk.eligible_at - time.monotonic()
-            if delay > 0:
-                time.sleep(delay)
+            now = time.monotonic()
+            # skip-and-revisit: never sleep on a backing-off chunk while
+            # other chunks are ready — pick the lowest eligible window
+            # range (keeps the golden threading forward when possible)
+            chunk = min((c for c in queue if c.eligible_at <= now),
+                        key=lambda c: c.lo, default=None)
+            if chunk is None:
+                wake = min(c.eligible_at for c in queue)
+                time.sleep(min(0.25, max(0.0, wake - now)))
+                continue
+            queue.remove(chunk)
             chunk.attempts += 1
             core = golden_for(chunk)
             boundary = core.clone()
@@ -689,12 +715,15 @@ class Supervisor:
             except Exception:
                 golden = boundary       # rewind to the chunk boundary
                 resume_commit = boundary_resume
+                # the stash must not alias the live golden: chunks that
+                # run while this one backs off advance (mutate) `golden`
+                chunk.rewind = (boundary.clone(), boundary_resume)
                 self._note_failure(phase_ctx, chunk, report, "exception",
                                    traceback.format_exc(limit=8))
                 retry: "deque[_Chunk]" = deque()
                 self._requeue_or_split(phase_ctx, chunk, retry,
                                        quarantined, report)
-                queue.extendleft(reversed(retry))
+                queue.extend(retry)
                 continue
             position = chunk.hi
             resume_commit = records[chunk.hi - 1].inject_at_commit
@@ -1065,10 +1094,12 @@ class Supervisor:
         mid = (chunk.lo + chunk.hi) // 2
         self._emit("bisect", phase_ctx, lo=chunk.lo, hi=chunk.hi)
         budget = self.policy.bisect_retries + 1
+        # the lower half shares the parent's start boundary, so its
+        # serial rewind stash still applies
         pending.append(_Chunk(chunk.lo, mid,
                               self._chunk_key(phase_ctx, chunk.lo, mid),
                               chunk.checkpoint, max_attempts=budget,
-                              suspect=chunk.suspect))
+                              suspect=chunk.suspect, rewind=chunk.rewind))
         # the upper half loses its boundary checkpoint and falls back to
         # the golden prefix-replay path inside window_chunk_task
         pending.append(_Chunk(mid, chunk.hi,

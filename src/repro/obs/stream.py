@@ -18,8 +18,9 @@ numbers ``repro report --events`` prints after it.
 :class:`JsonlFollower` is the transport: resumable by byte offset,
 safe against torn final lines (a writer killed mid-append) and file
 rotation (``repro resume`` reopens ``events.jsonl`` with mode ``w``;
-a shrink below the follower's offset resets it to zero and the monitor
-discards event-derived state while keeping the journal-derived state).
+a shrink below the follower's offset *or* an inode change resets it to
+zero and the monitor discards event-derived state while keeping the
+journal-derived state).
 
 Surfaces: ``repro top`` (live refresh), ``repro tail`` (filtered event
 stream), ``repro status --json`` and ``repro metrics export`` all sit
@@ -53,8 +54,14 @@ class JsonlFollower:
     (up to the last newline — a torn final line stays buffered in the
     file until the writer finishes it), and advances the offset, so a
     follower can be destroyed and rebuilt from ``(path, offset)`` at
-    any time. A file that shrank below the offset was rotated
-    (recreated by a new invocation): the offset resets to zero and
+    any time. Rotation (the file truncated or recreated by a new
+    invocation) is detected by two independent signals: a size below
+    the stored offset (in-place truncation) and an inode change (the
+    file replaced) — the latter catches a rotation that *regrows past*
+    the old offset between polls, which would otherwise be silently
+    misread as growth and yield records spliced across generations.
+    On filesystems that report no inodes (``st_ino == 0``) the size
+    check alone applies. Either way the offset resets to zero and
     ``rotations`` increments so the consumer can reset derived state.
     """
 
@@ -65,16 +72,30 @@ class JsonlFollower:
         self.bad_lines = 0
         #: Bytes currently buffered as an unterminated (torn) tail.
         self.pending_tail = 0
+        #: Inode of the generation being followed (None until first
+        #: seen, or where the filesystem reports no inodes).
+        self._ino: Optional[int] = None
 
     def poll(self) -> List[Dict[str, Any]]:
         """Every complete record appended since the last poll."""
         try:
-            size = self.path.stat().st_size
+            stat = self.path.stat()
         except OSError:
             return []
-        if size < self.offset:
+        size = stat.st_size
+        ino = stat.st_ino or None
+        # two independent rotation signals: a shrink below the offset
+        # (in-place truncation, e.g. reopening with mode "w") and an
+        # inode change (the file replaced — catches a rotation that
+        # regrew past the old offset between polls, which size alone
+        # would silently misread as plain growth)
+        rotated = size < self.offset
+        if ino is not None and self._ino is not None and ino != self._ino:
+            rotated = True
+        if rotated:
             self.offset = 0
             self.rotations += 1
+        self._ino = ino
         if size <= self.offset:
             self.pending_tail = 0
             return []

@@ -79,6 +79,41 @@ def test_parser_requires_subcommand():
         build_parser().parse_args([])
 
 
+def test_campaign_rejects_batch_lanes_below_one(capsys):
+    """Regression: K < 1 used to be silently clamped to the scalar
+    path; now the parser rejects it outright."""
+    for bad in ("0", "-2"):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["campaign", "mcf",
+                                       "--batch-lanes", bad])
+        assert excinfo.value.code == 2
+    assert "must be >= 1" in capsys.readouterr().err
+
+
+def test_compile_command_writes_run_layer(tmp_path, capsys):
+    spec = tmp_path / "c.src.json"
+    spec.write_text(json.dumps({
+        "kind": "repro.campaign.src", "version": 1, "name": "c",
+        "defaults": {"benchmark": "mcf", "faults": 5},
+        "sweep": {"scheme": ["faulthound", "pbfs"]}}))
+    code, out, _ = run_cli(capsys, "compile", str(spec))
+    assert code == 0
+    assert "2 task" in out
+    compiled = json.loads((tmp_path / "c.run.json").read_text())
+    assert compiled["kind"] == "repro.campaign.run"
+    assert len(compiled["tasks"]) == 2
+
+
+def test_compile_rejects_invalid_spec(tmp_path, capsys):
+    spec = tmp_path / "c.src.json"
+    spec.write_text(json.dumps({
+        "kind": "repro.campaign.src", "version": 1,
+        "defaults": {"benchmark": "nonesuch"}}))
+    code, _, err = run_cli(capsys, "compile", str(spec))
+    assert code == 1
+    assert "nonesuch" in err
+
+
 def test_campaign_emit_events_then_report(tmp_path, capsys, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
     events = tmp_path / "events.jsonl"

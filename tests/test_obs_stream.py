@@ -2,6 +2,7 @@
 folding, and live-vs-post-hoc aggregate convergence on a real campaign."""
 
 import json
+import os
 
 from repro.cli import main
 from repro.obs import (CampaignMonitor, JsonlFollower, aggregates_from_events,
@@ -46,6 +47,36 @@ class TestJsonlFollower:
         follower.poll()
         _write_lines(path, [{"n": 9}], mode="w")    # recreated, smaller
         assert [r["n"] for r in follower.poll()] == [9]
+        assert follower.rotations == 1
+
+    def test_same_size_rotation_detected_by_inode(self, tmp_path):
+        """Regression: a rotation that replaces the file with one of the
+        exact same byte length never shrinks below the offset, so the
+        size check alone silently misses it — the inode must catch it."""
+        path = tmp_path / "log.jsonl"
+        _write_lines(path, [{"n": 1}], mode="w")
+        follower = JsonlFollower(path)
+        assert [r["n"] for r in follower.poll()] == [1]
+        fresh = tmp_path / "fresh.jsonl"
+        _write_lines(fresh, [{"n": 2}], mode="w")   # same byte length
+        assert fresh.stat().st_size == follower.offset
+        os.replace(fresh, path)
+        assert [r["n"] for r in follower.poll()] == [2]
+        assert follower.rotations == 1
+
+    def test_rotation_that_regrows_past_old_offset(self, tmp_path):
+        """Regression: a replacement file already *larger* than the old
+        offset used to be tailed from the stale offset, dropping its
+        head and splicing records from two different runs."""
+        path = tmp_path / "log.jsonl"
+        _write_lines(path, [{"n": 1}], mode="w")
+        follower = JsonlFollower(path)
+        follower.poll()
+        fresh = tmp_path / "fresh.jsonl"
+        _write_lines(fresh, [{"n": 7}, {"n": 8}, {"n": 9}], mode="w")
+        assert fresh.stat().st_size > follower.offset
+        os.replace(fresh, path)
+        assert [r["n"] for r in follower.poll()] == [7, 8, 9]
         assert follower.rotations == 1
 
     def test_bad_lines_are_counted_not_fatal(self, tmp_path):

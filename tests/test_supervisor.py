@@ -99,6 +99,48 @@ class TestSupervisedEquivalence:
 
 
 # ----------------------------------------------------------------------
+# serial backoff must not block dispatch
+# ----------------------------------------------------------------------
+class TestSerialBackoff:
+    def test_ready_chunks_dispatch_while_one_backs_off(
+            self, serial_reference, monkeypatch):
+        """Regression: the serial path used to ``time.sleep`` through a
+        failed chunk's whole backoff delay and then retry it at the
+        front, so one flaky chunk stalled every ready chunk behind it.
+        Now a backing-off chunk is skipped and revisited: the very next
+        dispatch after the failure must be a *different* chunk, and the
+        failed one still completes (from its rewind clone) later."""
+        s_char, _ = serial_reference
+        from repro.faults.classifier import TandemClassifier
+        real_run = TandemClassifier.run
+        calls, tripped = [], []
+
+        def spy(self, records, **kwargs):
+            calls.append(records[0].index)
+            if records[0].index == 0 and not tripped:
+                tripped.append(True)
+                raise RuntimeError("injected transient failure")
+            return real_run(self, records, **kwargs)
+
+        monkeypatch.setattr(TandemClassifier, "run", spy)
+        sup = Supervisor(SupervisorPolicy(max_retries=3, chunk_windows=3,
+                                          backoff_base=0.75,
+                                          backoff_max=1.0))
+        ctx = ExperimentContext(_TINY, jobs=1, supervisor=sup)
+        _, characterization = ctx.campaign("mcf")
+        assert sup.status == "complete"
+        assert not sup.quarantined
+        assert characterization.characterization == s_char.characterization
+        # first dispatch was chunk 0 and it failed; with 0 backing off
+        # for >= 0.75 s the dispatcher moved on instead of sleeping
+        assert calls[0] == 0
+        assert calls[1] != 0, (
+            "a chunk in backoff was retried immediately instead of "
+            "letting ready chunks dispatch")
+        assert 0 in calls[1:]       # ...and the chunk was revisited
+
+
+# ----------------------------------------------------------------------
 # poison-window quarantine
 # ----------------------------------------------------------------------
 class TestQuarantine:

@@ -1,0 +1,350 @@
+"""Fabric worker agent: ``repro agent`` — remote chunk execution.
+
+An agent is the worker side of the distributed campaign fabric
+(:mod:`repro.harness.executor`). It is deliberately tiny and stateless:
+it registers itself in ``<fabric>/agents/<name>.json`` (atomic writes,
+heartbeat-refreshed), listens on a unix domain socket speaking the same
+newline-JSON protocol as the job server's control plane, and runs each
+leased chunk in a forked child process. The child fetches its
+self-contained descriptor from the fabric's content-addressed store,
+classifies the windows with the exact code path a local pool worker
+uses (:func:`repro.harness.parallel.run_chunk_descriptor`), and pushes
+the result back under the chunk key — so results are bit-for-bit
+interchangeable with local execution, and a crashed child costs nothing
+but a lease.
+
+Control ops (``{"op": ...}`` in, one JSON line out):
+
+- ``ping``     → liveness + ``{slots, busy, completed}``
+- ``run``      → fork a chunk child for ``key`` (``attempt`` feeds the
+  chaos probe; ``spool`` points the child's obs worker spool at the
+  campaign's event log so fault-audit trails survive remoting)
+- ``status``   → ``{"state": running|done|failed|unknown, exit_code}``
+- ``cancel``   → SIGKILL the child for ``key``
+- ``shutdown`` → clean exit (registry record and socket removed)
+
+Failure semantics the executor relies on: a SIGKILLed agent leaves its
+registry record behind with a dead pid (detected immediately); removing
+the socket file models a network partition (the agent keeps heartbeating
+the registry but is unreachable); a crashed chunk child is reported as
+``failed`` with its exit code and charged to the chunk, not the agent.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import pathlib
+import signal
+import sys
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ReproError
+from ..obs.events import WORKER_DIR_ENV
+from . import parallel as _parallel
+from .cache import ArtifactCache
+from .executor import (RESULT_KIND, TASK_KIND, agent_record_path,
+                       agent_registry_dir, agent_request,
+                       agent_socket_path, fabric_store,
+                       read_agent_registry)
+from .server import atomic_write_json, pid_alive, read_json
+
+
+class AgentError(ReproError):
+    """The agent could not start (name collision, bad fabric dir)."""
+
+
+def _chunk_child(store_root: str, key: str, attempt: int,
+                 spool: Optional[str]) -> None:
+    """Forked child entry point: fetch, classify, push, exit.
+
+    Exit codes: 0 success, 7 descriptor missing, 8 result push failed;
+    anything else (signals included) is a chunk failure the executor
+    charges through the ordinary retry path.
+    """
+    if spool:
+        os.environ[WORKER_DIR_ENV] = spool
+    store = ArtifactCache(store_root)
+    descriptor = store.get(TASK_KIND, key)
+    if descriptor is None:
+        os._exit(7)
+    # local import: supervisor imports executor (which agent imports) —
+    # resolving chaos_probe lazily keeps the module graph acyclic
+    from .supervisor import chaos_probe
+    chaos_probe(descriptor["benchmark"],
+                descriptor["scheme"] or "baseline",
+                descriptor["lo"], descriptor["hi"], attempt)
+    windows = _parallel.run_chunk_descriptor(descriptor)
+    sys.exit(0 if store.put(RESULT_KIND, key, windows) else 8)
+
+
+class AgentDaemon:
+    """One fabric worker: registry record + control socket + children.
+
+    *slots* bounds concurrent chunk children. *idle_exit* (seconds with
+    no running chunk) is a test/CI knob so stray agents reap
+    themselves. The daemon is single-campaign-agnostic: any number of
+    campaigns may lease chunks from it concurrently, keyed by the
+    content-addressed chunk key.
+    """
+
+    def __init__(self, fabric_dir: str | os.PathLike,
+                 name: Optional[str] = None, slots: int = 1,
+                 idle_exit: Optional[float] = None,
+                 heartbeat_interval: float = 1.0,
+                 poll_interval: float = 0.05):
+        self.fabric_dir = pathlib.Path(fabric_dir).resolve()
+        self.name = name or f"agent-{os.getpid()}"
+        self.slots = max(1, int(slots))
+        self.idle_exit = idle_exit
+        self.heartbeat_interval = max(0.05, float(heartbeat_interval))
+        self.poll_interval = max(0.01, float(poll_interval))
+        self.store = fabric_store(self.fabric_dir)
+        self.socket_path = agent_socket_path(self.fabric_dir, self.name)
+        self.record_path = agent_record_path(self.fabric_dir, self.name)
+        self._started_at = time.time()
+        self._children: Dict[str, Tuple[Any, int, float]] = {}
+        self._results: Dict[str, int] = {}
+        self._completed = 0
+        self._stopping = False
+
+    # -- lifecycle -----------------------------------------------------
+    def run(self) -> int:
+        """Blocking entry point (``repro agent start``)."""
+        return asyncio.run(self._main())
+
+    def _write_record(self) -> None:
+        atomic_write_json(self.record_path, {
+            "name": self.name, "pid": os.getpid(),
+            "socket": str(self.socket_path), "slots": self.slots,
+            "busy": len(self._children), "completed": self._completed,
+            "started_at": self._started_at,
+            "heartbeat_at": time.time()})
+
+    def _claim(self) -> None:
+        agent_registry_dir(self.fabric_dir).mkdir(parents=True,
+                                                  exist_ok=True)
+        self.store.root.mkdir(parents=True, exist_ok=True)
+        existing = read_json(self.record_path)
+        if existing and pid_alive(int(existing.get("pid", -1))) \
+                and int(existing.get("pid", -1)) != os.getpid():
+            raise AgentError(
+                f"agent {self.name!r} (pid {existing['pid']}) is "
+                f"already registered in {self.fabric_dir}")
+        if self.socket_path.exists():
+            self.socket_path.unlink()    # stale socket of a dead agent
+        self._write_record()
+
+    async def _main(self) -> int:
+        self._claim()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, self._request_stop)
+            except (NotImplementedError, RuntimeError):
+                pass
+        server = await asyncio.start_unix_server(
+            self._handle_connection, path=str(self.socket_path))
+        print(f"agent {self.name} serving {self.fabric_dir} "
+              f"(socket {self.socket_path}, slots {self.slots})",
+              file=sys.stderr)
+        last_beat = 0.0
+        idle_since = time.monotonic()
+        try:
+            while not self._stopping:
+                self._reap()
+                now = time.monotonic()
+                if self._children:
+                    idle_since = now
+                if now - last_beat >= self.heartbeat_interval:
+                    self._write_record()
+                    last_beat = now
+                if (self.idle_exit is not None
+                        and now - idle_since >= self.idle_exit):
+                    break
+                await asyncio.sleep(self.poll_interval)
+        finally:
+            for key, (proc, _attempt, _started) in \
+                    list(self._children.items()):
+                try:
+                    proc.kill()
+                except (OSError, AttributeError):
+                    pass
+            server.close()
+            await server.wait_closed()
+            for stale in (self.socket_path, self.record_path):
+                try:
+                    stale.unlink()
+                except OSError:
+                    pass
+        return 0
+
+    def _request_stop(self) -> None:
+        self._stopping = True
+
+    # -- children ------------------------------------------------------
+    def _reap(self) -> None:
+        for key, (proc, _attempt, _started) in \
+                list(self._children.items()):
+            if proc.is_alive():
+                continue
+            del self._children[key]
+            code = proc.exitcode if proc.exitcode is not None else -1
+            self._results[key] = code
+            if code == 0:
+                self._completed += 1
+
+    # -- control plane -------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            try:
+                request = json.loads(line.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                request = {}
+            response = self._dispatch(
+                request if isinstance(request, dict) else {})
+            writer.write(json.dumps(response).encode("utf-8") + b"\n")
+            await writer.drain()
+        except (asyncio.TimeoutError, ConnectionError):
+            pass
+        finally:
+            writer.close()
+
+    def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        op = request.get("op")
+        if op == "ping":
+            self._reap()
+            return {"ok": True, "pid": os.getpid(), "name": self.name,
+                    "slots": self.slots, "busy": len(self._children),
+                    "completed": self._completed}
+        if op == "run":
+            return self._op_run(request)
+        if op == "status":
+            return self._op_status(str(request.get("key", "")))
+        if op == "cancel":
+            return self._op_cancel(str(request.get("key", "")))
+        if op == "shutdown":
+            self._request_stop()
+            return {"ok": True}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    def _op_run(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        key = str(request.get("key", ""))
+        self._reap()
+        if key in self._children:
+            return {"ok": True, "state": "running"}
+        if self.store.artifact_path(RESULT_KIND, key).exists():
+            self._results[key] = 0
+            return {"ok": True, "state": "done"}
+        if len(self._children) >= self.slots:
+            return {"ok": False, "error": "busy",
+                    "busy": len(self._children)}
+        if not self.store.artifact_path(TASK_KIND, key).exists():
+            return {"ok": False,
+                    "error": f"no descriptor for chunk {key[:12]}"}
+        attempt = max(1, int(request.get("attempt", 1)))
+        spool = request.get("spool")
+        proc = _parallel._mp_context().Process(
+            target=_chunk_child,
+            args=(str(self.store.root), key, attempt,
+                  str(spool) if spool else None),
+            daemon=True)
+        proc.start()
+        self._results.pop(key, None)
+        self._children[key] = (proc, attempt, time.monotonic())
+        return {"ok": True, "state": "running"}
+
+    def _op_status(self, key: str) -> Dict[str, Any]:
+        self._reap()
+        if key in self._children:
+            return {"ok": True, "state": "running", "exit_code": None}
+        code = self._results.get(key)
+        if code is not None:
+            if code == 0 or self.store.artifact_path(RESULT_KIND,
+                                                     key).exists():
+                return {"ok": True, "state": "done", "exit_code": code}
+            return {"ok": True, "state": "failed", "exit_code": code}
+        if self.store.artifact_path(RESULT_KIND, key).exists():
+            return {"ok": True, "state": "done", "exit_code": None}
+        return {"ok": True, "state": "unknown", "exit_code": None}
+
+    def _op_cancel(self, key: str) -> Dict[str, Any]:
+        entry = self._children.pop(key, None)
+        if entry is None:
+            return {"ok": True, "state": "idle"}
+        proc, _attempt, _started = entry
+        try:
+            proc.kill()
+        except (OSError, AttributeError):
+            pass
+        self._results[key] = -9
+        return {"ok": True, "state": "cancelled"}
+
+
+# ----------------------------------------------------------------------
+# CLI helpers (``repro agent list|stop``)
+# ----------------------------------------------------------------------
+def list_agents(fabric_dir: str | os.PathLike) -> list:
+    """Registry snapshot with liveness/reachability resolved."""
+    rows = []
+    for name, record in read_agent_registry(fabric_dir).items():
+        pid = int(record.get("pid", -1))
+        alive = pid_alive(pid)
+        socket_path = str(record.get("socket", ""))
+        response = (agent_request(socket_path, "ping", timeout=2.0)
+                    if alive else None)
+        rows.append({
+            "name": name, "pid": pid, "slots": record.get("slots", 1),
+            "busy": (response or {}).get("busy",
+                                         record.get("busy", 0)),
+            "completed": (response or {}).get(
+                "completed", record.get("completed", 0)),
+            "state": ("live" if response is not None
+                      else "unreachable" if alive else "dead")})
+    return rows
+
+
+def stop_agents(fabric_dir: str | os.PathLike,
+                names: Optional[list] = None) -> list:
+    """Ask agents to shut down (socket first, SIGTERM fallback for
+    reachable-pid-but-dead-socket agents); returns per-agent outcomes."""
+    registry = read_agent_registry(fabric_dir)
+    targets = names or sorted(registry)
+    outcomes = []
+    for name in targets:
+        record = registry.get(name)
+        if record is None:
+            outcomes.append({"name": name, "result": "unknown"})
+            continue
+        response = agent_request(str(record.get("socket", "")),
+                                 "shutdown", timeout=2.0)
+        if response is not None and response.get("ok"):
+            outcomes.append({"name": name, "result": "stopped"})
+            continue
+        pid = int(record.get("pid", -1))
+        if pid_alive(pid):
+            try:
+                os.kill(pid, signal.SIGTERM)
+                outcomes.append({"name": name, "result": "signalled"})
+                continue
+            except OSError:
+                pass
+        # dead agent: sweep the stale registry record
+        try:
+            agent_record_path(fabric_dir, name).unlink()
+        except OSError:
+            pass
+        outcomes.append({"name": name, "result": "swept"})
+    return outcomes
+
+
+__all__ = [
+    "AgentDaemon",
+    "AgentError",
+    "list_agents",
+    "stop_agents",
+]

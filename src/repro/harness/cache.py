@@ -16,8 +16,11 @@ seed). The cache therefore keys each artefact by a SHA-256 digest of
 
 Artefacts are pickled dataclasses stored under
 ``benchmarks/.cache/<kind>/<digest>.pkl`` (override the root with
-``REPRO_CACHE_DIR``). Writes are atomic (tmp file + ``os.replace``) so
-concurrent workers racing on the same key are safe; unreadable or
+``REPRO_CACHE_DIR``). Writes are atomic *and durable*: the tmp file is
+fsync'd before ``os.replace``, and the parent directory is fsync'd when
+the entry is first created, so a machine crash right after ``put``
+returns can never leave a zero-length or half-written entry behind.
+Concurrent workers racing on the same key are safe; unreadable or
 corrupt entries degrade to misses.
 """
 
@@ -128,6 +131,10 @@ class ArtifactCache:
         the anchor next to which run manifests are written."""
         return self._path(kind, key)
 
+    def contains(self, kind: str, key: str) -> bool:
+        """Whether an entry exists for (kind, key) — no hit/miss counts."""
+        return self._path(kind, key).exists()
+
     # -- access --------------------------------------------------------
     def get(self, kind: str, key: str) -> Optional[Any]:
         """The cached artefact, or ``None`` on a miss (counted)."""
@@ -163,7 +170,16 @@ class ArtifactCache:
         return artefact
 
     def put(self, kind: str, key: str, artefact: Any) -> bool:
-        """Persist *artefact* atomically; False when the write failed."""
+        """Persist *artefact* atomically and durably; False on failure.
+
+        The tmp file is flushed and fsync'd before ``os.replace`` so
+        the rename never publishes an entry whose bytes are still in
+        the page cache; on first create the parent directory is fsync'd
+        too so the *name* survives a crash (remote executors treat the
+        presence of a fabric-store entry as proof the work happened —
+        a lost entry after an acknowledged put would stall a lease
+        forever).
+        """
         path = self._path(kind, key)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -173,7 +189,25 @@ class ArtifactCache:
                 with os.fdopen(fd, "wb") as handle:
                     pickle.dump(artefact, handle,
                                 protocol=pickle.HIGHEST_PROTOCOL)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                existed = path.exists()
                 os.replace(tmp_name, path)
+                if not existed:
+                    # directory fsync durably records the new name; not
+                    # every filesystem supports opening a directory, so
+                    # degrade silently (the data fsync above still held)
+                    try:
+                        dir_fd = os.open(path.parent, os.O_RDONLY)
+                    except OSError:
+                        pass
+                    else:
+                        try:
+                            os.fsync(dir_fd)
+                        except OSError:
+                            pass
+                        finally:
+                            os.close(dir_fd)
             except BaseException:
                 try:
                     os.unlink(tmp_name)

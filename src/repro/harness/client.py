@@ -22,8 +22,9 @@ import time
 from typing import Any, Dict, List, Optional
 
 from .server import (TERMINAL_STATES, ServeError, atomic_write_json,
-                     job_doc_from_submission, job_summary, new_job_id,
-                     pid_alive, read_json, socket_path_for)
+                     jittered_backoff, job_doc_from_submission,
+                     job_summary, new_job_id, pid_alive, read_json,
+                     socket_path_for)
 from .spec import load_run
 
 
@@ -163,19 +164,41 @@ class ServeClient:
         return {"ok": True, "state": "queued"}
 
     def wait(self, job_id: str, timeout: Optional[float] = None,
-             poll: float = 0.5) -> Dict[str, Any]:
-        """Block until the job reaches a terminal state."""
+             poll: Optional[float] = None) -> Dict[str, Any]:
+        """Block until the job reaches a terminal state.
+
+        Prefers the live ``status`` socket verb (the server's in-memory
+        view, fresher than the fsync'd ``job.json``) and falls back to
+        the on-disk document when the server is away. Delays follow an
+        exponential backoff with deterministic jitter capped at 5s —
+        tight polling while the job is fresh, gentle on the disk and
+        socket once it has been running a while — instead of the old
+        fixed 0.5s disk spin. An explicit *poll* sets the backoff base
+        (the first delay), preserving the old keyword's meaning.
+        """
+        base = poll if poll is not None else 0.05
         deadline = (time.monotonic() + timeout
                     if timeout is not None else None)
+        attempt = 0
         while True:
-            doc = self._read_doc(job_id)
+            doc: Optional[Dict[str, Any]] = None
+            response = self.request("status", job=job_id)
+            if response is not None and response.get("ok"):
+                doc = response.get("job")
+            if doc is None:
+                doc = self._read_doc(job_id)
             if doc is not None and doc.get("state") in TERMINAL_STATES:
                 return doc
             if deadline is not None and time.monotonic() >= deadline:
                 raise ServeError(
                     f"timed out waiting for job {job_id} "
                     f"(state {doc.get('state') if doc else 'unknown'})")
-            time.sleep(poll)
+            attempt += 1
+            delay = jittered_backoff(attempt, base=base, cap=5.0,
+                                     salt=job_id)
+            if deadline is not None:
+                delay = min(delay, max(0.0, deadline - time.monotonic()))
+            time.sleep(delay)
 
     # -- helpers -------------------------------------------------------
     def _read_doc(self, job_id: str) -> Optional[Dict[str, Any]]:

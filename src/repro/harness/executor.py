@@ -1,0 +1,708 @@
+"""Chunk executors: pluggable dispatch behind the campaign supervisor.
+
+The supervisor's retry/attribution/quarantine/journal machinery is
+executor-independent: a chunk is a pure function of its content-
+addressed key (configuration + phase + fault plan + window range), so
+*where* it runs — in-process, on a local worker pool, or on a remote
+agent — cannot change the campaign's results. This module makes that
+boundary explicit. :class:`ChunkExecutor` is the interface the
+supervisor dispatches one phase's chunk queue through; the three
+implementations are:
+
+- :class:`SerialChunkExecutor` — the in-process path threading one live
+  golden core through the chunks (``Supervisor._run_serial``);
+- :class:`LocalPoolExecutor` — the ``ProcessPoolExecutor`` path with
+  crash attribution and watchdog timeouts (``Supervisor._run_pool``);
+- :class:`RemoteChunkExecutor` — lease-based dispatch to lightweight
+  worker agents (:mod:`repro.harness.agent`) over a shared *fabric
+  directory*.
+
+The fabric directory is the entire wire format::
+
+    <fabric>/agents/<name>.json   agent registry (pid, socket, slots,
+                                  heartbeat) — atomic writes
+    <fabric>/store/               content-addressed store (ArtifactCache)
+        chunk_task/<key>.pkl      self-contained chunk descriptor
+        chunk_result/<key>.pkl    classified windows for that key
+
+A chunk descriptor carries everything an agent needs (config, fault
+records, window range, boundary checkpoint), so an agent has no session
+state: it can join or leave mid-campaign, and any agent can run any
+chunk. Robustness semantics of the remote executor:
+
+- **leases** — a dispatched chunk holds a lease on its agent; every
+  successful status poll renews the lease's heartbeat. A lease expires
+  when its agent dies (registry pid gone), becomes unreachable
+  (consecutive connect failures past ``reconnect_limit``, with
+  exponential backoff + jitter between probes — a dropped socket models
+  a network partition), or goes silent past ``lease_timeout``; expiry
+  charges the chunk one attempt through the supervisor's ordinary
+  retry/bisect/quarantine path and re-dispatches it;
+- **speculation** — when the queue is drained and slots are idle, the
+  longest-running chunk past its throughput-derived straggler threshold
+  is speculatively re-executed on a second agent; results dedup by
+  chunk key, first result wins, the loser is cancelled;
+- **elasticity** — agents joining mid-campaign are picked up by the
+  registry scan and leased work immediately; agents leaving (cleanly or
+  by SIGKILL) only cost their in-flight leases;
+- **degradation** — when every agent is lost for ``loss_grace``
+  seconds, the remaining chunks (boundary checkpoints intact) are
+  handed to the local pool/serial path, so a run that loses its whole
+  fleet still completes — bit-for-bit equal to a local run.
+
+Because results are keyed by the same digest the journal uses,
+``repro resume`` is executor-agnostic: a run started remotely can be
+resumed locally (or vice versa) and converges to identical output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import socket as socket_module
+import tempfile
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from .cache import ArtifactCache
+from .server import jittered_backoff, pid_alive, read_json
+
+#: Fabric-directory layout (shared with :mod:`repro.harness.agent`).
+AGENTS_DIRNAME = "agents"
+STORE_DIRNAME = "store"
+#: Store kinds for chunk shipping.
+TASK_KIND = "chunk_task"
+RESULT_KIND = "chunk_result"
+
+
+# ----------------------------------------------------------------------
+# fabric plumbing (executor + agent + CLI)
+# ----------------------------------------------------------------------
+def fabric_store(fabric_dir: str | os.PathLike) -> ArtifactCache:
+    """The fabric's shared content-addressed store.
+
+    Deliberately separate from the user's artifact cache: chunk
+    descriptors/results are transport, not cached experiment artefacts,
+    so ``--no-cache`` campaigns still run remotely.
+    """
+    return ArtifactCache(pathlib.Path(fabric_dir) / STORE_DIRNAME)
+
+
+def agent_registry_dir(fabric_dir: str | os.PathLike) -> pathlib.Path:
+    return pathlib.Path(fabric_dir) / AGENTS_DIRNAME
+
+
+def agent_record_path(fabric_dir: str | os.PathLike,
+                      name: str) -> pathlib.Path:
+    return agent_registry_dir(fabric_dir) / f"{name}.json"
+
+
+def agent_socket_path(fabric_dir: str | os.PathLike,
+                      name: str) -> pathlib.Path:
+    """Control-socket path for one agent (same 108-byte-limit dodge as
+    the job server: a digest in the temp dir, not a path in the fabric
+    dir)."""
+    digest = hashlib.sha256(
+        f"{pathlib.Path(fabric_dir).resolve()}::{name}".encode()
+    ).hexdigest()[:12]
+    return (pathlib.Path(tempfile.gettempdir())
+            / f"repro-agent-{digest}.sock")
+
+
+def read_agent_registry(
+        fabric_dir: str | os.PathLike) -> Dict[str, Dict[str, Any]]:
+    """Every parseable agent record in the fabric, by name. Liveness is
+    the caller's problem (records outlive SIGKILLed agents)."""
+    registry: Dict[str, Dict[str, Any]] = {}
+    directory = agent_registry_dir(fabric_dir)
+    if not directory.is_dir():
+        return registry
+    for path in sorted(directory.glob("*.json")):
+        record = read_json(path)
+        if record and record.get("name") and record.get("socket"):
+            registry[str(record["name"])] = record
+    return registry
+
+
+def agent_request(socket_path: str | os.PathLike, op: str,
+                  timeout: float = 5.0,
+                  **fields: Any) -> Optional[Dict[str, Any]]:
+    """One newline-JSON round-trip to an agent; ``None`` when it is
+    unreachable (same protocol as the job server's control plane)."""
+    payload = dict(fields, op=op)
+    try:
+        with socket_module.socket(socket_module.AF_UNIX,
+                                  socket_module.SOCK_STREAM) as conn:
+            conn.settimeout(timeout)
+            conn.connect(str(socket_path))
+            conn.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+            blob = b""
+            while not blob.endswith(b"\n"):
+                piece = conn.recv(65536)
+                if not piece:
+                    break
+                blob += piece
+    except (OSError, socket_module.timeout):
+        return None
+    try:
+        response = json.loads(blob.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+    return response if isinstance(response, dict) else None
+
+
+# ----------------------------------------------------------------------
+# the executor interface
+# ----------------------------------------------------------------------
+class ChunkExecutor:
+    """Where one phase's chunk queue runs.
+
+    ``run_phase`` owns the queue until every chunk is completed,
+    quarantined, or the campaign drains; completions/failures flow
+    through the supervisor's ``_complete`` / ``_note_failure`` /
+    ``_requeue_or_split`` machinery so journaling, retry accounting and
+    quarantine stay identical across executors. ``needs_checkpoints``
+    tells the supervisor whether to run the boundary-checkpoint golden
+    pass before dispatch (the serial path threads a live golden core
+    instead).
+    """
+
+    kind: str = "?"
+    needs_checkpoints: bool = True
+
+    def run_phase(self, sup, phase_ctx, chunks, done, quarantined,
+                  report, jobs: int, ctx=None) -> None:
+        raise NotImplementedError
+
+
+class SerialChunkExecutor(ChunkExecutor):
+    """In-process execution (one live golden core, no checkpoints)."""
+
+    kind = "serial"
+    needs_checkpoints = False
+
+    def run_phase(self, sup, phase_ctx, chunks, done, quarantined,
+                  report, jobs: int, ctx=None) -> None:
+        sup._run_serial(phase_ctx, chunks, done, quarantined, report,
+                        ctx=ctx)
+
+
+class LocalPoolExecutor(ChunkExecutor):
+    """Local ``ProcessPoolExecutor`` dispatch with crash attribution."""
+
+    kind = "pool"
+    needs_checkpoints = True
+
+    def run_phase(self, sup, phase_ctx, chunks, done, quarantined,
+                  report, jobs: int, ctx=None) -> None:
+        sup._run_pool(phase_ctx, chunks, done, quarantined, report,
+                      jobs, ctx=ctx)
+
+
+# ----------------------------------------------------------------------
+# remote executor internals
+# ----------------------------------------------------------------------
+class _AgentLink:
+    """Executor-side view of one registered agent."""
+
+    def __init__(self, name: str, record: Dict[str, Any]):
+        self.name = name
+        self.record = record
+        self.socket_path = pathlib.Path(str(record.get("socket", "")))
+        self.slots = max(1, int(record.get("slots", 1)))
+        self.generation = record.get("started_at")
+        self.failures = 0            # consecutive failed round-trips
+        self.retry_at = 0.0          # backoff gate on the next probe
+        self.lost = False
+
+    @property
+    def pid(self) -> int:
+        try:
+            return int(self.record.get("pid", -1))
+        except (TypeError, ValueError):
+            return -1
+
+    def ready(self, now: float) -> bool:
+        """May we talk to this agent right now? (reconnect backoff)"""
+        return (not self.lost
+                and (self.failures == 0 or now >= self.retry_at))
+
+
+@dataclass
+class _Lease:
+    """One chunk assignment: agent + liveness + straggler deadline."""
+
+    chunk: Any
+    link: _AgentLink
+    granted_at: float
+    heartbeat_at: float
+    deadline: float = 0.0            # watchdog (0 = none)
+    speculative: bool = False
+
+
+@dataclass
+class RemotePolicy:
+    """Tuning knobs for :class:`RemoteChunkExecutor` (test/CI friendly
+    defaults; production fabrics mostly keep these)."""
+
+    #: Seconds between dispatch/poll iterations.
+    poll_interval: float = 0.1
+    #: A lease with no successful agent round-trip for this long expires
+    #: even if the agent still looks alive in the registry.
+    lease_timeout: float = 30.0
+    #: Agent reconnect backoff (exponential + jitter, per agent).
+    reconnect_base: float = 0.2
+    reconnect_max: float = 5.0
+    #: Consecutive failed round-trips before an agent is declared lost.
+    reconnect_limit: int = 3
+    #: Seconds with zero usable agents before degrading to local
+    #: execution (elastic joins during the grace period cancel it).
+    loss_grace: float = 5.0
+    #: Straggler threshold: speculate once a chunk has run longer than
+    #: ``max(min_speculate, speculate_factor * estimate * windows)``.
+    speculate_factor: float = 4.0
+    min_speculate: float = 10.0
+    #: Per-request socket timeout.
+    request_timeout: float = 5.0
+
+
+class RemoteChunkExecutor(ChunkExecutor):
+    """Lease-based chunk dispatch to fabric agents.
+
+    One instance serves every phase of a campaign; agent links (and
+    their failure history) persist across phases so a dead fleet is not
+    re-probed from scratch each fan-out.
+    """
+
+    kind = "remote"
+    needs_checkpoints = True
+
+    def __init__(self, fabric_dir: str | os.PathLike,
+                 policy: Optional[RemotePolicy] = None):
+        self.fabric_dir = pathlib.Path(fabric_dir).resolve()
+        self.remote_policy = policy or RemotePolicy()
+        self.store = fabric_store(self.fabric_dir)
+        self._links: Dict[str, _AgentLink] = {}
+        self._jitter_salt = 0
+
+    # -- wire ----------------------------------------------------------
+    def _request(self, link: _AgentLink, op: str,
+                 **fields: Any) -> Optional[Dict[str, Any]]:
+        """Round-trip with reachability accounting. A missing socket
+        file (partition / clean shutdown) fails fast without a connect
+        timeout; any failure arms the reconnect backoff."""
+        response = None
+        if link.socket_path.exists():
+            response = agent_request(
+                link.socket_path, op,
+                timeout=self.remote_policy.request_timeout, **fields)
+        if response is None:
+            link.failures += 1
+            self._jitter_salt += 1
+            link.retry_at = time.monotonic() + jittered_backoff(
+                link.failures, base=self.remote_policy.reconnect_base,
+                cap=self.remote_policy.reconnect_max,
+                salt=f"{link.name}:{self._jitter_salt}")
+            return None
+        link.failures = 0
+        return response
+
+    # -- events --------------------------------------------------------
+    def _agent_event(self, sup, action: str, link: _AgentLink,
+                     **fields: Any) -> None:
+        sup.events.emit("agent", action=action, agent=link.name,
+                        pid=link.pid, fabric=str(self.fabric_dir),
+                        **fields)
+
+    def _lease_event(self, sup, action: str, phase_ctx, chunk,
+                     agent: str, **fields: Any) -> None:
+        sup.events.emit("lease", action=action, key=chunk.key,
+                        agent=agent, lo=chunk.lo, hi=chunk.hi,
+                        phase=phase_ctx.phase, **fields)
+
+    # -- registry scan / elastic membership ----------------------------
+    def _scan(self, sup, phase_ctx, leases: List[_Lease], pending,
+              done, quarantined, report, now: float) -> None:
+        registry = read_agent_registry(self.fabric_dir)
+        for name, record in registry.items():
+            link = self._links.get(name)
+            if link is None:
+                link = _AgentLink(name, record)
+                self._links[name] = link
+                self._agent_event(sup, "join", link, slots=link.slots)
+            elif record.get("started_at") != link.generation:
+                # same name, new process: a restarted agent re-joins
+                # with a clean slate (old leases expire below by pid)
+                replacement = _AgentLink(name, record)
+                self._links[name] = replacement
+                self._agent_event(sup, "rejoin", replacement,
+                                  slots=replacement.slots)
+                self._expire_for(sup, phase_ctx, link, leases, pending,
+                                 done, quarantined, report,
+                                 "agent_restarted")
+            else:
+                link.record = record
+        for name, link in list(self._links.items()):
+            if name not in registry:
+                if not link.lost:
+                    self._agent_event(sup, "leave", link)
+                    link.lost = True
+                self._expire_for(sup, phase_ctx, link, leases, pending,
+                                 done, quarantined, report, "agent_left")
+                del self._links[name]
+                continue
+            if not pid_alive(link.pid):
+                if not link.lost:
+                    link.lost = True
+                    self._agent_event(sup, "lost", link,
+                                      reason="pid_dead")
+                self._expire_for(sup, phase_ctx, link, leases, pending,
+                                 done, quarantined, report, "agent_died")
+            elif link.failures >= self.remote_policy.reconnect_limit \
+                    and not link.lost:
+                link.lost = True
+                self._agent_event(sup, "lost", link,
+                                  reason="unreachable")
+                self._expire_for(sup, phase_ctx, link, leases, pending,
+                                 done, quarantined, report,
+                                 "agent_unreachable")
+            elif link.lost and link.socket_path.exists() \
+                    and now >= link.retry_at:
+                # partition healed: the socket is back and the pid never
+                # died — probe before readmitting
+                if self._request(link, "ping") is not None:
+                    link.lost = False
+                    self._agent_event(sup, "rejoin", link,
+                                      slots=link.slots)
+
+    # -- lease lifecycle -----------------------------------------------
+    def _expire_for(self, sup, phase_ctx, link: _AgentLink,
+                    leases: List[_Lease], pending, done, quarantined,
+                    report, reason: str) -> None:
+        for lease in [l for l in leases if l.link is link]:
+            self._expire(sup, phase_ctx, lease, leases, pending, done,
+                         quarantined, report, reason)
+
+    def _expire(self, sup, phase_ctx, lease: _Lease,
+                leases: List[_Lease], pending, done, quarantined,
+                report, reason: str) -> None:
+        """Lease death: charge the chunk an attempt and re-dispatch it
+        through the ordinary retry/bisect/quarantine path (speculative
+        twins and already-completed chunks are dropped uncharged)."""
+        leases.remove(lease)
+        chunk = lease.chunk
+        self._lease_event(sup, "expire", phase_ctx, chunk,
+                          lease.link.name, attempt=chunk.attempts,
+                          reason=reason)
+        if lease.speculative or chunk.lo in done:
+            return
+        sup._note_failure(phase_ctx, chunk, report, "crash",
+                          f"lease on agent {lease.link.name} expired "
+                          f"({reason})")
+        sup._requeue_or_split(phase_ctx, chunk, pending, quarantined,
+                              report)
+
+    def _complete(self, sup, phase_ctx, lease: _Lease,
+                  leases: List[_Lease], done, report,
+                  windows: List[Any]) -> None:
+        """First result wins: later twins dedup by chunk key."""
+        chunk = lease.chunk
+        if chunk.lo in done:
+            self._lease_event(sup, "dedup", phase_ctx, chunk,
+                              lease.link.name)
+            return
+        sup._complete(phase_ctx, chunk, windows, done, report)
+        self._lease_event(sup, "complete", phase_ctx, chunk,
+                          lease.link.name, attempt=chunk.attempts,
+                          speculative=lease.speculative)
+        sup.metrics.counter("fabric_chunks_completed_total").inc()
+        for twin in [l for l in leases if l.chunk.key == chunk.key]:
+            leases.remove(twin)
+            if twin.link.ready(time.monotonic()):
+                self._request(twin.link, "cancel", key=chunk.key)
+            self._lease_event(sup, "cancel", phase_ctx, chunk,
+                              twin.link.name, reason="dedup")
+
+    def _adopt_ready(self, sup, phase_ctx, pending, done,
+                     report) -> None:
+        """Fold results already sitting in the store into ``done`` —
+        prior runs, speculative twins, or a partitioned agent that
+        finished after its lease expired."""
+        for chunk in [c for c in pending
+                      if self.store.artifact_path(RESULT_KIND,
+                                                  c.key).exists()]:
+            windows = self.store.get(RESULT_KIND, chunk.key)
+            if windows is None:
+                continue            # torn entry: re-run it
+            pending.remove(chunk)
+            if chunk.lo in done:
+                continue
+            sup._complete(phase_ctx, chunk, windows, done, report)
+            self._lease_event(sup, "adopt", phase_ctx, chunk, "store")
+
+    # -- dispatch ------------------------------------------------------
+    def _push_descriptor(self, phase_ctx, chunk) -> bool:
+        if self.store.artifact_path(TASK_KIND, chunk.key).exists():
+            return True
+        return self.store.put(TASK_KIND, chunk.key, {
+            "cfg": phase_ctx.cfg, "hw": phase_ctx.hw,
+            "benchmark": phase_ctx.benchmark,
+            "scheme": phase_ctx.scheme, "records": phase_ctx.records,
+            "lo": chunk.lo, "hi": chunk.hi,
+            "checkpoint": chunk.checkpoint})
+
+    def _grant(self, sup, phase_ctx, chunk, link: _AgentLink,
+               leases: List[_Lease], spool: Optional[str],
+               now: float, speculative: bool) -> bool:
+        if not self._push_descriptor(phase_ctx, chunk):
+            return False
+        attempt = chunk.attempts + (0 if speculative else 1)
+        response = self._request(link, "run", key=chunk.key,
+                                 attempt=max(1, attempt), spool=spool)
+        if response is None or not response.get("ok"):
+            return False
+        if not speculative:
+            chunk.attempts += 1
+        lease = _Lease(chunk=chunk, link=link, granted_at=now,
+                       heartbeat_at=now,
+                       deadline=sup._deadline(phase_ctx, chunk),
+                       speculative=speculative)
+        leases.append(lease)
+        self._lease_event(sup, "speculate" if speculative else "grant",
+                          phase_ctx, chunk, link.name,
+                          attempt=chunk.attempts,
+                          speculative=speculative)
+        sup.metrics.counter("fabric_leases_granted_total").inc()
+        return True
+
+    def _straggler_threshold(self, phase_ctx, chunk) -> float:
+        policy = self.remote_policy
+        return max(policy.min_speculate,
+                   policy.speculate_factor * phase_ctx.window_estimate
+                   * chunk.windows)
+
+    # -- the phase loop ------------------------------------------------
+    def run_phase(self, sup, phase_ctx, chunks, done, quarantined,
+                  report, jobs: int, ctx=None) -> None:
+        policy = self.remote_policy
+        pending: deque = deque(sorted(chunks, key=lambda c: c.lo))
+        leases: List[_Lease] = []
+        no_agents_since: Optional[float] = None
+        spool = (sup.events.worker_spool() if sup.events.enabled
+                 else None)
+        try:
+            while pending or leases:
+                now = time.monotonic()
+                if sup.drain:
+                    sup._emit("drain", phase_ctx, pending=len(pending),
+                              running=len(leases))
+                    for lease in leases:
+                        if lease.link.ready(now):
+                            self._request(lease.link, "cancel",
+                                          key=lease.chunk.key)
+                    report.status = "aborted"
+                    return
+                self._scan(sup, phase_ctx, leases, pending, done,
+                           quarantined, report, now)
+                self._adopt_ready(sup, phase_ctx, pending, done, report)
+                live = [link for link in self._links.values()
+                        if not link.lost]
+                # -- fleet loss: degrade to the local dispatcher -------
+                if not live and (pending or leases):
+                    if no_agents_since is None:
+                        no_agents_since = now
+                    elif now - no_agents_since >= policy.loss_grace:
+                        self._degrade(sup, phase_ctx, leases, pending,
+                                      done, quarantined, report, jobs,
+                                      ctx)
+                        return
+                else:
+                    no_agents_since = None
+                # -- poll leases ---------------------------------------
+                now = time.monotonic()
+                for lease in list(leases):
+                    self._poll_lease(sup, phase_ctx, lease, leases,
+                                     pending, done, quarantined,
+                                     report, now)
+                # -- heartbeat-silence expiry (last resort) ------------
+                now = time.monotonic()
+                for lease in list(leases):
+                    if now - lease.heartbeat_at > policy.lease_timeout:
+                        self._expire(sup, phase_ctx, lease, leases,
+                                     pending, done, quarantined, report,
+                                     "heartbeat_lost")
+                # -- dispatch ------------------------------------------
+                self._dispatch(sup, phase_ctx, leases, pending, spool,
+                               time.monotonic())
+                # -- speculate on stragglers ---------------------------
+                self._maybe_speculate(sup, phase_ctx, leases, pending,
+                                      spool, time.monotonic())
+                sup._maybe_heartbeat(
+                    phase_ctx, report, running=len(leases),
+                    pending=len(pending),
+                    workers=[link.pid for link in self._links.values()
+                             if not link.lost])
+                if pending or leases:
+                    time.sleep(policy.poll_interval)
+        finally:
+            if spool is not None:
+                sup.events.absorb_worker_files()
+
+    def _poll_lease(self, sup, phase_ctx, lease: _Lease,
+                    leases: List[_Lease], pending, done, quarantined,
+                    report, now: float) -> None:
+        link = lease.link
+        if link.lost or not link.ready(now):
+            return                  # expiry is handled by scan/timeout
+        response = self._request(link, "status", key=lease.chunk.key)
+        if response is None:
+            return
+        lease.heartbeat_at = now
+        state = response.get("state")
+        chunk = lease.chunk
+        if state == "done":
+            windows = self.store.get(RESULT_KIND, chunk.key)
+            if windows is not None:
+                self._complete(sup, phase_ctx, lease, leases, done,
+                               report, windows)
+                return
+            state = "failed"        # agent said done but the result
+            response = dict(response, exit_code=-2)    # never landed
+        if state == "failed":
+            leases.remove(lease)
+            if lease.speculative or chunk.lo in done:
+                return
+            code = response.get("exit_code")
+            sup._note_failure(phase_ctx, chunk, report, "crash",
+                              f"agent {link.name} chunk child exited "
+                              f"with {code}")
+            sup._requeue_or_split(phase_ctx, chunk, pending,
+                                  quarantined, report)
+            return
+        if state == "running":
+            if lease.deadline > 0 and now > lease.deadline:
+                # straggler past the watchdog allowance: cancel and
+                # retry with an escalated deadline, like the pool path
+                self._request(link, "cancel", key=chunk.key)
+                leases.remove(lease)
+                if lease.speculative or chunk.lo in done:
+                    return
+                report.timeouts += 1
+                sup.metrics.counter(
+                    "supervisor_watchdog_fired_total").inc()
+                sup._note_failure(phase_ctx, chunk, report, "timeout",
+                                  f"exceeded chunk deadline after "
+                                  f"{chunk.attempts} attempt(s) on "
+                                  f"agent {link.name}")
+                sup._emit("timeout", phase_ctx, lo=chunk.lo,
+                          hi=chunk.hi, attempt=chunk.attempts)
+                sup._requeue_or_split(phase_ctx, chunk, pending,
+                                      quarantined, report)
+            return
+        # "unknown": the agent has no memory of this chunk (restart
+        # without a registry generation bump) — re-dispatch
+        self._expire(sup, phase_ctx, lease, leases, pending, done,
+                     quarantined, report, "agent_forgot")
+
+    def _dispatch(self, sup, phase_ctx, leases: List[_Lease], pending,
+                  spool: Optional[str], now: float) -> None:
+        for link in self._links.values():
+            if link.lost or not link.ready(now):
+                continue
+            busy = sum(1 for l in leases if l.link is link)
+            while busy < link.slots:
+                chunk = next((c for c in pending
+                              if c.eligible_at <= now), None)
+                if chunk is None:
+                    return
+                pending.remove(chunk)
+                if self._grant(sup, phase_ctx, chunk, link, leases,
+                               spool, now, speculative=False):
+                    busy += 1
+                else:
+                    chunk.eligible_at = max(chunk.eligible_at,
+                                            now + 0.05)
+                    pending.append(chunk)
+                    break           # agent (or store) balked: move on
+
+    def _maybe_speculate(self, sup, phase_ctx, leases: List[_Lease],
+                         pending, spool: Optional[str],
+                         now: float) -> None:
+        if pending or not leases:
+            return
+        keys_leased: Dict[str, int] = {}
+        for lease in leases:
+            keys_leased[lease.chunk.key] = (
+                keys_leased.get(lease.chunk.key, 0) + 1)
+        candidates = sorted(
+            (l for l in leases
+             if not l.speculative and keys_leased[l.chunk.key] == 1
+             and now - l.granted_at
+             > self._straggler_threshold(phase_ctx, l.chunk)),
+            key=lambda l: l.granted_at)
+        for lease in candidates:
+            twin = next(
+                (link for link in self._links.values()
+                 if link is not lease.link and not link.lost
+                 and link.ready(now)
+                 and sum(1 for l in leases if l.link is link)
+                 < link.slots), None)
+            if twin is None:
+                return
+            self._grant(sup, phase_ctx, lease.chunk, twin, leases,
+                        spool, now, speculative=True)
+
+    def _degrade(self, sup, phase_ctx, leases: List[_Lease], pending,
+                 done, quarantined, report, jobs: int, ctx) -> None:
+        """Full-fleet loss: hand the leftovers (checkpoints intact) to
+        the local dispatcher. In-flight leases are uncharged — the
+        fabric died, not the chunks."""
+        self._adopt_ready(sup, phase_ctx, pending, done, report)
+        remaining: Dict[str, Any] = {c.key: c for c in pending}
+        for lease in leases:
+            chunk = lease.chunk
+            if chunk.lo in done or chunk.key in remaining:
+                continue
+            if not lease.speculative:
+                chunk.attempts = max(0, chunk.attempts - 1)
+            remaining[chunk.key] = chunk
+        leases.clear()
+        report.downshifts += 1
+        sup.metrics.counter("supervisor_downshifts_total").inc()
+        sup.events.emit(
+            "degradation", reason="agents_lost", phase=phase_ctx.phase,
+            detail="no reachable fabric agents; falling back to the "
+                   "local dispatcher")
+        queue: deque = deque(sorted(remaining.values(),
+                                    key=lambda c: c.lo))
+        if not queue:
+            return
+        if jobs > 1 and not sup._force_serial:
+            sup._run_pool(phase_ctx, queue, done, quarantined, report,
+                          jobs, ctx=ctx)
+        else:
+            sup._run_serial(phase_ctx, queue, done, quarantined,
+                            report, ctx=ctx)
+
+
+__all__ = [
+    "AGENTS_DIRNAME",
+    "ChunkExecutor",
+    "LocalPoolExecutor",
+    "RESULT_KIND",
+    "RemoteChunkExecutor",
+    "RemotePolicy",
+    "STORE_DIRNAME",
+    "SerialChunkExecutor",
+    "TASK_KIND",
+    "agent_record_path",
+    "agent_registry_dir",
+    "agent_request",
+    "agent_socket_path",
+    "fabric_store",
+    "read_agent_registry",
+]

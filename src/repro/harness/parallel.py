@@ -439,6 +439,22 @@ def window_chunk_task(args) -> List[WindowResult]:
                               resume_at_commit=checkpoint.resume_at_commit)
 
 
+def run_chunk_descriptor(descriptor) -> List[WindowResult]:
+    """Classify one shipped fabric chunk descriptor.
+
+    The descriptor (a dict pushed through the fabric store by
+    :class:`repro.harness.executor.RemoteChunkExecutor`) is
+    self-contained — config, hardware, fault plan, window range and the
+    boundary checkpoint — so any agent on any host runs exactly the
+    computation :func:`window_chunk_task` would run for a local pool
+    worker, bit for bit.
+    """
+    return window_chunk_task((
+        descriptor["cfg"], descriptor["hw"], descriptor["benchmark"],
+        descriptor["scheme"], descriptor["records"], descriptor["lo"],
+        descriptor["hi"], descriptor.get("checkpoint")))
+
+
 def classify_windows_parallel(cfg, hw, benchmark: str, scheme,
                               records: Sequence[FaultRecord],
                               executor: ParallelExecutor,
@@ -484,5 +500,6 @@ __all__ = [
     "srt_task",
     "characterize_task",
     "coverage_task",
+    "run_chunk_descriptor",
     "window_chunk_task",
 ]

@@ -110,6 +110,22 @@ def socket_path_for(serve_dir: str | os.PathLike) -> pathlib.Path:
     return pathlib.Path(tempfile.gettempdir()) / f"repro-serve-{digest}.sock"
 
 
+def jittered_backoff(attempt: int, base: float = 0.1, cap: float = 5.0,
+                     jitter: float = 0.5, salt: str = "") -> float:
+    """Deterministic exponential-backoff delay for *attempt* (1-based).
+
+    ``min(cap, base * 2^(attempt-1))`` stretched by up to *jitter* of
+    itself; the jitter fraction is a hash of *salt* and the attempt
+    number, so repeated runs (and tests) see identical schedules
+    without an RNG. Shared by the serve client's wait poll and the
+    fabric executor's agent-reconnect loop.
+    """
+    delay = min(cap, base * (2.0 ** max(0, attempt - 1)))
+    blob = f"{salt}:{attempt}".encode()
+    word = int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
+    return min(cap, delay * (1.0 + jitter * (word / 2.0 ** 64)))
+
+
 def pid_alive(pid: int) -> bool:
     if pid <= 0:
         return False
@@ -596,6 +612,7 @@ __all__ = [
     "TERMINAL_STATES",
     "atomic_write_json",
     "derive_job_state",
+    "jittered_backoff",
     "job_doc_from_submission",
     "job_summary",
     "new_job_id",

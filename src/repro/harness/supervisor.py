@@ -31,6 +31,14 @@ result. The :class:`Supervisor` wraps the window-chunk dispatcher from
   downshifts ``jobs`` (8 -> 4 -> ... -> 1 -> in-process) instead of
   aborting, emitting a ``degradation`` event at each step.
 
+Chunk dispatch itself is pluggable: the supervisor hands each phase's
+chunk queue to a :class:`~repro.harness.executor.ChunkExecutor`
+(in-process, local pool, or the distributed fabric's remote executor —
+see :mod:`repro.harness.executor`). All completions and failures flow
+back through the same ``_complete``/``_note_failure``/quarantine/journal
+machinery, so results — and ``repro resume`` — are bit-for-bit identical
+across executor kinds.
+
 Chaos knobs (for the chaos-campaign CI job and tests, never set in
 production runs) are read by the *worker-side* task only:
 
@@ -68,6 +76,8 @@ from ..obs.manifest import config_digest
 from ..obs.metrics import NULL_METRICS
 from . import parallel as _parallel
 from .cache import ArtifactCache
+from .executor import (ChunkExecutor, LocalPoolExecutor,
+                       SerialChunkExecutor)
 
 #: Campaign exit codes (``repro campaign`` / ``repro resume``).
 EXIT_COMPLETE = 0
@@ -240,7 +250,10 @@ class CampaignJournal:
     ``chunk_done``, ``quarantine``, ``phase_done``, ``resume``,
     ``drain``). Appends are flushed *and fsync'd* so a SIGKILL never
     loses an acknowledged chunk; a truncated trailing line (killed
-    mid-append) is skipped on read, not fatal.
+    mid-append) becomes a synthesized ``truncated_tail`` note — exactly
+    the :func:`repro.obs.events.read_events` contract — while corruption
+    anywhere *before* the tail is a hard error (an fsync'd append-only
+    journal cannot legitimately contain one).
     """
 
     def __init__(self, run_dir: str | os.PathLike):
@@ -262,19 +275,35 @@ class CampaignJournal:
 
     @staticmethod
     def read(run_dir: str | os.PathLike) -> List[Dict[str, Any]]:
+        """Parsed journal records; a torn final line (SIGKILL
+        mid-append) is reported as a ``truncated_tail`` note instead of
+        failing the resume. Resume replay ignores the note (it only
+        folds ``chunk_done``/``quarantine``); ``repro report`` surfaces
+        it so the interruption stays visible."""
         path = pathlib.Path(run_dir) / "journal.jsonl"
         records: List[Dict[str, Any]] = []
         if not path.exists():
             return records
-        with open(path, encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    records.append(json.loads(line))
-                except json.JSONDecodeError:
-                    continue    # truncated tail: the append died mid-line
+        with open(path, encoding="utf-8", newline="") as handle:
+            content = handle.read()
+        lines = content.split("\n")
+        tail = lines.pop()
+        for number, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{number}: not JSON: {exc}") from None
+        if tail.strip():
+            try:
+                records.append(json.loads(tail))
+            except json.JSONDecodeError:
+                records.append({"type": "truncated_tail",
+                                "line": len(lines) + 1,
+                                "bytes": len(tail.encode("utf-8"))})
         return records
 
 
@@ -341,9 +370,13 @@ class Supervisor:
 
     def __init__(self, policy: Optional[SupervisorPolicy] = None,
                  run_dir: Optional[str | os.PathLike] = None,
-                 jobs: Optional[int] = None, events=None, metrics=None):
+                 jobs: Optional[int] = None, events=None, metrics=None,
+                 executor: Optional[ChunkExecutor] = None):
         self.policy = policy or SupervisorPolicy()
         self.jobs = max(1, jobs) if jobs is not None else None
+        #: Explicit dispatch override (e.g. the fabric's remote
+        #: executor); None picks serial/pool from the job count.
+        self.executor = executor
         self.events = events if events is not None else NULL_LOG
         self.metrics = metrics if metrics is not None else NULL_METRICS
         self.run_dir = pathlib.Path(run_dir) if run_dir else None
@@ -461,8 +494,10 @@ class Supervisor:
 
         gaps = self._gaps(len(records), done, quarantined)
         bounds = self._chunk_gaps(gaps, jobs, records)
+        chunk_executor = self._select_executor(jobs)
         self._emit("plan", phase_ctx, chunks=len(bounds),
-                   windows=len(records), resumed=report.chunks_resumed)
+                   windows=len(records), resumed=report.chunks_resumed,
+                   executor=chunk_executor.kind)
         if self.journal is not None:
             self.journal.append({
                 "type": "plan", "phase": phase, "benchmark": benchmark,
@@ -475,8 +510,7 @@ class Supervisor:
         self._progress(phase_ctx, report)
 
         if bounds:
-            serial = jobs == 1 or self._force_serial
-            if serial:
+            if not chunk_executor.needs_checkpoints:
                 # the serial dispatcher threads one live golden core
                 # through the chunks — no checkpoint golden pass needed
                 checkpoints: List[Any] = [None] * len(bounds)
@@ -496,12 +530,9 @@ class Supervisor:
                        checkpoint,
                        max_attempts=self.policy.max_retries + 1)
                 for (lo, hi), checkpoint in zip(bounds, checkpoints))
-            if serial:
-                self._run_serial(phase_ctx, chunks, done, quarantined,
-                                 report, ctx=ctx)
-            else:
-                self._run_pool(phase_ctx, chunks, done, quarantined,
-                               report, jobs, ctx=ctx)
+            chunk_executor.run_phase(self, phase_ctx, chunks, done,
+                                     quarantined, report, jobs=jobs,
+                                     ctx=ctx)
 
         if report.status == "aborted":
             if self.journal is not None:
@@ -524,6 +555,20 @@ class Supervisor:
                    windows=len(report.windows),
                    quarantined=len(report.quarantined))
         return report
+
+    # -- executor selection --------------------------------------------
+    def _select_executor(self, jobs: int) -> ChunkExecutor:
+        """The dispatcher for this fan-out: a forced-serial downshift
+        always wins (the pool machinery has already proven unusable),
+        then an explicit executor (``--fabric``), then serial/pool by
+        job count."""
+        if self._force_serial:
+            return SerialChunkExecutor()
+        if self.executor is not None:
+            return self.executor
+        if jobs == 1:
+            return SerialChunkExecutor()
+        return LocalPoolExecutor()
 
     # -- chunk identity and resume -------------------------------------
     def _chunk_key(self, phase_ctx: _Phase, lo: int, hi: int) -> str:

@@ -1,0 +1,430 @@
+"""Tests for the pluggable chunk executors and the distributed fabric.
+
+The contract under test: the executor is a pure *venue* decision — the
+supervised serial path, the local pool and the remote fabric (worker
+agent daemons leased chunks through the content-addressed store) all
+produce bit-for-bit identical campaign results, and every remote
+failure mode (agent SIGKILL mid-chunk, full-fleet loss, a resume whose
+agents all died) converges to those same bytes through the supervisor's
+existing retry/attribution/quarantine machinery.
+"""
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.harness import (ExperimentConfig, ExperimentContext, Supervisor,
+                           SupervisorPolicy)
+from repro.harness.executor import (LocalPoolExecutor, RemoteChunkExecutor,
+                                    RemotePolicy, SerialChunkExecutor,
+                                    agent_socket_path, read_agent_registry)
+from repro.harness.server import jittered_backoff
+from repro.obs import read_events, validate_events
+
+# same geometry as the supervisor suite so the reference is cheap
+_TINY = ExperimentConfig(benchmarks=("mcf",), dynamic_target=2_200,
+                         num_faults=10, warmup_commits=400,
+                         window_commits=150, max_window_cycles=60_000)
+
+_FAST_REMOTE = dict(poll_interval=0.02, reconnect_base=0.05,
+                    reconnect_max=0.2, loss_grace=1.0)
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    ctx = ExperimentContext(_TINY, jobs=1)
+    _, characterization = ctx.campaign("mcf")
+    coverage = ctx.coverage("mcf", "faulthound")
+    return characterization, coverage
+
+
+def _cli_env():
+    env = dict(os.environ)
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env["PYTHONPATH"] = os.path.join(root, "src")
+    return env
+
+
+def _start_agents(fabric, names, idle_exit=180.0):
+    """Launch agent daemons and wait until all are registered."""
+    procs = [subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "agent", "start",
+         "--fabric", str(fabric), "--name", name,
+         "--idle-exit", str(idle_exit)],
+        env=_cli_env(), stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL) for name in names]
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        registry = read_agent_registry(fabric)
+        if all(name in registry for name in names):
+            return procs
+        if any(proc.poll() is not None for proc in procs):
+            break
+        time.sleep(0.05)
+    for proc in procs:
+        proc.kill()
+    raise AssertionError("agents never registered under the fabric")
+
+
+def _stop_agents(procs):
+    for proc in procs:
+        if proc.poll() is None:
+            proc.terminate()
+    for proc in procs:
+        try:
+            proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=15)
+
+
+# ----------------------------------------------------------------------
+# executor selection
+# ----------------------------------------------------------------------
+class TestSelection:
+    def test_jobs_1_selects_serial(self):
+        sup = Supervisor(SupervisorPolicy())
+        chosen = sup._select_executor(1)
+        assert isinstance(chosen, SerialChunkExecutor)
+        assert chosen.kind == "serial"
+        assert not chosen.needs_checkpoints
+
+    def test_jobs_many_selects_pool(self):
+        sup = Supervisor(SupervisorPolicy())
+        chosen = sup._select_executor(4)
+        assert isinstance(chosen, LocalPoolExecutor)
+        assert chosen.kind == "pool"
+        assert chosen.needs_checkpoints
+
+    def test_explicit_executor_wins(self, tmp_path):
+        remote = RemoteChunkExecutor(tmp_path / "fab")
+        sup = Supervisor(SupervisorPolicy(), executor=remote)
+        assert sup._select_executor(4) is remote
+        assert remote.kind == "remote"
+
+    def test_force_serial_overrides_everything(self, tmp_path):
+        remote = RemoteChunkExecutor(tmp_path / "fab")
+        sup = Supervisor(SupervisorPolicy(), executor=remote)
+        sup._force_serial = True
+        assert isinstance(sup._select_executor(4), SerialChunkExecutor)
+
+
+# ----------------------------------------------------------------------
+# backoff helper (shared by agent reconnect and the serve client)
+# ----------------------------------------------------------------------
+class TestJitteredBackoff:
+    def test_grows_exponentially_and_caps(self):
+        delays = [jittered_backoff(n, base=0.1, cap=5.0, jitter=0.0)
+                  for n in range(1, 12)]
+        assert delays[0] == pytest.approx(0.1)
+        assert delays[1] == pytest.approx(0.2)
+        assert delays[2] == pytest.approx(0.4)
+        assert max(delays) <= 5.0
+        assert delays[-1] == 5.0
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        for attempt in (1, 3, 7):
+            a = jittered_backoff(attempt, base=0.1, cap=5.0, salt="x")
+            b = jittered_backoff(attempt, base=0.1, cap=5.0, salt="x")
+            assert a == b                      # no RNG: replayable
+            plain = jittered_backoff(attempt, base=0.1, cap=5.0,
+                                     jitter=0.0)
+            assert plain <= a <= min(5.0, plain * 1.5)
+
+    def test_salt_decorrelates_callers(self):
+        spread = {jittered_backoff(4, base=0.1, cap=5.0,
+                                   salt=f"agent-{i}")
+                  for i in range(8)}
+        assert len(spread) > 1
+
+
+# ----------------------------------------------------------------------
+# remote fabric: equivalence and failure modes
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+@pytest.mark.timeout(300)
+class TestRemoteFabric:
+    def _run_remote(self, fabric, events_path=None, policy=None,
+                    jobs=2, cache=None):
+        from repro.obs import EventLog
+        events = EventLog(events_path) if events_path else None
+        sup = Supervisor(
+            SupervisorPolicy(chunk_windows=3),
+            executor=RemoteChunkExecutor(
+                fabric, policy=RemotePolicy(**_FAST_REMOTE)
+                if policy is None else policy))
+        ctx = ExperimentContext(_TINY, jobs=jobs, supervisor=sup,
+                                events=events, cache=cache)
+        _, characterization = ctx.campaign("mcf")
+        coverage = ctx.coverage("mcf", "faulthound")
+        if events is not None:
+            events.close()
+        return sup, characterization, coverage
+
+    def test_remote_matches_serial_bit_for_bit(self, serial_reference,
+                                               tmp_path):
+        s_char, s_cov = serial_reference
+        fabric = tmp_path / "fab"
+        events_path = tmp_path / "events.jsonl"
+        procs = _start_agents(fabric, ["a0", "a1"])
+        try:
+            sup, characterization, coverage = self._run_remote(
+                fabric, events_path=events_path)
+        finally:
+            _stop_agents(procs)
+        assert characterization.characterization == s_char.characterization
+        assert coverage.coverage_results == s_cov.coverage_results
+        assert sup.status == "complete" and sup.exit_code == 0
+        assert not sup.quarantined
+        events = read_events(events_path)
+        assert validate_events(events) == []
+        joins = [e for e in events if e.get("type") == "agent"
+                 and e.get("action") == "join"]
+        assert {e["agent"] for e in joins} == {"a0", "a1"}
+        grants = [e for e in events if e.get("type") == "lease"
+                  and e.get("action") == "grant"]
+        completes = [e for e in events if e.get("type") == "lease"
+                     and e.get("action") == "complete"]
+        assert grants and len(completes) == len(
+            {e["key"] for e in completes})
+        plans = [e for e in events if e.get("type") == "supervisor"
+                 and e.get("action") == "plan"]
+        assert plans and all(e.get("executor") == "remote" for e in plans)
+
+    def test_agent_sigkill_mid_campaign_redispatches(
+            self, serial_reference, tmp_path):
+        """SIGKILL one of two agents as soon as it reports a running
+        chunk: its lease expires, the chunk re-dispatches, and the
+        result is still bit-for-bit the serial reference."""
+        s_char, s_cov = serial_reference
+        fabric = tmp_path / "fab"
+        events_path = tmp_path / "events.jsonl"
+        procs = _start_agents(fabric, ["victim", "survivor"])
+        killed = threading.Event()
+
+        def _victim_granted():
+            # the live event log is the one authoritative signal that
+            # the victim holds a lease (registry heartbeats are too
+            # coarse to catch a short chunk)
+            try:
+                lines = events_path.read_text().splitlines()
+            except OSError:
+                return False
+            for line in lines:
+                try:
+                    event = json.loads(line)
+                except ValueError:
+                    continue
+                if (event.get("type") == "lease"
+                        and event.get("action") == "grant"
+                        and event.get("agent") == "victim"):
+                    return True
+            return False
+
+        def assassin():
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline and not killed.is_set():
+                if _victim_granted():
+                    record = read_agent_registry(fabric).get("victim")
+                    if record:
+                        try:
+                            os.kill(int(record["pid"]), signal.SIGKILL)
+                        except (OSError, ValueError):
+                            pass
+                    killed.set()
+                    return
+                time.sleep(0.005)
+
+        killer = threading.Thread(target=assassin, daemon=True)
+        killer.start()
+        try:
+            sup, characterization, coverage = self._run_remote(
+                fabric, events_path=events_path)
+        finally:
+            killed.set()
+            killer.join(timeout=5)
+            _stop_agents(procs)
+        assert killed.is_set(), "victim never got a lease to die on"
+        assert characterization.characterization == s_char.characterization
+        assert coverage.coverage_results == s_cov.coverage_results
+        assert sup.status == "complete"
+        assert not sup.quarantined
+        events = read_events(events_path)
+        assert validate_events(events) == []
+        lost = [e for e in events if e.get("type") == "agent"
+                and e.get("action") == "lost"
+                and e.get("agent") == "victim"]
+        assert lost, "the dead agent was never detected"
+
+    def test_fleet_loss_degrades_to_local_execution(
+            self, serial_reference, tmp_path):
+        """Kill the entire fleet before the campaign starts: after the
+        loss grace the executor hands everything to the local pool and
+        the campaign still completes with identical results."""
+        s_char, s_cov = serial_reference
+        fabric = tmp_path / "fab"
+        events_path = tmp_path / "events.jsonl"
+        procs = _start_agents(fabric, ["doomed"])
+        for proc in procs:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=15)
+        policy = RemotePolicy(**dict(_FAST_REMOTE, loss_grace=0.3))
+        sup, characterization, coverage = self._run_remote(
+            fabric, events_path=events_path, policy=policy)
+        assert characterization.characterization == s_char.characterization
+        assert coverage.coverage_results == s_cov.coverage_results
+        assert sup.status == "complete"
+        events = read_events(events_path)
+        assert validate_events(events) == []
+        degradations = [e for e in events
+                        if e.get("type") == "degradation"
+                        and e.get("reason") == "agents_lost"]
+        assert degradations, "fleet loss never degraded to local"
+
+    def test_remote_results_flow_into_artifact_cache(
+            self, serial_reference, tmp_path, monkeypatch):
+        """A remote campaign warms the user's artifact cache exactly
+        like a local one: a second, local context reuses it."""
+        from repro.harness import ArtifactCache
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        s_char, s_cov = serial_reference
+        fabric = tmp_path / "fab"
+        procs = _start_agents(fabric, ["a0", "a1"])
+        try:
+            sup, characterization, coverage = self._run_remote(
+                fabric, cache=ArtifactCache(tmp_path / "cache"))
+        finally:
+            _stop_agents(procs)
+        assert sup.status == "complete"
+        warm = ExperimentContext(_TINY, jobs=1,
+                                 cache=ArtifactCache(tmp_path / "cache"))
+        _, warm_char = warm.campaign("mcf")
+        warm_cov = warm.coverage("mcf", "faulthound")
+        assert warm.cache.hits > 0
+        assert warm_char.characterization == s_char.characterization
+        assert warm_cov.coverage_results == s_cov.coverage_results
+
+
+# ----------------------------------------------------------------------
+# agent lifecycle helpers (CLI surface)
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+@pytest.mark.timeout(120)
+class TestAgentLifecycle:
+    def test_list_and_stop(self, tmp_path):
+        fabric = tmp_path / "fab"
+        procs = _start_agents(fabric, ["lister"])
+        try:
+            listed = subprocess.run(
+                [sys.executable, "-m", "repro.cli", "agent", "list",
+                 "--fabric", str(fabric), "--json"],
+                env=_cli_env(), capture_output=True, text=True,
+                timeout=60)
+            assert listed.returncode == 0, listed.stderr
+            rows = json.loads(listed.stdout)
+            assert [row["name"] for row in rows] == ["lister"]
+            assert rows[0]["state"] == "live"
+            assert rows[0]["slots"] == 1
+
+            stopped = subprocess.run(
+                [sys.executable, "-m", "repro.cli", "agent", "stop",
+                 "--fabric", str(fabric)],
+                env=_cli_env(), capture_output=True, text=True,
+                timeout=60)
+            assert stopped.returncode == 0, stopped.stderr
+            assert "lister" in stopped.stdout
+            for proc in procs:
+                proc.wait(timeout=30)
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                if not read_agent_registry(fabric):
+                    break
+                time.sleep(0.05)
+            assert not read_agent_registry(fabric)
+            assert not agent_socket_path(fabric, "lister").exists()
+        finally:
+            _stop_agents(procs)
+
+    def test_partitioned_agent_is_marked_unreachable(self, tmp_path):
+        """Dropping an agent's socket while it keeps heartbeating the
+        registry (the partition model) flips `agent list` to
+        unreachable without killing anything."""
+        fabric = tmp_path / "fab"
+        procs = _start_agents(fabric, ["split"])
+        try:
+            agent_socket_path(fabric, "split").unlink()
+            listed = subprocess.run(
+                [sys.executable, "-m", "repro.cli", "agent", "list",
+                 "--fabric", str(fabric), "--json"],
+                env=_cli_env(), capture_output=True, text=True,
+                timeout=60)
+            rows = json.loads(listed.stdout)
+            assert rows[0]["state"] == "unreachable"
+        finally:
+            _stop_agents(procs)
+
+
+# ----------------------------------------------------------------------
+# resume after the whole fabric died, end to end via the CLI
+# ----------------------------------------------------------------------
+def _campaign_argv(run_dir, fabric=None, jobs=2):
+    argv = [sys.executable, "-m", "repro.cli", "campaign", "mcf",
+            "--scheme", "faulthound", "--faults", "10",
+            "--jobs", str(jobs), "--no-cache",
+            "--run-dir", str(run_dir)]
+    if fabric is not None:
+        argv += ["--fabric", str(fabric)]
+    return argv
+
+
+@pytest.mark.slow
+@pytest.mark.timeout(300)
+def test_resume_after_fabric_death_is_bit_for_bit(tmp_path):
+    """Acceptance: SIGKILL both the campaign and its only agent
+    mid-run, then `repro resume` *without* a fabric — the local resume
+    adopts the journal and converges to the reference stdout."""
+    env = _cli_env()
+    reference = subprocess.run(_campaign_argv(tmp_path / "ref"), env=env,
+                               capture_output=True, text=True,
+                               timeout=240)
+    assert reference.returncode == 0, reference.stderr
+
+    fabric = tmp_path / "fab"
+    run_dir = tmp_path / "interrupted"
+    procs = _start_agents(fabric, ["mortal"])
+    victim = subprocess.Popen(_campaign_argv(run_dir, fabric=fabric),
+                              env=env, stdout=subprocess.DEVNULL,
+                              stderr=subprocess.DEVNULL,
+                              start_new_session=True)
+    journal = run_dir / "journal.jsonl"
+    deadline = time.monotonic() + 120
+    try:
+        while time.monotonic() < deadline:
+            if victim.poll() is not None:
+                break
+            if journal.exists() and "chunk_done" in journal.read_text():
+                break
+            time.sleep(0.05)
+        assert victim.poll() is None, "campaign finished before the kill"
+    finally:
+        for proc in procs:
+            proc.send_signal(signal.SIGKILL)
+        try:
+            os.killpg(victim.pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+        victim.wait(timeout=30)
+        _stop_agents(procs)
+
+    resumed = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "resume", str(run_dir)],
+        env=env, capture_output=True, text=True, timeout=240)
+    assert resumed.returncode == 0, resumed.stderr
+    assert resumed.stdout == reference.stdout

@@ -128,6 +128,63 @@ class TestSubmissionPlumbing:
         assert client.status("nope")["ok"] is False
 
 
+class TestWaitBackoff:
+    def test_wait_backs_off_instead_of_fixed_polling(self, tmp_path,
+                                                     monkeypatch):
+        """Regression: `wait` used to spin the disk every 0.5 s flat.
+        It must now sleep on the shared jittered exponential schedule,
+        capped at 5 s, and stop the moment the job settles."""
+        from repro.harness import client as client_mod
+        client = ServeClient(tmp_path / "sd")
+        spec = _write_spec(tmp_path / "t.src.json")
+        job_id = client.submit(spec)
+        delays = []
+
+        def fake_sleep(seconds):
+            delays.append(seconds)
+            if len(delays) >= 9:     # settle the job from "outside"
+                doc = job_doc_from_submission(read_json(
+                    tmp_path / "sd" / "queue" / f"{job_id}.json"))
+                doc["state"] = "complete"
+                from repro.harness.server import atomic_write_json
+                atomic_write_json(
+                    tmp_path / "sd" / "jobs" / job_id / "job.json", doc)
+
+        monkeypatch.setattr(client_mod.time, "sleep", fake_sleep)
+        doc = client.wait(job_id, timeout=120)
+        assert doc["state"] == "complete"
+        assert len(delays) == 9      # returned on the first settled poll
+        # exponential growth (jitter only stretches, never shrinks;
+        # doubling bases with jitter in [1, 1.5) keep ratios >= 4/3)...
+        assert delays[0] < 0.1
+        assert all(later >= earlier * 1.3 for earlier, later
+                   in zip(delays[:6], delays[1:7]))
+        # ...capped at 5 s, and deterministic for replayable tests
+        assert all(delay <= 5.0 for delay in delays)
+        from repro.harness.server import jittered_backoff
+        assert delays[0] == jittered_backoff(1, base=0.05, cap=5.0,
+                                             salt=job_id)
+
+    def test_wait_timeout_still_raises(self, tmp_path, monkeypatch):
+        from repro.harness import client as client_mod
+        client = ServeClient(tmp_path / "sd")
+        spec = _write_spec(tmp_path / "t.src.json")
+        job_id = client.submit(spec)
+        clock = [0.0]
+
+        def fake_monotonic():
+            return clock[0]
+
+        def fake_sleep(seconds):
+            clock[0] += seconds
+
+        monkeypatch.setattr(client_mod.time, "monotonic", fake_monotonic)
+        monkeypatch.setattr(client_mod.time, "sleep", fake_sleep)
+        with pytest.raises(ServeError, match="timed out"):
+            client.wait(job_id, timeout=30.0)
+        assert clock[0] <= 30.0 + 5.0    # delays clipped to the deadline
+
+
 class TestJobDocs:
     def test_doc_from_submission_shapes_tasks(self):
         doc = job_doc_from_submission(

@@ -209,6 +209,109 @@ class TestQuarantine:
 
 
 # ----------------------------------------------------------------------
+# graceful degradation: the downshift ladder
+# ----------------------------------------------------------------------
+class TestDownshiftLadder:
+    def test_build_failure_walks_8_4_2_1_inprocess(
+            self, serial_reference, monkeypatch, tmp_path):
+        """When the pool cannot be built at all, the supervisor halves
+        the worker count step by step (8 -> 4 -> 2 -> 1) and finally
+        degrades to in-process execution — emitting a ``degradation``
+        event at every rung — instead of aborting, and the results are
+        still bit-for-bit the serial reference."""
+        from repro.obs import EventLog, read_events
+        s_char, _ = serial_reference
+        monkeypatch.setattr(
+            Supervisor, "_build_pool",
+            lambda self, phase_ctx, workers, report: None)
+        events_path = tmp_path / "events.jsonl"
+        events = EventLog(events_path)
+        sup = Supervisor(SupervisorPolicy(pool_break_limit=1,
+                                          chunk_windows=3,
+                                          **_FAST_BACKOFF))
+        ctx = ExperimentContext(_TINY, jobs=8, supervisor=sup,
+                                events=events)
+        _, characterization = ctx.campaign("mcf")
+        events.close()
+        assert characterization.characterization == s_char.characterization
+        assert sup.status == "complete"
+        assert not sup.quarantined
+        assert sup._force_serial
+        ladder = [(e["jobs_from"], e["jobs_to"])
+                  for e in read_events(events_path)
+                  if e.get("type") == "degradation"]
+        assert ladder == [(8, 4), (4, 2), (2, 1), (1, 0)]
+        assert sum(r.downshifts for r in sup.reports) == 4
+
+    def test_submit_failure_downshifts_without_charging_chunks(
+            self, serial_reference, monkeypatch, tmp_path):
+        """A pool that builds but whose ``submit`` raises walks the
+        same ladder through the rebuild path; the failed submissions
+        never charge chunk attempts, so nothing is quarantined."""
+        from repro.obs import EventLog, read_events
+
+        class _BrokenPool:
+            def submit(self, *args, **kwargs):
+                raise OSError("injected submit failure")
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                pass
+
+        s_char, _ = serial_reference
+        monkeypatch.setattr(
+            Supervisor, "_build_pool",
+            lambda self, phase_ctx, workers, report: _BrokenPool())
+        events_path = tmp_path / "events.jsonl"
+        events = EventLog(events_path)
+        sup = Supervisor(SupervisorPolicy(pool_break_limit=1,
+                                          chunk_windows=3, max_retries=1,
+                                          **_FAST_BACKOFF))
+        ctx = ExperimentContext(_TINY, jobs=4, supervisor=sup,
+                                events=events)
+        _, characterization = ctx.campaign("mcf")
+        events.close()
+        assert characterization.characterization == s_char.characterization
+        assert sup.status == "complete"
+        assert not sup.quarantined
+        assert sup._force_serial
+        ladder = [(e["jobs_from"], e["jobs_to"])
+                  for e in read_events(events_path)
+                  if e.get("type") == "degradation"]
+        assert ladder == [(4, 2), (2, 1), (1, 0)]
+        assert sum(r.pool_rebuilds for r in sup.reports) >= 3
+
+    def test_degraded_path_never_caches_partial_results(
+            self, serial_reference, monkeypatch, tmp_path):
+        """The in-process fallback honours the no-partial-caching rule:
+        a phase that quarantined a window on the degraded path must not
+        publish its reduced result to the artifact cache."""
+        from repro.faults.classifier import TandemClassifier
+        from repro.harness import ArtifactCache
+        monkeypatch.setattr(
+            Supervisor, "_build_pool",
+            lambda self, phase_ctx, workers, report: None)
+        real_run = TandemClassifier.run
+
+        def poisoned(self, records, **kwargs):
+            if any(record.index == 0 for record in records):
+                raise RuntimeError("injected deterministic poison")
+            return real_run(self, records, **kwargs)
+
+        monkeypatch.setattr(TandemClassifier, "run", poisoned)
+        cache = ArtifactCache(tmp_path / "cache")
+        sup = Supervisor(SupervisorPolicy(pool_break_limit=1,
+                                          max_retries=1, chunk_windows=3,
+                                          **_FAST_BACKOFF))
+        ctx = ExperimentContext(_TINY, jobs=2, supervisor=sup,
+                                cache=cache)
+        _, characterization = ctx.campaign("mcf")
+        assert sup.status == "complete-with-quarantine"
+        assert [q.index for q in sup.quarantined] == [0]
+        assert characterization.quarantined == sup.quarantined
+        assert not list((tmp_path / "cache").rglob("characterize/*.pkl"))
+
+
+# ----------------------------------------------------------------------
 # drain / abort
 # ----------------------------------------------------------------------
 class TestDrain:
@@ -240,16 +343,58 @@ class TestDrain:
 # journal
 # ----------------------------------------------------------------------
 class TestJournal:
-    def test_truncated_tail_is_skipped(self, tmp_path):
+    def test_truncated_tail_is_noted(self, tmp_path):
+        """A torn final line (writer SIGKILLed mid-append) is surfaced
+        as a synthetic ``truncated_tail`` record — visible to audits,
+        ignored by resume's replay — instead of being silently dropped
+        or failing the read."""
         journal = CampaignJournal(tmp_path)
         journal.append({"type": "plan", "chunks": 4})
         journal.append({"type": "chunk_done", "key": "k", "lo": 0,
                         "hi": 3, "windows": 3, "attempt": 1})
         journal.close()
+        torn = '{"type": "chunk_done", "key": "trunc'
         with open(tmp_path / "journal.jsonl", "a") as handle:
-            handle.write('{"type": "chunk_done", "key": "trunc')
+            handle.write(torn)
         records = list(CampaignJournal.read(tmp_path))
-        assert [r["type"] for r in records] == ["plan", "chunk_done"]
+        assert [r["type"] for r in records] == [
+            "plan", "chunk_done", "truncated_tail"]
+        note = records[-1]
+        assert note["line"] == 3
+        assert note["bytes"] == len(torn.encode("utf-8"))
+
+    def test_interior_corruption_is_loud(self, tmp_path):
+        """Garbage *before* the final line is real corruption, not a
+        torn append — the read fails with the offending line number."""
+        journal = CampaignJournal(tmp_path)
+        journal.append({"type": "plan", "chunks": 4})
+        journal.close()
+        with open(tmp_path / "journal.jsonl", "a") as handle:
+            handle.write("not json at all\n")
+            handle.write('{"type": "chunk_done", "key": "k"}\n')
+        with pytest.raises(ValueError, match="journal.jsonl:2"):
+            CampaignJournal.read(tmp_path)
+
+    def test_resume_survives_torn_tail(self, serial_reference, tmp_path):
+        """End to end: a journal whose writer died mid-append still
+        resumes, adopts every complete chunk_done, and converges to the
+        serial reference bit-for-bit."""
+        s_char, _ = serial_reference
+        run_dir = tmp_path / "run"
+        policy = SupervisorPolicy(chunk_windows=3)
+        first = Supervisor(policy, run_dir=run_dir)
+        ctx = ExperimentContext(_TINY, jobs=2, supervisor=first)
+        ctx.campaign("mcf")
+        first.close()
+        # tear the tail the way a SIGKILL mid-append would
+        with open(run_dir / "journal.jsonl", "a") as handle:
+            handle.write('{"type": "chunk_done", "key": "torn", "lo"')
+        second = Supervisor(policy, run_dir=run_dir)
+        ctx2 = ExperimentContext(_TINY, jobs=2, supervisor=second)
+        _, characterization = ctx2.campaign("mcf")
+        second.close()
+        assert characterization.characterization == s_char.characterization
+        assert sum(r.chunks_resumed for r in second.reports) > 0
 
     def test_resume_skips_journalled_chunks(self, serial_reference,
                                             tmp_path):
